@@ -1,0 +1,73 @@
+// Library micro-benchmarks (google-benchmark): throughput of the
+// substrates the harness exercises on every sample — JPEG decode per
+// vendor, the resize kernels, color round trips, and conv inference.
+#include <benchmark/benchmark.h>
+
+#include "color/yuv.h"
+#include "image/synthetic.h"
+#include "jpeg/codec.h"
+#include "models/classifiers.h"
+#include "resize/resize.h"
+#include "tensor/rng.h"
+
+using namespace sysnoise;
+
+namespace {
+
+const std::vector<std::uint8_t>& sample_jpeg() {
+  static const std::vector<std::uint8_t> bytes = [] {
+    Rng rng(1);
+    TextureParams p = class_texture(3, 10, rng);
+    return jpeg::encode(render_texture(p, 96, 96, rng), {.quality = 90});
+  }();
+  return bytes;
+}
+
+const ImageU8& sample_image() {
+  static const ImageU8 img = jpeg::decode(sample_jpeg(), jpeg::DecoderVendor::kPillow);
+  return img;
+}
+
+void BM_JpegDecode(benchmark::State& state) {
+  const auto vendor = static_cast<jpeg::DecoderVendor>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::decode(sample_jpeg(), vendor));
+  state.SetLabel(jpeg::vendor_name(vendor));
+}
+BENCHMARK(BM_JpegDecode)->DenseRange(0, jpeg::kNumDecoderVendors - 1);
+
+void BM_JpegEncode(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::encode(sample_image(), {}));
+}
+BENCHMARK(BM_JpegEncode);
+
+void BM_Resize(benchmark::State& state) {
+  const auto method = static_cast<ResizeMethod>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(resize(sample_image(), 32, 32, method));
+  state.SetLabel(resize_method_name(method));
+}
+BENCHMARK(BM_Resize)->DenseRange(0, kNumResizeMethods - 1);
+
+void BM_ColorRoundTrip(benchmark::State& state) {
+  const auto mode = static_cast<ColorMode>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(apply_color_mode(sample_image(), mode));
+  state.SetLabel(color_mode_name(mode));
+}
+BENCHMARK(BM_ColorRoundTrip)->DenseRange(0, kNumColorModes - 1);
+
+void BM_ClassifierForward(benchmark::State& state) {
+  Rng rng(3);
+  auto model = models::make_classifier("ResNet-XS", 10, rng);
+  Tensor x({1, 3, 32, 32});
+  for (float& v : x.vec()) v = rng.uniform_f(-1.0f, 1.0f);
+  for (auto _ : state) {
+    nn::Tape t;
+    benchmark::DoNotOptimize(model->forward(t, t.input(x), nn::BnMode::kEval));
+  }
+}
+BENCHMARK(BM_ClassifierForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table 10 (Appendix C): SysNoise on text-to-speech — spectrogram MSE
+// under precision noise, STFT-operator noise, and their combination, for
+// a feed-forward ("FastSpeech-mini") and a convolutional ("Tacotron-mini")
+// model. Expected shape vs the paper: STFT noise > precision noise,
+// combined worst.
+#include <cstdio>
+
+#include "audio/tts.h"
+#include "bench/bench_util.h"
+#include "core/report.h"
+
+using namespace sysnoise;
+using namespace sysnoise::audio;
+
+int main() {
+  bench::banner("Table 10 — text-to-speech SysNoise", "Appendix C, Table 10");
+
+  const TtsDataset ds = make_tts_dataset();
+  core::TextTable table({"Method", "Clean", "FP16", "INT8", "STFT", "Combined"});
+  std::string csv = "model,clean,fp16,int8,stft,combined\n";
+
+  for (const std::string name : {"FastSpeech-mini", "Tacotron-mini"}) {
+    std::printf("[table10] training %s...\n", name.c_str());
+    std::fflush(stdout);
+    Rng rng(name == "FastSpeech-mini" ? 21u : 22u);
+    auto model = make_tts_model(name, ds, rng);
+    train_tts(*model, ds, /*epochs=*/30, 2e-3f);
+    nn::ActRanges ranges;
+    calibrate_tts(*model, ds, ranges);
+
+    const double clean = tts_system_discrepancy(*model, ds, nn::Precision::kFP32,
+                                                StftImpl::kReference, &ranges);
+    const double fp16 = tts_system_discrepancy(*model, ds, nn::Precision::kFP16,
+                                               StftImpl::kReference, &ranges);
+    const double int8 = tts_system_discrepancy(*model, ds, nn::Precision::kINT8,
+                                               StftImpl::kReference, &ranges);
+    const double stft = tts_system_discrepancy(*model, ds, nn::Precision::kFP32,
+                                               StftImpl::kFastFixed, &ranges);
+    const double comb = tts_system_discrepancy(*model, ds, nn::Precision::kINT8,
+                                               StftImpl::kFastFixed, &ranges);
+    table.add_row({name, core::fmt(clean, 6), core::fmt(fp16, 6), core::fmt(int8, 6),
+                   core::fmt(stft, 6), core::fmt(comb, 6)});
+    csv += name + "," + core::fmt(clean, 6) + "," + core::fmt(fp16, 6) + "," +
+           core::fmt(int8, 6) + "," + core::fmt(stft, 6) + "," + core::fmt(comb, 6) +
+           "\n";
+  }
+
+  const std::string out = table.str();
+  std::fputs(out.c_str(), stdout);
+  bench::write_file("table10_tts.txt", out);
+  bench::write_file("table10_tts.csv", csv);
+  return 0;
+}

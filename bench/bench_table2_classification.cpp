@@ -1,0 +1,37 @@
+// Table 2: SysNoise on the classification benchmark — ΔACC per noise axis
+// for every model family, plus the all-noises Combined column. Expected
+// shape vs the paper: resize & decode dominate pre-processing noise,
+// FP16 ≈ 0, INT8 small alone, ceil-mode substantial on max-pool models,
+// larger family members degrade less, Combined >> any single axis.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/report.h"
+#include "core/runner.h"
+
+using namespace sysnoise;
+
+int main() {
+  bench::banner("Table 2 — ImageNet-substitute classification",
+                "Sec. 4.2, Table 2");
+
+  std::vector<core::NoiseRow> rows;
+  auto specs = models::classifier_zoo();
+  if (bench::fast_mode()) specs.resize(3);
+  for (const auto& spec : specs) {
+    std::printf("[table2] %s: training/loading...\n", spec.name.c_str());
+    std::fflush(stdout);
+    auto tc = models::get_classifier(spec.name);
+    std::printf("[table2] %s: trained ACC %.2f%%, sweeping noise axes...\n",
+                spec.name.c_str(), tc.trained_acc);
+    std::fflush(stdout);
+    rows.push_back(core::measure_classifier(tc));
+  }
+
+  const std::string table = core::render_noise_table(rows, "ACC", false, false);
+  std::fputs(table.c_str(), stdout);
+  bench::write_file("table2_classification.txt", table);
+  bench::write_file("table2_classification.csv", core::noise_rows_csv(rows));
+  return 0;
+}

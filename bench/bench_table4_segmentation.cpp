@@ -1,0 +1,36 @@
+// Table 4: SysNoise on the CityScapes-substitute segmentation benchmark —
+// ΔmIoU per axis. Expected shape vs the paper: decode/resize/color ≈ 0,
+// upsample and ceil-mode dominate, U-Net (no max-pool) has no ceil entry.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/report.h"
+#include "core/runner.h"
+
+using namespace sysnoise;
+
+int main() {
+  bench::banner("Table 4 — CityScapes-substitute segmentation",
+                "Sec. 4.2, Table 4");
+
+  std::vector<std::string> names = {"DeepLab-S", "DeepLab-M", "UNet"};
+  if (bench::fast_mode()) names.resize(1);
+
+  std::vector<core::NoiseRow> rows;
+  for (const auto& name : names) {
+    std::printf("[table4] %s: training/loading...\n", name.c_str());
+    std::fflush(stdout);
+    auto ts = models::get_segmenter(name);
+    std::printf("[table4] %s: trained mIoU %.2f, sweeping noise axes...\n",
+                name.c_str(), ts.trained_miou);
+    std::fflush(stdout);
+    rows.push_back(core::measure_segmenter(ts));
+  }
+
+  const std::string table = core::render_noise_table(rows, "mIoU", true, false);
+  std::fputs(table.c_str(), stdout);
+  bench::write_file("table4_segmentation.txt", table);
+  bench::write_file("table4_segmentation.csv", core::noise_rows_csv(rows));
+  return 0;
+}

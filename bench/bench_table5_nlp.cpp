@@ -1,0 +1,80 @@
+// Table 5: data-precision SysNoise on NLP — OPT-mini sizes x four
+// multiple-choice tasks; FP32 accuracy and FP16/INT8 deltas. Expected
+// shape vs the paper: both precision deltas are small and task-dependent
+// (sometimes negative), larger models score higher.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/report.h"
+#include "nlp/lm.h"
+#include "nlp/tasks.h"
+
+using namespace sysnoise;
+using namespace sysnoise::nlp;
+
+namespace {
+
+double task_accuracy(CausalLm& lm, const std::vector<ChoiceItem>& items,
+                     nn::Precision precision, nn::ActRanges* ranges) {
+  int correct = 0;
+  for (const auto& item : items) {
+    const double sc =
+        lm.score_continuation(item.context, item.correct, precision, ranges);
+    const double sw =
+        lm.score_continuation(item.context, item.wrong, precision, ranges);
+    if (sc > sw) ++correct;
+  }
+  return 100.0 * correct / static_cast<double>(items.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 5 — NLP data-precision noise (OPT-mini zoo)",
+                "Sec. 4.2, Table 5");
+
+  const auto corpus = make_lm_corpus(480, 31337);
+  std::vector<std::vector<ChoiceItem>> task_items;
+  for (int k = 0; k < kNumTasks; ++k)
+    task_items.push_back(make_task_items(static_cast<TaskKind>(k), 120,
+                                         9000 + static_cast<std::uint64_t>(k)));
+
+  std::vector<std::string> headers = {"Architecture"};
+  for (int k = 0; k < kNumTasks; ++k)
+    headers.push_back(std::string(task_name(static_cast<TaskKind>(k))) +
+                      " FP32/dFP16/dINT8");
+  core::TextTable table(headers);
+
+  auto zoo = opt_mini_zoo();
+  if (bench::fast_mode()) zoo.resize(1);
+  std::string csv = "model,task,fp32,d_fp16,d_int8\n";
+  for (const auto& spec : zoo) {
+    std::printf("[table5] training %s...\n", spec.name.c_str());
+    std::fflush(stdout);
+    Rng rng(77);
+    CausalLm lm(spec, kVocab, rng);
+    train_lm(lm, corpus, /*epochs=*/8, 2e-3f);
+    nn::ActRanges ranges;
+    calibrate_lm(lm, corpus, ranges);
+
+    std::vector<std::string> cells = {spec.name};
+    for (int k = 0; k < kNumTasks; ++k) {
+      const auto& items = task_items[static_cast<std::size_t>(k)];
+      const double fp32 = task_accuracy(lm, items, nn::Precision::kFP32, &ranges);
+      const double fp16 = task_accuracy(lm, items, nn::Precision::kFP16, &ranges);
+      const double int8 = task_accuracy(lm, items, nn::Precision::kINT8, &ranges);
+      cells.push_back(core::fmt(fp32) + "/" + core::fmt(fp32 - fp16) + "/" +
+                      core::fmt(fp32 - int8));
+      csv += spec.name + "," + task_name(static_cast<TaskKind>(k)) + "," +
+             core::fmt(fp32) + "," + core::fmt(fp32 - fp16) + "," +
+             core::fmt(fp32 - int8) + "\n";
+    }
+    table.add_row(std::move(cells));
+  }
+
+  const std::string out = table.str();
+  std::fputs(out.c_str(), stdout);
+  bench::write_file("table5_nlp.txt", out);
+  bench::write_file("table5_nlp.csv", csv);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Shared helpers for the bench binaries: output directory handling and
+// the banner each table prints.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace sysnoise::bench {
+
+inline std::string results_dir() {
+  const char* env = std::getenv("SYSNOISE_RESULTS_DIR");
+  std::string dir = env != nullptr ? env : "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline void write_file(const std::string& name, const std::string& content) {
+  std::ofstream f(results_dir() + "/" + name);
+  f << content;
+}
+
+inline void banner(const char* experiment, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("SysNoise reproduction — %s\n", experiment);
+  std::printf("Paper reference: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+// SYSNOISE_FAST=1 trims model lists for smoke runs.
+inline bool fast_mode() {
+  const char* env = std::getenv("SYSNOISE_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+}  // namespace sysnoise::bench

@@ -1,0 +1,43 @@
+// Example: hardening a model against resize SysNoise with mix training
+// (Algo. 1). Trains a baseline and a mix-trained twin, then compares their
+// accuracy spread across every resize method.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/mitigation.h"
+#include "models/zoo.h"
+
+using namespace sysnoise;
+
+int main() {
+  std::printf("Mix training (Algo. 1) demo on ResNet-XS\n\n");
+
+  const PipelineSpec spec = models::cls_pipeline_spec();
+  const auto& ds = models::benchmark_cls_dataset();
+
+  auto baseline = models::get_classifier("ResNet-XS");
+  const auto mix_prep =
+      core::mix_training_preprocessor(spec, /*mix_decoder=*/false, /*mix_resize=*/true);
+  auto mixed = models::get_classifier("ResNet-XS", "example_mix", &mix_prep);
+
+  std::printf("%-18s %12s %12s\n", "test resize", "baseline", "mix-trained");
+  double base_min = 1e9, base_max = -1e9, mix_min = 1e9, mix_max = -1e9;
+  for (ResizeMethod m : all_resize_methods()) {
+    SysNoiseConfig cfg = SysNoiseConfig::training_default();
+    cfg.resize = m;
+    const double a =
+        models::eval_classifier(*baseline.model, ds.eval, cfg, spec, &baseline.ranges);
+    const double b =
+        models::eval_classifier(*mixed.model, ds.eval, cfg, spec, &mixed.ranges);
+    std::printf("%-18s %11.2f%% %11.2f%%\n", resize_method_name(m), a, b);
+    base_min = std::min(base_min, a);
+    base_max = std::max(base_max, a);
+    mix_min = std::min(mix_min, b);
+    mix_max = std::max(mix_max, b);
+  }
+  std::printf("\naccuracy spread across resize methods:\n");
+  std::printf("  baseline   : %.2f%%\n", base_max - base_min);
+  std::printf("  mix-trained: %.2f%%\n", mix_max - mix_min);
+  std::printf("Mix training shrinks the deployment-dependent spread.\n");
+  return 0;
+}

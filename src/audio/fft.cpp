@@ -1,0 +1,60 @@
+#include "audio/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sysnoise::audio {
+
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void fft_radix2(std::vector<std::complex<float>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_power_of_two(static_cast<int>(n)))
+    throw std::invalid_argument("fft_radix2: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const float ang = 2.0f * std::numbers::pi_v<float> /
+                      static_cast<float>(len) * (inverse ? 1.0f : -1.0f);
+    const std::complex<float> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<float> w(1.0f, 0.0f);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<float> u = data[i + j];
+        const std::complex<float> v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse)
+    for (auto& v : data) v /= static_cast<float>(n);
+}
+
+std::vector<std::complex<double>> dft_reference(
+    const std::vector<std::complex<double>>& in, bool inverse) {
+  const std::size_t n = in.size();
+  std::vector<std::complex<double>> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = sign * 2.0 * std::numbers::pi * static_cast<double>(k) *
+                         static_cast<double>(t) / static_cast<double>(n);
+      acc += in[t] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+}  // namespace sysnoise::audio

@@ -1,0 +1,20 @@
+// FFT kernels. Two implementations with different numerics — the raw
+// material of the paper's Appendix-C "STFT operator" SysNoise: vendors
+// disagree on FFT algorithm and window precision.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace sysnoise::audio {
+
+// In-place radix-2 Cooley-Tukey FFT (float). Size must be a power of two.
+void fft_radix2(std::vector<std::complex<float>>& data, bool inverse = false);
+
+// Naive O(N^2) DFT in double precision (reference implementation).
+std::vector<std::complex<double>> dft_reference(
+    const std::vector<std::complex<double>>& in, bool inverse = false);
+
+bool is_power_of_two(int n);
+
+}  // namespace sysnoise::audio

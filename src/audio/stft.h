@@ -1,0 +1,31 @@
+// STFT with two vendor implementations (Appendix C, Table 10): a
+// double-precision reference DFT with an exact Hann window, and a fast
+// float radix-2 FFT with a Q15 fixed-point window — the kind of kernel a
+// DSP vocoder ships.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sysnoise::audio {
+
+enum class StftImpl {
+  kReference = 0,  // double DFT + exact float window (training side)
+  kFastFixed = 1,  // float radix-2 FFT + Q15 window (deployment side)
+};
+const char* stft_impl_name(StftImpl s);
+
+struct StftSpec {
+  int n_fft = 64;
+  int hop = 32;
+};
+
+// Hann window; fixed_point quantizes coefficients to Q15.
+std::vector<float> hann_window(int n, bool fixed_point);
+
+// Magnitude spectrogram [frames, n_fft/2 + 1].
+Tensor stft_magnitude(const std::vector<float>& audio, const StftSpec& spec,
+                      StftImpl impl);
+
+}  // namespace sysnoise::audio

@@ -1,0 +1,312 @@
+#include "audio/tts.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "nn/ops_extra.h"
+#include "nn/optim.h"
+
+namespace sysnoise::audio {
+
+using namespace sysnoise::nn;
+
+namespace {
+
+std::vector<float> synthesize(const std::vector<int>& tokens, int samples_per_note,
+                              int vocab, Rng& rng) {
+  std::vector<float> audio;
+  audio.reserve(tokens.size() * static_cast<std::size_t>(samples_per_note));
+  float phase = rng.uniform_f(0.0f, 2.0f * std::numbers::pi_v<float>);
+  for (int tok : tokens) {
+    // Note frequency ladder: normalized angular frequency per sample.
+    const float omega = 2.0f * std::numbers::pi_v<float> *
+                        (0.03f + 0.035f * static_cast<float>(tok) /
+                                     static_cast<float>(vocab) * 10.0f);
+    for (int i = 0; i < samples_per_note; ++i) {
+      const float v = std::sin(phase) + 0.3f * std::sin(2.0f * phase);
+      audio.push_back(0.6f * v);
+      phase += omega;
+    }
+  }
+  return audio;
+}
+
+}  // namespace
+
+TtsDataset make_tts_dataset(const TtsDatasetSpec& spec) {
+  Rng rng(spec.seed);
+  TtsDataset ds;
+  ds.spec = spec;
+  ds.stft = StftSpec{.n_fft = 64, .hop = 32};
+  auto emit = [&](std::vector<TtsSample>& out, int count) {
+    for (int i = 0; i < count; ++i) {
+      TtsSample s;
+      s.tokens.resize(static_cast<std::size_t>(spec.seq_len));
+      for (auto& t : s.tokens) t = rng.uniform_int(spec.vocab);
+      s.audio = synthesize(s.tokens, spec.samples_per_note, spec.vocab, rng);
+      out.push_back(std::move(s));
+    }
+  };
+  emit(ds.train, spec.train_items);
+  emit(ds.eval, spec.eval_items);
+  return ds;
+}
+
+namespace {
+
+int spec_frames(const TtsDataset& ds) {
+  const int audio_len = ds.spec.seq_len * ds.spec.samples_per_note;
+  return 1 + (audio_len - ds.stft.n_fft) / ds.stft.hop;
+}
+
+int spec_bins(const TtsDataset& ds) { return ds.stft.n_fft / 2 + 1; }
+
+class FastSpeechMini : public TtsModel {
+ public:
+  FastSpeechMini(int vocab, int out_dim, Rng& rng)
+      : embed_(vocab, 32, rng),
+        pos_(Tensor({1, 64, 32})),
+        block_(32, 4, rng, "fs.blk"),
+        ln_(32),
+        head_(32, out_dim, rng, "fs.head") {
+    for (float& v : pos_.value.vec()) v = rng.normal_f(0.0f, 0.02f);
+  }
+  Node* forward(Tape& t, const std::vector<int>& tokens, int batch, int seq,
+                BnMode) override {
+    Node* x = embed_(t, tokens, batch, seq);
+    x = add_pos(t, x, seq);
+    x = block_(t, x);
+    x = ln_(t, x);
+    Node* pooled = mean_tokens(t, x);  // [B, 32]
+    return head_(t, pooled);
+  }
+  void collect(ParamRefs& out) override {
+    embed_.collect(out);
+    out.push_back(&pos_);
+    block_.collect(out);
+    ln_.collect(out);
+    head_.collect(out);
+  }
+
+ private:
+  // Adds the first `seq` rows of the positional table.
+  Node* add_pos(Tape& t, Node* x, int seq) {
+    const int b = x->value.dim(0), d = x->value.dim(2);
+    Tensor out = x->value;
+    for (int bi = 0; bi < b; ++bi)
+      for (int ti = 0; ti < seq; ++ti)
+        for (int di = 0; di < d; ++di)
+          out.at3(bi, ti, di) += pos_.value.at3(0, ti, di);
+    Node* y = t.make(std::move(out));
+    Node* xn = x;
+    Param* pp = &pos_;
+    y->backprop = [y, xn, pp, b, seq, d]() {
+      for (int bi = 0; bi < b; ++bi)
+        for (int ti = 0; ti < seq; ++ti)
+          for (int di = 0; di < d; ++di) {
+            const float g = y->grad.at3(bi, ti, di);
+            pp->grad.at3(0, ti, di) += g;
+            if (xn->requires_grad) xn->grad.at3(bi, ti, di) += g;
+          }
+    };
+    return y;
+  }
+
+  struct Block {
+    LayerNorm ln1, ln2;
+    MultiHeadAttention attn;
+    Linear mlp1, mlp2;
+    Block(int dim, int heads, Rng& rng, const std::string& id)
+        : ln1(dim), ln2(dim), attn(dim, heads, false, rng, id + ".attn"),
+          mlp1(dim, 2 * dim, rng, id + ".mlp1"),
+          mlp2(2 * dim, dim, rng, id + ".mlp2") {}
+    Node* operator()(Tape& t, Node* x) {
+      x = add(t, x, attn(t, ln1(t, x)));
+      return add(t, x, mlp2(t, gelu(t, mlp1(t, ln2(t, x)))));
+    }
+    void collect(ParamRefs& out) {
+      ln1.collect(out);
+      ln2.collect(out);
+      attn.collect(out);
+      mlp1.collect(out);
+      mlp2.collect(out);
+    }
+  };
+
+  Embedding embed_;
+  Param pos_;
+  Block block_;
+  LayerNorm ln_;
+  Linear head_;
+};
+
+class TacotronMini : public TtsModel {
+ public:
+  TacotronMini(int vocab, int out_dim, Rng& rng)
+      : embed_(vocab, 16, rng),
+        conv1_(16, 24, 3, 1, 1, rng, "tc.c1"),
+        bn1_(24),
+        conv2_(24, 24, 3, 1, 1, rng, "tc.c2"),
+        bn2_(24),
+        head_(24, out_dim, rng, "tc.head") {}
+  Node* forward(Tape& t, const std::vector<int>& tokens, int batch, int seq,
+                BnMode bn) override {
+    Node* x = embed_(t, tokens, batch, seq);                // [B, T, 16]
+    Node* img = reshape(t, nchw_from_btd(t, x), {batch, 16, 1, seq});
+    Node* y = relu(t, bn1_(t, conv1_(t, img), bn));
+    y = relu(t, bn2_(t, conv2_(t, y), bn));
+    Node* pooled = global_avgpool(t, y);                    // [B, 24]
+    return head_(t, pooled);
+  }
+  void collect(ParamRefs& out) override {
+    embed_.collect(out);
+    conv1_.collect(out);
+    bn1_.collect(out);
+    conv2_.collect(out);
+    bn2_.collect(out);
+    head_.collect(out);
+  }
+
+ private:
+  // [B, T, D] -> [B, D, T] (flat; caller reshapes to [B, D, 1, T]).
+  static Node* nchw_from_btd(Tape& t, Node* x) {
+    const int b = x->value.dim(0), tt = x->value.dim(1), d = x->value.dim(2);
+    Tensor out({b, d, tt});
+    for (int bi = 0; bi < b; ++bi)
+      for (int ti = 0; ti < tt; ++ti)
+        for (int di = 0; di < d; ++di)
+          out.at3(bi, di, ti) = x->value.at3(bi, ti, di);
+    Node* y = t.make(std::move(out));
+    Node* xn = x;
+    y->backprop = [y, xn, b, tt, d]() {
+      if (!xn->requires_grad) return;
+      for (int bi = 0; bi < b; ++bi)
+        for (int ti = 0; ti < tt; ++ti)
+          for (int di = 0; di < d; ++di)
+            xn->grad.at3(bi, ti, di) += y->grad.at3(bi, di, ti);
+    };
+    return y;
+  }
+
+  Embedding embed_;
+  Conv2d conv1_;
+  BatchNorm2d bn1_;
+  Conv2d conv2_;
+  BatchNorm2d bn2_;
+  Linear head_;
+};
+
+Tensor ground_truth_spec(const TtsSample& s, const TtsDataset& ds, StftImpl impl) {
+  return stft_magnitude(s.audio, ds.stft, impl);
+}
+
+std::vector<int> flatten_tokens(const std::vector<const TtsSample*>& batch) {
+  std::vector<int> out;
+  for (const auto* s : batch)
+    out.insert(out.end(), s->tokens.begin(), s->tokens.end());
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<TtsModel> make_tts_model(const std::string& name,
+                                         const TtsDataset& ds, Rng& rng) {
+  const int out_dim = spec_frames(ds) * spec_bins(ds);
+  if (name == "FastSpeech-mini")
+    return std::make_unique<FastSpeechMini>(ds.spec.vocab, out_dim, rng);
+  if (name == "Tacotron-mini")
+    return std::make_unique<TacotronMini>(ds.spec.vocab, out_dim, rng);
+  throw std::invalid_argument("make_tts_model: unknown model " + name);
+}
+
+float train_tts(TtsModel& model, const TtsDataset& ds, int epochs, float lr,
+                std::uint64_t seed) {
+  ParamRefs params;
+  model.collect(params);
+  Adam opt(params, lr);
+  Rng rng(seed);
+  const int n = static_cast<int>(ds.train.size());
+  const int bs = 8;
+  float last = 0.0f;
+  for (int e = 0; e < epochs; ++e) {
+    const auto order = rng.permutation(n);
+    for (int b = 0; b < n; b += bs) {
+      const int cur = std::min(bs, n - b);
+      std::vector<const TtsSample*> batch;
+      for (int i = 0; i < cur; ++i)
+        batch.push_back(&ds.train[static_cast<std::size_t>(order[static_cast<std::size_t>(b + i)])]);
+      Tensor target({cur, spec_frames(ds) * spec_bins(ds)});
+      for (int i = 0; i < cur; ++i) {
+        const Tensor gt = ground_truth_spec(*batch[static_cast<std::size_t>(i)], ds,
+                                            StftImpl::kReference);
+        target.set_front(i, gt.reshaped({static_cast<int>(gt.size())}));
+      }
+      Tape t;
+      t.training = true;
+      opt.zero_grad();
+      Node* pred = model.forward(t, flatten_tokens(batch), cur, ds.spec.seq_len,
+                                 BnMode::kTrain);
+      Node* loss = mse_loss(t, pred, target);
+      t.backward(loss);
+      opt.step();
+      last = loss->value[0];
+    }
+  }
+  return last;
+}
+
+double eval_tts_mse(TtsModel& model, const TtsDataset& ds, Precision precision,
+                    StftImpl deploy_stft, ActRanges* ranges) {
+  double total = 0.0;
+  for (const auto& s : ds.eval) {
+    Tape t;
+    t.ctx.precision = precision;
+    t.ctx.ranges = ranges;
+    Node* pred = model.forward(t, s.tokens, 1, ds.spec.seq_len, BnMode::kEval);
+    const Tensor gt = ground_truth_spec(s, ds, deploy_stft);
+    total += mse(pred->value, gt.reshaped({1, static_cast<int>(gt.size())}));
+  }
+  return total / static_cast<double>(ds.eval.size());
+}
+
+double tts_system_discrepancy(TtsModel& model, const TtsDataset& ds,
+                              Precision precision, StftImpl deploy_stft,
+                              ActRanges* ranges) {
+  double total = 0.0;
+  for (const auto& s : ds.eval) {
+    // Training-side pipeline output: FP32 prediction residual against the
+    // reference-STFT features.
+    Tape t0;
+    t0.ctx.precision = Precision::kFP32;
+    t0.ctx.ranges = ranges;
+    Node* ref_pred = model.forward(t0, s.tokens, 1, ds.spec.seq_len, BnMode::kEval);
+    const Tensor ref_feat = ground_truth_spec(s, ds, StftImpl::kReference);
+
+    // Deployment-side pipeline output.
+    Tape t1;
+    t1.ctx.precision = precision;
+    t1.ctx.ranges = ranges;
+    Node* dep_pred = model.forward(t1, s.tokens, 1, ds.spec.seq_len, BnMode::kEval);
+    const Tensor dep_feat = ground_truth_spec(s, ds, deploy_stft);
+
+    // Residual the downstream vocoder consumes: prediction minus features.
+    Tensor r_train = ref_pred->value;
+    r_train.sub_(ref_feat.reshaped({1, static_cast<int>(ref_feat.size())}));
+    Tensor r_deploy = dep_pred->value;
+    r_deploy.sub_(dep_feat.reshaped({1, static_cast<int>(dep_feat.size())}));
+    total += mse(r_deploy, r_train);
+  }
+  return total / static_cast<double>(ds.eval.size());
+}
+
+void calibrate_tts(TtsModel& model, const TtsDataset& ds, ActRanges& ranges) {
+  for (std::size_t i = 0; i < ds.train.size() && i < 16; ++i) {
+    Tape t;
+    t.ctx.calibrating = true;
+    t.ctx.ranges = &ranges;
+    model.forward(t, ds.train[i].tokens, 1, ds.spec.seq_len, BnMode::kEval);
+  }
+}
+
+}  // namespace sysnoise::audio

@@ -1,0 +1,131 @@
+#include "color/yuv.h"
+
+#include <cmath>
+
+namespace sysnoise {
+
+const char* color_mode_name(ColorMode m) {
+  switch (m) {
+    case ColorMode::kDirectRGB: return "RGB";
+    case ColorMode::kYuv444RoundTrip: return "YUV444";
+    case ColorMode::kNv12RoundTrip: return "NV12";
+  }
+  return "?";
+}
+
+void rgb_to_yuv_bt601(std::uint8_t r8, std::uint8_t g8, std::uint8_t b8,
+                      std::uint8_t& y, std::uint8_t& u, std::uint8_t& v) {
+  const float r = r8, g = g8, b = b8;
+  // Paper Eq. 5 (BT.601 studio swing).
+  y = clamp_u8(static_cast<int>(std::lround(0.256788f * r + 0.504129f * g +
+                                            0.097906f * b)) + 16);
+  u = clamp_u8(static_cast<int>(std::lround(-0.148223f * r - 0.290993f * g +
+                                            0.439216f * b)) + 128);
+  v = clamp_u8(static_cast<int>(std::lround(0.439216f * r - 0.367788f * g -
+                                            0.071427f * b)) + 128);
+}
+
+void yuv_to_rgb_bt601_float(std::uint8_t y, std::uint8_t u, std::uint8_t v,
+                            std::uint8_t& r, std::uint8_t& g, std::uint8_t& b) {
+  // Paper Eq. 6.
+  const float c = static_cast<float>(y) - 16.0f;
+  const float d = static_cast<float>(u) - 128.0f;
+  const float e = static_cast<float>(v) - 128.0f;
+  r = clamp_u8(static_cast<int>(std::lround(1.164383f * c + 1.596027f * e)));
+  g = clamp_u8(static_cast<int>(
+      std::lround(1.164383f * c - 0.391762f * d - 0.812968f * e)));
+  b = clamp_u8(static_cast<int>(std::lround(1.164383f * c + 2.017232f * d)));
+}
+
+void yuv_to_rgb_bt601_int(std::uint8_t y, std::uint8_t u, std::uint8_t v,
+                          std::uint8_t& r, std::uint8_t& g, std::uint8_t& b) {
+  // Paper Eq. 7 (the ">>8" hardware approximation).
+  const int c = static_cast<int>(y) - 16;
+  const int d = static_cast<int>(u) - 128;
+  const int e = static_cast<int>(v) - 128;
+  r = clamp_u8((298 * c + 409 * e + 128) >> 8);
+  g = clamp_u8((298 * c - 100 * d - 208 * e + 128) >> 8);
+  b = clamp_u8((298 * c + 516 * d + 128) >> 8);
+}
+
+Nv12Frame rgb_to_nv12(const ImageU8& rgb) {
+  const int h = rgb.height(), w = rgb.width();
+  const int ch = (h + 1) / 2, cw = (w + 1) / 2;
+  Nv12Frame f;
+  f.height = h;
+  f.width = w;
+  f.y.resize(static_cast<std::size_t>(h) * w);
+  f.uv.resize(static_cast<std::size_t>(ch) * cw * 2);
+
+  // Full-resolution U/V computed first, then 2x2 box-averaged (4:2:0).
+  std::vector<std::uint8_t> up(static_cast<std::size_t>(h) * w),
+      vp(static_cast<std::size_t>(h) * w);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      std::uint8_t yy, uu, vv;
+      rgb_to_yuv_bt601(rgb.at(y, x, 0), rgb.at(y, x, 1), rgb.at(y, x, 2), yy, uu, vv);
+      f.y[static_cast<std::size_t>(y) * w + x] = yy;
+      up[static_cast<std::size_t>(y) * w + x] = uu;
+      vp[static_cast<std::size_t>(y) * w + x] = vv;
+    }
+  for (int cy = 0; cy < ch; ++cy)
+    for (int cx = 0; cx < cw; ++cx) {
+      int su = 0, sv = 0, n = 0;
+      for (int dy = 0; dy < 2; ++dy)
+        for (int dx = 0; dx < 2; ++dx) {
+          const int yy = 2 * cy + dy, xx = 2 * cx + dx;
+          if (yy >= h || xx >= w) continue;
+          su += up[static_cast<std::size_t>(yy) * w + xx];
+          sv += vp[static_cast<std::size_t>(yy) * w + xx];
+          ++n;
+        }
+      // Integer average with round-half-up, as HW subsamplers do.
+      f.uv[(static_cast<std::size_t>(cy) * cw + cx) * 2 + 0] =
+          static_cast<std::uint8_t>((su + n / 2) / n);
+      f.uv[(static_cast<std::size_t>(cy) * cw + cx) * 2 + 1] =
+          static_cast<std::uint8_t>((sv + n / 2) / n);
+    }
+  return f;
+}
+
+ImageU8 nv12_to_rgb(const Nv12Frame& frame) {
+  const int h = frame.height, w = frame.width;
+  const int cw = (w + 1) / 2;
+  ImageU8 out(h, w, 3);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const std::uint8_t yy = frame.y[static_cast<std::size_t>(y) * w + x];
+      const std::size_t ci = (static_cast<std::size_t>(y / 2) * cw + x / 2) * 2;
+      std::uint8_t r, g, b;
+      yuv_to_rgb_bt601_int(yy, frame.uv[ci], frame.uv[ci + 1], r, g, b);
+      out.at(y, x, 0) = r;
+      out.at(y, x, 1) = g;
+      out.at(y, x, 2) = b;
+    }
+  return out;
+}
+
+ImageU8 apply_color_mode(const ImageU8& rgb, ColorMode mode) {
+  switch (mode) {
+    case ColorMode::kDirectRGB:
+      return rgb;
+    case ColorMode::kYuv444RoundTrip: {
+      ImageU8 out(rgb.height(), rgb.width(), 3);
+      for (int y = 0; y < rgb.height(); ++y)
+        for (int x = 0; x < rgb.width(); ++x) {
+          std::uint8_t yy, uu, vv, r, g, b;
+          rgb_to_yuv_bt601(rgb.at(y, x, 0), rgb.at(y, x, 1), rgb.at(y, x, 2), yy, uu, vv);
+          yuv_to_rgb_bt601_float(yy, uu, vv, r, g, b);
+          out.at(y, x, 0) = r;
+          out.at(y, x, 1) = g;
+          out.at(y, x, 2) = b;
+        }
+      return out;
+    }
+    case ColorMode::kNv12RoundTrip:
+      return nv12_to_rgb(rgb_to_nv12(rgb));
+  }
+  return rgb;
+}
+
+}  // namespace sysnoise

@@ -1,0 +1,52 @@
+// Color-space round-trip noise (Sec. 3.1 / Appendix A Eq. 5-7).
+//
+// Deployment stacks that feed video pipelines (DVPP on Ascend, DirectX VA)
+// hand the network RGB that has been through an RGB -> YUV (often NV12
+// 4:2:0) -> RGB conversion. BT.601 studio-swing conversion with rounding
+// and clipping is lossy; chroma subsampling in NV12 loses more. We
+// implement the paper's exact equations:
+//   Eq. 5  float RGB->YUV (studio swing, +16/+128 offsets)
+//   Eq. 6  float YUV->RGB with round+clip
+//   Eq. 7  integer shift approximation of Eq. 6 ( (298*C + ...) >> 8 )
+#pragma once
+
+#include "image/image.h"
+
+namespace sysnoise {
+
+enum class ColorMode {
+  kDirectRGB = 0,       // training reference: no conversion
+  kYuv444RoundTrip = 1, // RGB -> YUV444 -> RGB (float Eq. 6)
+  kNv12RoundTrip = 2,   // RGB -> NV12 (4:2:0) -> RGB (integer Eq. 7)
+};
+constexpr int kNumColorModes = 3;
+const char* color_mode_name(ColorMode m);
+
+// BT.601 studio-swing conversion of a single pixel (Eq. 5).
+void rgb_to_yuv_bt601(std::uint8_t r, std::uint8_t g, std::uint8_t b,
+                      std::uint8_t& y, std::uint8_t& u, std::uint8_t& v);
+
+// Float inverse (Eq. 6): round + clip.
+void yuv_to_rgb_bt601_float(std::uint8_t y, std::uint8_t u, std::uint8_t v,
+                            std::uint8_t& r, std::uint8_t& g, std::uint8_t& b);
+
+// Integer shift approximation (Eq. 7).
+void yuv_to_rgb_bt601_int(std::uint8_t y, std::uint8_t u, std::uint8_t v,
+                          std::uint8_t& r, std::uint8_t& g, std::uint8_t& b);
+
+// NV12 frame: full-res Y plane + interleaved half-res UV plane.
+struct Nv12Frame {
+  int height = 0, width = 0;          // luma dimensions
+  std::vector<std::uint8_t> y;        // h*w
+  std::vector<std::uint8_t> uv;       // ceil(h/2)*ceil(w/2)*2, interleaved U,V
+};
+
+Nv12Frame rgb_to_nv12(const ImageU8& rgb);
+// Upsamples chroma by replication (the common HW path) and converts with
+// the integer approximation.
+ImageU8 nv12_to_rgb(const Nv12Frame& frame);
+
+// Apply the full color-mode round trip to an image (kDirectRGB = identity).
+ImageU8 apply_color_mode(const ImageU8& rgb, ColorMode mode);
+
+}  // namespace sysnoise

@@ -1,0 +1,37 @@
+// Learning-based image decoder (Appendix B / Table 9): a small
+// convolutional autoencoder standing in for the learned codec of Sun et
+// al. (2020). "Decoding" with it means Pillow-decode + autoencoder round
+// trip — like a neural codec, it reproduces the image with small learned
+// reconstruction error.
+#pragma once
+
+#include <memory>
+
+#include "models/train.h"
+
+namespace sysnoise::core {
+
+class LearnedCodec {
+ public:
+  explicit LearnedCodec(Rng& rng);
+  // Round-trip an RGB image through the autoencoder.
+  ImageU8 reconstruct(const ImageU8& img);
+  void collect(nn::ParamRefs& out);
+  float train(const std::vector<data::ClsSample>& samples, int epochs, float lr);
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+// Trained-or-cached codec on the shared classification dataset.
+std::shared_ptr<LearnedCodec> get_learned_codec();
+
+// Preprocessor whose decode stage is the learned codec.
+models::ClsPreprocessor learned_decoder_preprocessor(const PipelineSpec& spec);
+
+// Eval-side preprocessing with a learned decode stage.
+Tensor preprocess_learned(const std::vector<std::uint8_t>& jpeg_bytes,
+                          LearnedCodec& codec, const PipelineSpec& spec);
+
+}  // namespace sysnoise::core

@@ -1,0 +1,61 @@
+// Mitigation strategies evaluated by the paper:
+//  * Mix training (Algo. 1, Tables 7/8): sample decoder / resize per batch.
+//  * Data augmentation (Fig. 4a): Standard, APR-SP, DeepAug, AugMix and
+//    combinations — laptop-scale re-implementations of each recipe's core
+//    mechanism.
+//  * Adversarial training (Fig. 4b): FGSM inner step (PGD-1).
+//  * Test-time adaptation (TENT, Table 6): online entropy minimization of
+//    normalization affine parameters during evaluation.
+#pragma once
+
+#include "core/runner.h"
+#include "models/train.h"
+
+namespace sysnoise::core {
+
+// ---- training-side preprocessors -------------------------------------------
+
+// Mix training (Algo. 1): randomly sample the decoder and/or resize method
+// for each training sample (training default for the axes not mixed).
+models::ClsPreprocessor mix_training_preprocessor(const PipelineSpec& spec,
+                                                  bool mix_decoder,
+                                                  bool mix_resize);
+
+// Fixed deployment config used for *training* (Tables 7/8 rows: "train with
+// OpenCV-nearest" etc.).
+models::ClsPreprocessor fixed_config_preprocessor(const PipelineSpec& spec,
+                                                  const SysNoiseConfig& cfg);
+
+enum class AugStrategy {
+  kStandard = 0,       // flip + shift
+  kAprSp = 1,          // amplitude-phase recombination
+  kDeepaugAprSp = 2,
+  kDeepaugAugmix = 3,
+  kDeepaug = 4,        // stochastic color/noise distortions
+  kAugmix = 5,         // mixed augmentation chains
+};
+constexpr int kNumAugStrategies = 6;
+const char* aug_strategy_name(AugStrategy s);
+
+// Augmentation applied after the training-default pipeline.
+models::ClsPreprocessor augmented_preprocessor(const PipelineSpec& spec,
+                                               AugStrategy strategy);
+
+// ---- adversarial training ---------------------------------------------------
+
+// FGSM adversarial training of a zoo classifier (cached under tag "adv").
+models::TrainedClassifier adversarial_train_classifier(const std::string& name,
+                                                       float epsilon = 0.05f);
+
+// ---- TENT --------------------------------------------------------------------
+
+// Accuracy under `cfg` with online TENT adaptation (entropy minimization on
+// each test batch, updating only normalization affine parameters). Mutates
+// the model; callers should pass a freshly loaded instance.
+double eval_classifier_tent(models::Classifier& model,
+                            const std::vector<data::ClsSample>& eval,
+                            const SysNoiseConfig& cfg, const PipelineSpec& spec,
+                            nn::ActRanges* ranges, float lr = 5e-3f,
+                            int batch_size = 16);
+
+}  // namespace sysnoise::core

@@ -1,0 +1,95 @@
+#include "core/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace sysnoise::core {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(width[i]))
+         << cells[i];
+    }
+    os << " |\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    os << std::string(width[i] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_mm(double mean, double mx, int precision) {
+  return fmt(mean, precision) + " (" + fmt(mx, precision) + ")";
+}
+
+std::string render_noise_table(const std::vector<NoiseRow>& rows,
+                               const std::string& metric_name, bool with_upsample,
+                               bool with_postproc) {
+  std::vector<std::string> headers = {"Architecture", "Trained " + metric_name,
+                                      "Decode",       "Resize",
+                                      "Color Mode",   "FP16",
+                                      "INT8",         "Ceil Mode"};
+  if (with_upsample) headers.push_back("Upsample");
+  if (with_postproc) headers.push_back("Post-proc");
+  headers.push_back("Combined");
+
+  TextTable table(headers);
+  for (const auto& r : rows) {
+    std::vector<std::string> cells = {
+        r.model,
+        fmt(r.trained),
+        fmt_mm(r.decode_mean, r.decode_max),
+        fmt_mm(r.resize_mean, r.resize_max),
+        fmt(r.color),
+        fmt(r.fp16),
+        fmt(r.int8),
+        r.ceil.has_value() ? fmt(*r.ceil) : "-"};
+    if (with_upsample) cells.push_back(r.upsample.has_value() ? fmt(*r.upsample) : "-");
+    if (with_postproc) cells.push_back(r.postproc.has_value() ? fmt(*r.postproc) : "-");
+    cells.push_back(fmt(r.combined));
+    table.add_row(std::move(cells));
+  }
+  return table.str();
+}
+
+std::string noise_rows_csv(const std::vector<NoiseRow>& rows) {
+  std::ostringstream os;
+  os << "model,trained,decode_mean,decode_max,resize_mean,resize_max,color,"
+        "fp16,int8,ceil,upsample,postproc,combined\n";
+  for (const auto& r : rows) {
+    os << r.model << ',' << fmt(r.trained) << ',' << fmt(r.decode_mean) << ','
+       << fmt(r.decode_max) << ',' << fmt(r.resize_mean) << ',' << fmt(r.resize_max)
+       << ',' << fmt(r.color) << ',' << fmt(r.fp16) << ',' << fmt(r.int8) << ','
+       << (r.ceil ? fmt(*r.ceil) : "") << ',' << (r.upsample ? fmt(*r.upsample) : "")
+       << ',' << (r.postproc ? fmt(*r.postproc) : "") << ',' << fmt(r.combined)
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sysnoise::core

@@ -1,0 +1,37 @@
+// Plain-text table / CSV rendering for the bench binaries. Row format
+// mirrors the paper: "mean (max)" cells for decode/resize, "-" for
+// non-applicable axes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+
+namespace sysnoise::core {
+
+// Fixed-width text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(double v, int precision = 2);
+// "mean (max)" cell.
+std::string fmt_mm(double mean, double mx, int precision = 2);
+
+// Render Table 2/3/4-style reports from NoiseRows.
+std::string render_noise_table(const std::vector<NoiseRow>& rows,
+                               const std::string& metric_name,
+                               bool with_upsample, bool with_postproc);
+
+// CSV dump of the same rows (for downstream plotting).
+std::string noise_rows_csv(const std::vector<NoiseRow>& rows);
+
+}  // namespace sysnoise::core

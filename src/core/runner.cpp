@@ -1,0 +1,194 @@
+#include "core/runner.h"
+
+#include <algorithm>
+
+namespace sysnoise::core {
+
+using models::benchmark_cls_dataset;
+using models::benchmark_det_dataset;
+using models::benchmark_seg_dataset;
+using models::cls_pipeline_spec;
+using models::det_pipeline_spec;
+
+SysNoiseConfig combined_config(bool has_maxpool, bool with_upsample,
+                               bool with_postproc) {
+  SysNoiseConfig cfg;
+  cfg.decoder = jpeg::DecoderVendor::kDALI;
+  cfg.resize = ResizeMethod::kOpenCVNearest;
+  cfg.color = ColorMode::kNv12RoundTrip;
+  cfg.precision = nn::Precision::kINT8;
+  cfg.ceil_mode = has_maxpool;
+  if (with_upsample) cfg.upsample = nn::UpsampleMode::kBilinear;
+  if (with_postproc) cfg.proposal_offset = 1.0f;
+  return cfg;
+}
+
+namespace {
+
+// Generic sweep over the shared noise axes given a metric evaluator
+// eval(cfg) -> metric. Fills the row fields common to all tasks.
+template <typename EvalFn>
+void sweep_common(NoiseRow& row, bool has_maxpool, const EvalFn& eval) {
+  const SysNoiseConfig base = SysNoiseConfig::training_default();
+  row.trained = eval(base);
+
+  // Decoder: mean/max over the three alternate vendors.
+  {
+    double sum = 0.0, worst = -1e30;
+    for (auto v : decoder_noise_options()) {
+      SysNoiseConfig c = base;
+      c.decoder = v;
+      const double d = row.trained - eval(c);
+      sum += d;
+      worst = std::max(worst, d);
+    }
+    row.decode_mean = sum / static_cast<double>(decoder_noise_options().size());
+    row.decode_max = worst;
+  }
+  // Resize: mean/max over the ten alternate methods.
+  {
+    double sum = 0.0, worst = -1e30;
+    for (auto m : resize_noise_options()) {
+      SysNoiseConfig c = base;
+      c.resize = m;
+      const double d = row.trained - eval(c);
+      sum += d;
+      worst = std::max(worst, d);
+    }
+    row.resize_mean = sum / static_cast<double>(resize_noise_options().size());
+    row.resize_max = worst;
+  }
+  // Color mode (NV12 round trip).
+  {
+    SysNoiseConfig c = base;
+    c.color = ColorMode::kNv12RoundTrip;
+    row.color = row.trained - eval(c);
+  }
+  // Precision.
+  {
+    SysNoiseConfig c = base;
+    c.precision = nn::Precision::kFP16;
+    row.fp16 = row.trained - eval(c);
+    c.precision = nn::Precision::kINT8;
+    row.int8 = row.trained - eval(c);
+  }
+  // Ceil mode (only where a stride-2 max-pool exists).
+  if (has_maxpool) {
+    SysNoiseConfig c = base;
+    c.ceil_mode = true;
+    row.ceil = row.trained - eval(c);
+  }
+}
+
+}  // namespace
+
+NoiseRow measure_classifier(models::TrainedClassifier& tc) {
+  const auto& ds = benchmark_cls_dataset();
+  const PipelineSpec spec = cls_pipeline_spec();
+  NoiseRow row;
+  row.model = tc.name;
+  auto eval = [&](const SysNoiseConfig& cfg) {
+    return models::eval_classifier(*tc.model, ds.eval, cfg, spec, &tc.ranges);
+  };
+  sweep_common(row, tc.model->has_maxpool(), eval);
+  row.combined =
+      row.trained - eval(combined_config(tc.model->has_maxpool(), false, false));
+  return row;
+}
+
+NoiseRow measure_detector(models::TrainedDetector& td) {
+  const auto& ds = benchmark_det_dataset();
+  const PipelineSpec spec = det_pipeline_spec();
+  NoiseRow row;
+  row.model = td.name;
+  auto eval = [&](const SysNoiseConfig& cfg) {
+    return models::eval_detector(*td.model, ds, cfg, spec, &td.ranges);
+  };
+  sweep_common(row, td.model->has_maxpool(), eval);
+  {
+    SysNoiseConfig c = SysNoiseConfig::training_default();
+    c.upsample = nn::UpsampleMode::kBilinear;
+    row.upsample = row.trained - eval(c);
+    c = SysNoiseConfig::training_default();
+    c.proposal_offset = 1.0f;
+    row.postproc = row.trained - eval(c);
+  }
+  row.combined =
+      row.trained - eval(combined_config(td.model->has_maxpool(), true, true));
+  return row;
+}
+
+NoiseRow measure_segmenter(models::TrainedSegmenter& ts) {
+  const auto& ds = benchmark_seg_dataset();
+  const PipelineSpec spec = det_pipeline_spec();
+  NoiseRow row;
+  row.model = ts.name;
+  auto eval = [&](const SysNoiseConfig& cfg) {
+    return models::eval_segmenter(*ts.model, ds, cfg, spec, &ts.ranges);
+  };
+  sweep_common(row, ts.model->has_maxpool(), eval);
+  {
+    SysNoiseConfig c = SysNoiseConfig::training_default();
+    c.upsample = nn::UpsampleMode::kBilinear;
+    row.upsample = row.trained - eval(c);
+  }
+  row.combined =
+      row.trained - eval(combined_config(ts.model->has_maxpool(), true, false));
+  return row;
+}
+
+std::vector<StepPoint> stepwise_classifier(models::TrainedClassifier& tc) {
+  const auto& ds = benchmark_cls_dataset();
+  const PipelineSpec spec = cls_pipeline_spec();
+  auto eval = [&](const SysNoiseConfig& cfg) {
+    return models::eval_classifier(*tc.model, ds.eval, cfg, spec, &tc.ranges);
+  };
+  const double base = eval(SysNoiseConfig::training_default());
+
+  SysNoiseConfig cfg = SysNoiseConfig::training_default();
+  std::vector<StepPoint> points;
+  cfg.decoder = jpeg::DecoderVendor::kDALI;
+  points.push_back({"Decode", base - eval(cfg)});
+  cfg.resize = ResizeMethod::kOpenCVNearest;
+  points.push_back({"+Resize", base - eval(cfg)});
+  cfg.color = ColorMode::kNv12RoundTrip;
+  points.push_back({"+Color Mode", base - eval(cfg)});
+  cfg.precision = nn::Precision::kINT8;
+  points.push_back({"+INT8", base - eval(cfg)});
+  if (tc.model->has_maxpool()) {
+    cfg.ceil_mode = true;
+    points.push_back({"+Ceil Mode", base - eval(cfg)});
+  }
+  return points;
+}
+
+std::vector<StepPoint> stepwise_detector(models::TrainedDetector& td) {
+  const auto& ds = benchmark_det_dataset();
+  const PipelineSpec spec = det_pipeline_spec();
+  auto eval = [&](const SysNoiseConfig& cfg) {
+    return models::eval_detector(*td.model, ds, cfg, spec, &td.ranges);
+  };
+  const double base = eval(SysNoiseConfig::training_default());
+
+  SysNoiseConfig cfg = SysNoiseConfig::training_default();
+  std::vector<StepPoint> points;
+  cfg.decoder = jpeg::DecoderVendor::kDALI;
+  points.push_back({"Decode", base - eval(cfg)});
+  cfg.resize = ResizeMethod::kOpenCVNearest;
+  points.push_back({"+Resize", base - eval(cfg)});
+  cfg.color = ColorMode::kNv12RoundTrip;
+  points.push_back({"+Color Mode", base - eval(cfg)});
+  cfg.precision = nn::Precision::kINT8;
+  points.push_back({"+INT8", base - eval(cfg)});
+  if (td.model->has_maxpool()) {
+    cfg.ceil_mode = true;
+    points.push_back({"+Ceil Mode", base - eval(cfg)});
+  }
+  cfg.upsample = nn::UpsampleMode::kBilinear;
+  points.push_back({"+Upsample", base - eval(cfg)});
+  cfg.proposal_offset = 1.0f;
+  points.push_back({"+Post processing", base - eval(cfg)});
+  return points;
+}
+
+}  // namespace sysnoise::core

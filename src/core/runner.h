@@ -1,0 +1,54 @@
+// The SysNoise benchmark runner — measures the metric drop of a trained
+// model under each deployment noise axis (Tables 2-4) and under stepwise
+// noise accumulation (Fig. 3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "models/zoo.h"
+
+namespace sysnoise::core {
+
+// One row of a Table 2/3/4-style report. Deltas are
+// metric(training config) - metric(deployment config); mean/max over the
+// axis' option set where the axis has several options.
+struct NoiseRow {
+  std::string model;
+  double trained = 0.0;
+  double decode_mean = 0.0, decode_max = 0.0;
+  double resize_mean = 0.0, resize_max = 0.0;
+  double color = 0.0;
+  double fp16 = 0.0;
+  double int8 = 0.0;
+  std::optional<double> ceil;      // absent for models without max-pool
+  std::optional<double> upsample;  // detection / segmentation only
+  std::optional<double> postproc;  // detection only
+  double combined = 0.0;
+};
+
+// Deployment config with every noise knob flipped to its "worst common"
+// setting (used for the Combined column; Fig. 3 adds them one at a time).
+SysNoiseConfig combined_config(bool has_maxpool, bool with_upsample,
+                               bool with_postproc);
+
+// Sweep all noise axes for one classifier.
+NoiseRow measure_classifier(models::TrainedClassifier& tc);
+
+// Sweep for one detector (adds upsample + post-processing axes).
+NoiseRow measure_detector(models::TrainedDetector& td);
+
+// Sweep for one segmenter (adds upsample axis).
+NoiseRow measure_segmenter(models::TrainedSegmenter& ts);
+
+// Fig. 3 stepwise combined-noise curve: metric after cumulatively applying
+// each named noise step. Returns {step name, metric delta so far}.
+struct StepPoint {
+  std::string step;
+  double delta = 0.0;
+};
+std::vector<StepPoint> stepwise_classifier(models::TrainedClassifier& tc);
+std::vector<StepPoint> stepwise_detector(models::TrainedDetector& td);
+
+}  // namespace sysnoise::core

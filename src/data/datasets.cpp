@@ -1,0 +1,160 @@
+#include "data/datasets.h"
+
+#include <cmath>
+
+#include "image/synthetic.h"
+#include "jpeg/codec.h"
+#include "tensor/rng.h"
+
+namespace sysnoise::data {
+
+namespace {
+
+ClsSample render_cls_sample(int label, int num_classes, int h, int w, int quality,
+                            Rng& rng) {
+  TextureParams p = class_texture(label, num_classes, rng);
+  ImageU8 img = render_texture(p, h, w, rng);
+  add_pixel_noise(img, 5.0f, rng);
+  ClsSample s;
+  s.label = label;
+  s.jpeg = jpeg::encode(img, {.quality = quality, .chroma = jpeg::ChromaMode::k420});
+  return s;
+}
+
+}  // namespace
+
+ClsDataset make_classification_dataset(const ClsDatasetSpec& spec) {
+  Rng rng(spec.seed);
+  ClsDataset ds;
+  ds.num_classes = spec.num_classes;
+  for (int c = 0; c < spec.num_classes; ++c)
+    for (int i = 0; i < spec.train_per_class; ++i)
+      ds.train.push_back(render_cls_sample(c, spec.num_classes, spec.sensor_h,
+                                           spec.sensor_w, spec.jpeg_quality, rng));
+  for (int c = 0; c < spec.num_classes; ++c)
+    for (int i = 0; i < spec.eval_per_class; ++i)
+      ds.eval.push_back(render_cls_sample(c, spec.num_classes, spec.sensor_h,
+                                          spec.sensor_w, spec.jpeg_quality, rng));
+  // Shuffle training order (deterministic).
+  const auto perm = rng.permutation(static_cast<int>(ds.train.size()));
+  std::vector<ClsSample> shuffled;
+  shuffled.reserve(ds.train.size());
+  for (int idx : perm) shuffled.push_back(std::move(ds.train[static_cast<std::size_t>(idx)]));
+  ds.train = std::move(shuffled);
+  return ds;
+}
+
+namespace {
+
+// One detection/segmentation scene. Positions/radii snapped to multiples of
+// `snap` so scaled masks align exactly.
+struct Scene {
+  ImageU8 image;
+  std::vector<detect::GtBox> boxes;   // sensor coordinates
+  std::vector<int> mask;              // sensor-resolution labels
+};
+
+Scene render_scene(int sensor, int num_classes, int min_obj, int max_obj, Rng& rng,
+                   int snap) {
+  Scene sc;
+  Rng bg_rng = rng.split();
+  TextureParams bg = class_texture(rng.uniform_int(num_classes), num_classes + 4, bg_rng);
+  // Muted dark background so objects stand out (COCO objects are salient).
+  bg.contrast *= 0.25f;
+  for (float& v : bg.rgb) v *= 0.45f;
+  for (float& v : bg.bg) v *= 0.45f;
+  sc.image = render_texture(bg, sensor, sensor, bg_rng);
+  sc.mask.assign(static_cast<std::size_t>(sensor) * sensor, 0);
+
+  const int n_obj = min_obj + rng.uniform_int(max_obj - min_obj + 1);
+  for (int i = 0; i < n_obj; ++i) {
+    const int kind_idx = rng.uniform_int(kNumShapeKinds);
+    const auto kind = static_cast<ShapeKind>(kind_idx);
+    const int radius = snap * (3 + rng.uniform_int(4));          // 9..18 @96
+    const int cy = radius + snap * rng.uniform_int((sensor - 2 * radius) / snap);
+    const int cx = radius + snap * rng.uniform_int((sensor - 2 * radius) / snap);
+    Rng tex_rng = rng.split();
+    // Bright near-solid fill with a strongly class-keyed hue: class signal
+    // is color+shape, clearly separable from the muted background.
+    TextureParams tex;
+    const float hue = 2.09f * static_cast<float>(kind_idx);  // 120 deg apart
+    tex.rgb[0] = 150.0f + 100.0f * std::cos(hue) + tex_rng.uniform_f(-10.0f, 10.0f);
+    tex.rgb[1] = 150.0f + 100.0f * std::cos(hue + 2.09f) + tex_rng.uniform_f(-10.0f, 10.0f);
+    tex.rgb[2] = 150.0f + 100.0f * std::cos(hue + 4.19f) + tex_rng.uniform_f(-10.0f, 10.0f);
+    for (int ch = 0; ch < 3; ++ch) tex.bg[ch] = tex.rgb[ch] * 0.6f;
+    tex.pattern = kind_idx % 4;
+    tex.freq_x = 0.15f + tex_rng.uniform_f(-0.02f, 0.02f);
+    tex.freq_y = 0.08f;
+    tex.phase = tex_rng.uniform_f(0.0f, 6.28f);
+    tex.contrast = 1.0f;
+    draw_shape(sc.image, kind, cy, cx, radius, tex, tex_rng);
+    draw_shape_mask(sc.mask, sensor, sensor, kind, cy, cx, radius, kind_idx + 1);
+    sc.boxes.push_back({{static_cast<float>(cx - radius), static_cast<float>(cy - radius),
+                         static_cast<float>(cx + radius), static_cast<float>(cy + radius)},
+                        kind_idx});
+  }
+  add_pixel_noise(sc.image, 2.0f, rng);
+  return sc;
+}
+
+}  // namespace
+
+DetDataset make_detection_dataset(const DetDatasetSpec& spec) {
+  Rng rng(spec.seed);
+  DetDataset ds;
+  ds.num_classes = spec.num_classes;
+  ds.input_size = spec.input_size;
+  const float scale =
+      static_cast<float>(spec.input_size) / static_cast<float>(spec.sensor_size);
+  auto emit = [&](std::vector<DetSample>& out, int count) {
+    for (int i = 0; i < count; ++i) {
+      Scene sc = render_scene(spec.sensor_size, spec.num_classes, spec.min_objects,
+                              spec.max_objects, rng, /*snap=*/3);
+      DetSample s;
+      s.jpeg = jpeg::encode(sc.image,
+                            {.quality = spec.jpeg_quality, .chroma = jpeg::ChromaMode::k420});
+      for (auto g : sc.boxes) {
+        g.box.x1 *= scale;
+        g.box.y1 *= scale;
+        g.box.x2 *= scale;
+        g.box.y2 *= scale;
+        s.boxes.push_back(g);
+      }
+      out.push_back(std::move(s));
+    }
+  };
+  emit(ds.train, spec.train_images);
+  emit(ds.eval, spec.eval_images);
+  return ds;
+}
+
+SegDataset make_segmentation_dataset(const SegDatasetSpec& spec) {
+  Rng rng(spec.seed);
+  SegDataset ds;
+  ds.num_classes = spec.num_classes;
+  ds.input_size = spec.input_size;
+  // sensor 96 -> input 64: exact 2/3 scale; scene geometry snapped to 3 so
+  // mask downsampling is exact nearest sampling.
+  auto emit = [&](std::vector<SegSample>& out, int count) {
+    for (int i = 0; i < count; ++i) {
+      Scene sc = render_scene(spec.sensor_size, spec.num_classes - 1, 1, 3, rng, 3);
+      SegSample s;
+      s.jpeg = jpeg::encode(sc.image,
+                            {.quality = spec.jpeg_quality, .chroma = jpeg::ChromaMode::k420});
+      s.mask.assign(static_cast<std::size_t>(spec.input_size) * spec.input_size, 0);
+      for (int y = 0; y < spec.input_size; ++y)
+        for (int x = 0; x < spec.input_size; ++x) {
+          const int sy = y * spec.sensor_size / spec.input_size;
+          const int sx = x * spec.sensor_size / spec.input_size;
+          s.mask[static_cast<std::size_t>(y) * spec.input_size + x] =
+              sc.mask[static_cast<std::size_t>(sy) * spec.sensor_size + sx];
+        }
+      out.push_back(std::move(s));
+    }
+  };
+  emit(ds.train, spec.train_images);
+  emit(ds.eval, spec.eval_images);
+  return ds;
+}
+
+}  // namespace sysnoise::data

@@ -1,0 +1,91 @@
+// Deterministic synthetic datasets (ImageNet / COCO / CityScapes
+// substitutes — see DESIGN.md §2). Samples are stored as encoded JPEG
+// bitstreams so every evaluation pays the full decode path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/box.h"
+#include "image/image.h"
+
+namespace sysnoise::data {
+
+// ---------------- classification (ImageNet substitute) ----------------
+
+struct ClsSample {
+  std::vector<std::uint8_t> jpeg;  // encoded at "sensor" resolution
+  int label = 0;
+};
+
+struct ClsDatasetSpec {
+  int num_classes = 10;
+  int train_per_class = 30;
+  int eval_per_class = 20;
+  int sensor_h = 48, sensor_w = 48;  // pre-resize resolution
+  int jpeg_quality = 90;
+  std::uint64_t seed = 1234;
+};
+
+struct ClsDataset {
+  std::vector<ClsSample> train;
+  std::vector<ClsSample> eval;
+  int num_classes = 0;
+};
+
+ClsDataset make_classification_dataset(const ClsDatasetSpec& spec);
+
+// ---------------- detection (COCO substitute) --------------------------
+
+struct DetSample {
+  std::vector<std::uint8_t> jpeg;          // sensor resolution scene
+  std::vector<detect::GtBox> boxes;        // in *network input* coordinates
+};
+
+struct DetDatasetSpec {
+  int num_classes = 3;  // circle / square / triangle
+  int train_images = 60;
+  int eval_images = 40;
+  int sensor_size = 96;   // rendered resolution
+  int input_size = 64;    // network resolution (boxes given at this scale)
+  int min_objects = 1, max_objects = 3;
+  int jpeg_quality = 92;
+  std::uint64_t seed = 4321;
+};
+
+struct DetDataset {
+  std::vector<DetSample> train;
+  std::vector<DetSample> eval;
+  int num_classes = 0;
+  int input_size = 0;
+};
+
+DetDataset make_detection_dataset(const DetDatasetSpec& spec);
+
+// ---------------- segmentation (CityScapes substitute) ------------------
+
+struct SegSample {
+  std::vector<std::uint8_t> jpeg;  // sensor resolution
+  std::vector<int> mask;           // input_size x input_size labels (0 = bg)
+};
+
+struct SegDatasetSpec {
+  int num_classes = 4;  // background + 3 shape classes
+  int train_images = 50;
+  int eval_images = 30;
+  int sensor_size = 96;  // multiples of 3 so masks align exactly at 2/3 scale
+  int input_size = 64;
+  int jpeg_quality = 92;
+  std::uint64_t seed = 9876;
+};
+
+struct SegDataset {
+  std::vector<SegSample> train;
+  std::vector<SegSample> eval;
+  int num_classes = 0;
+  int input_size = 0;
+};
+
+SegDataset make_segmentation_dataset(const SegDatasetSpec& spec);
+
+}  // namespace sysnoise::data

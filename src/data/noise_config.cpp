@@ -1,0 +1,39 @@
+#include "data/noise_config.h"
+
+#include <sstream>
+
+namespace sysnoise {
+
+std::string SysNoiseConfig::describe() const {
+  std::ostringstream os;
+  os << "decoder=" << jpeg::vendor_name(decoder)
+     << " resize=" << resize_method_name(resize)
+     << " color=" << color_mode_name(color)
+     << " prec=" << nn::precision_name(precision)
+     << " ceil=" << (ceil_mode ? "1" : "0")
+     << " upsample=" << nn::upsample_mode_name(upsample)
+     << " offset=" << proposal_offset;
+  return os.str();
+}
+
+std::vector<jpeg::DecoderVendor> decoder_noise_options() {
+  return {jpeg::DecoderVendor::kOpenCV, jpeg::DecoderVendor::kFFmpeg,
+          jpeg::DecoderVendor::kDALI};
+}
+
+std::vector<ResizeMethod> resize_noise_options() {
+  std::vector<ResizeMethod> out;
+  for (ResizeMethod m : all_resize_methods())
+    if (m != SysNoiseConfig{}.resize) out.push_back(m);
+  return out;
+}
+
+std::vector<ColorMode> color_noise_options() {
+  return {ColorMode::kNv12RoundTrip};
+}
+
+std::vector<nn::Precision> precision_noise_options() {
+  return {nn::Precision::kFP16, nn::Precision::kINT8};
+}
+
+}  // namespace sysnoise

@@ -1,0 +1,54 @@
+// The full SysNoise configuration — one knob per noise type of Table 1.
+//
+// A trained model is associated with the *training* configuration (the
+// PyTorch-like defaults below); deployment flips one or more knobs. The
+// benchmark measures the metric difference between the two.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "color/yuv.h"
+#include "jpeg/codec.h"
+#include "nn/tape.h"
+#include "resize/resize.h"
+
+namespace sysnoise {
+
+struct SysNoiseConfig {
+  // Pre-processing.
+  jpeg::DecoderVendor decoder = jpeg::DecoderVendor::kPillow;
+  ResizeMethod resize = ResizeMethod::kPillowBilinear;
+  ColorMode color = ColorMode::kDirectRGB;
+  // Model inference.
+  nn::Precision precision = nn::Precision::kFP32;
+  bool ceil_mode = false;
+  nn::UpsampleMode upsample = nn::UpsampleMode::kNearest;
+  // Post-processing (detection only).
+  float proposal_offset = 0.0f;  // ALIGNED_FLAG.offset: 0 or 1
+
+  // The fixed training-side configuration (Sec. 4.1: "train with one fixed
+  // setting, commonly used in the PyTorch framework").
+  static SysNoiseConfig training_default() { return SysNoiseConfig{}; }
+
+  // Populate an InferenceCtx with the model-inference knobs.
+  nn::InferenceCtx inference_ctx(nn::ActRanges* ranges) const {
+    nn::InferenceCtx ctx;
+    ctx.precision = precision;
+    ctx.ceil_mode = ceil_mode;
+    ctx.upsample = upsample;
+    ctx.ranges = ranges;
+    return ctx;
+  }
+
+  std::string describe() const;
+};
+
+// Option sets for each noise axis, excluding the training default (these
+// are the "categories" counted in Table 1).
+std::vector<jpeg::DecoderVendor> decoder_noise_options();   // 3 alternates
+std::vector<ResizeMethod> resize_noise_options();           // 10 alternates
+std::vector<ColorMode> color_noise_options();               // 1 alternate (NV12)
+std::vector<nn::Precision> precision_noise_options();       // FP16, INT8
+
+}  // namespace sysnoise

@@ -1,0 +1,18 @@
+#include "data/pipeline.h"
+
+namespace sysnoise {
+
+ImageU8 preprocess_image(const std::vector<std::uint8_t>& jpeg_bytes,
+                         const SysNoiseConfig& cfg, const PipelineSpec& spec) {
+  ImageU8 decoded = jpeg::decode(jpeg_bytes, cfg.decoder);
+  ImageU8 resized = resize(decoded, spec.out_h, spec.out_w, cfg.resize);
+  return apply_color_mode(resized, cfg.color);
+}
+
+Tensor preprocess(const std::vector<std::uint8_t>& jpeg_bytes,
+                  const SysNoiseConfig& cfg, const PipelineSpec& spec) {
+  return image_to_tensor(preprocess_image(jpeg_bytes, cfg, spec), spec.mean,
+                         spec.stddev);
+}
+
+}  // namespace sysnoise

@@ -1,0 +1,34 @@
+// Pre-processing pipeline: JPEG bytes -> decode -> resize -> color-mode
+// round trip -> normalized CHW tensor. The three pre-processing SysNoise
+// knobs act here; samples are stored as real JPEG bitstreams so the decode
+// path is exercised end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/noise_config.h"
+#include "image/image.h"
+#include "tensor/tensor.h"
+
+namespace sysnoise {
+
+struct PipelineSpec {
+  int out_h = 32;
+  int out_w = 32;
+  // ImageNet-style channel statistics in [0,1] units.
+  std::vector<float> mean = {0.485f, 0.456f, 0.406f};
+  std::vector<float> stddev = {0.229f, 0.224f, 0.225f};
+};
+
+// Run the full pre-processing chain under `cfg` and return a [1,3,H,W]
+// tensor ready for the network.
+Tensor preprocess(const std::vector<std::uint8_t>& jpeg_bytes,
+                  const SysNoiseConfig& cfg, const PipelineSpec& spec);
+
+// Intermediate: decoded+resized+color-converted image (for visualization
+// and image-space diff metrics, Fig. 5).
+ImageU8 preprocess_image(const std::vector<std::uint8_t>& jpeg_bytes,
+                         const SysNoiseConfig& cfg, const PipelineSpec& spec);
+
+}  // namespace sysnoise

@@ -1,0 +1,184 @@
+#include "detect/box.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sysnoise::detect {
+
+float iou(const Box& a, const Box& b) {
+  const float ix1 = std::max(a.x1, b.x1), iy1 = std::max(a.y1, b.y1);
+  const float ix2 = std::min(a.x2, b.x2), iy2 = std::min(a.y2, b.y2);
+  const float iw = std::max(0.0f, ix2 - ix1), ih = std::max(0.0f, iy2 - iy1);
+  const float inter = iw * ih;
+  const float uni = a.area() + b.area() - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+AnchorGrid make_anchors(const std::vector<std::pair<int, int>>& level_shapes,
+                        const std::vector<int>& strides,
+                        const std::vector<float>& sizes) {
+  AnchorGrid grid;
+  for (std::size_t lvl = 0; lvl < level_shapes.size(); ++lvl) {
+    const auto [h, w] = level_shapes[lvl];
+    const float stride = static_cast<float>(strides[lvl]);
+    const float half = sizes[lvl] * 0.5f;
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x) {
+        const float cx = (static_cast<float>(x) + 0.5f) * stride;
+        const float cy = (static_cast<float>(y) + 0.5f) * stride;
+        grid.anchors.push_back({cx - half, cy - half, cx + half, cy + half});
+        grid.level_of.push_back(static_cast<int>(lvl));
+      }
+  }
+  return grid;
+}
+
+void BoxCoder::encode(const Box& anchor, const Box& gt, float out[4]) const {
+  const float aw = anchor.x2 - anchor.x1 + offset;
+  const float ah = anchor.y2 - anchor.y1 + offset;
+  const float ax = anchor.x1 + 0.5f * aw;
+  const float ay = anchor.y1 + 0.5f * ah;
+  const float gw = gt.x2 - gt.x1 + offset;
+  const float gh = gt.y2 - gt.y1 + offset;
+  const float gx = gt.x1 + 0.5f * gw;
+  const float gy = gt.y1 + 0.5f * gh;
+  out[0] = wx * (gx - ax) / aw;
+  out[1] = wy * (gy - ay) / ah;
+  out[2] = ww * std::log(gw / aw);
+  out[3] = wh * std::log(gh / ah);
+}
+
+Box BoxCoder::decode(const Box& anchor, const float delta[4]) const {
+  const float aw = anchor.x2 - anchor.x1 + offset;
+  const float ah = anchor.y2 - anchor.y1 + offset;
+  const float ax = anchor.x1 + 0.5f * aw;
+  const float ay = anchor.y1 + 0.5f * ah;
+  // Clamp dw/dh exactly as the paper's listing (log(1000/16)).
+  const float max_ratio = std::log(1000.0f / 16.0f);
+  const float dw = std::min(delta[2] / ww, max_ratio);
+  const float dh = std::min(delta[3] / wh, max_ratio);
+  const float pw = std::exp(dw) * aw;
+  const float ph = std::exp(dh) * ah;
+  const float px = delta[0] / wx * aw + ax;
+  const float py = delta[1] / wy * ah + ay;
+  Box b;
+  b.x1 = px - 0.5f * pw;
+  b.y1 = py - 0.5f * ph;
+  b.x2 = px + 0.5f * pw - offset;  // the ALIGNED_FLAG.offset subtraction
+  b.y2 = py + 0.5f * ph - offset;
+  return b;
+}
+
+std::vector<int> nms(const std::vector<Detection>& dets, float iou_threshold) {
+  std::vector<int> order(dets.size());
+  for (std::size_t i = 0; i < dets.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return dets[static_cast<std::size_t>(a)].score > dets[static_cast<std::size_t>(b)].score;
+  });
+  std::vector<int> keep;
+  std::vector<bool> suppressed(dets.size(), false);
+  for (int idx : order) {
+    if (suppressed[static_cast<std::size_t>(idx)]) continue;
+    keep.push_back(idx);
+    for (int jdx : order) {
+      if (jdx == idx || suppressed[static_cast<std::size_t>(jdx)]) continue;
+      if (dets[static_cast<std::size_t>(idx)].label != dets[static_cast<std::size_t>(jdx)].label)
+        continue;
+      if (iou(dets[static_cast<std::size_t>(idx)].box, dets[static_cast<std::size_t>(jdx)].box) >=
+          iou_threshold)
+        suppressed[static_cast<std::size_t>(jdx)] = true;
+    }
+  }
+  return keep;
+}
+
+double average_precision_at(const std::vector<std::vector<Detection>>& detections,
+                            const std::vector<std::vector<GtBox>>& gts,
+                            int num_classes, float iou_thr) {
+  double ap_sum = 0.0;
+  int classes_with_gt = 0;
+  for (int cls = 0; cls < num_classes; ++cls) {
+    // Gather detections of this class across images with image index.
+    struct Det {
+      float score;
+      int image;
+      Box box;
+    };
+    std::vector<Det> all;
+    int total_gt = 0;
+    for (std::size_t img = 0; img < detections.size(); ++img) {
+      for (const auto& d : detections[img])
+        if (d.label == cls) all.push_back({d.score, static_cast<int>(img), d.box});
+      for (const auto& g : gts[img])
+        if (g.label == cls) ++total_gt;
+    }
+    if (total_gt == 0) continue;
+    ++classes_with_gt;
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Det& a, const Det& b) { return a.score > b.score; });
+
+    std::vector<std::vector<bool>> matched(gts.size());
+    for (std::size_t img = 0; img < gts.size(); ++img)
+      matched[img].assign(gts[img].size(), false);
+
+    std::vector<int> tp(all.size(), 0);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const auto& d = all[i];
+      const auto& img_gts = gts[static_cast<std::size_t>(d.image)];
+      float best_iou = 0.0f;
+      int best_j = -1;
+      for (std::size_t j = 0; j < img_gts.size(); ++j) {
+        if (img_gts[j].label != cls || matched[static_cast<std::size_t>(d.image)][j])
+          continue;
+        const float v = iou(d.box, img_gts[j].box);
+        if (v > best_iou) {
+          best_iou = v;
+          best_j = static_cast<int>(j);
+        }
+      }
+      if (best_iou >= iou_thr && best_j >= 0) {
+        tp[i] = 1;
+        matched[static_cast<std::size_t>(d.image)][static_cast<std::size_t>(best_j)] = true;
+      }
+    }
+
+    // Precision envelope, 101-point interpolation (COCO style).
+    std::vector<double> precisions, recalls;
+    int cum_tp = 0;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      cum_tp += tp[i];
+      precisions.push_back(static_cast<double>(cum_tp) / static_cast<double>(i + 1));
+      recalls.push_back(static_cast<double>(cum_tp) / total_gt);
+    }
+    for (int i = static_cast<int>(precisions.size()) - 2; i >= 0; --i)
+      precisions[static_cast<std::size_t>(i)] =
+          std::max(precisions[static_cast<std::size_t>(i)], precisions[static_cast<std::size_t>(i) + 1]);
+    double ap = 0.0;
+    for (int r = 0; r <= 100; ++r) {
+      const double rec = r / 100.0;
+      double p = 0.0;
+      for (std::size_t i = 0; i < recalls.size(); ++i)
+        if (recalls[i] >= rec) {
+          p = precisions[i];
+          break;
+        }
+      ap += p;
+    }
+    ap_sum += ap / 101.0;
+  }
+  return classes_with_gt > 0 ? ap_sum / classes_with_gt : 0.0;
+}
+
+double mean_average_precision(
+    const std::vector<std::vector<Detection>>& detections,
+    const std::vector<std::vector<GtBox>>& gts, int num_classes) {
+  double s = 0.0;
+  int n = 0;
+  for (float thr = 0.50f; thr < 0.955f; thr += 0.05f) {
+    s += average_precision_at(detections, gts, num_classes, thr);
+    ++n;
+  }
+  return s / n;
+}
+
+}  // namespace sysnoise::detect

@@ -1,0 +1,71 @@
+// Axis-aligned boxes, IoU, anchors, and the delta box coder whose
+// ALIGNED_FLAG.offset knob is the paper's post-processing SysNoise
+// (Sec. 3.3 and the Appendix A code listing): hardware stacks disagree on
+// whether to subtract 1 when converting centers back to corner coordinates.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sysnoise::detect {
+
+struct Box {
+  float x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+  float area() const { return std::max(0.0f, x2 - x1) * std::max(0.0f, y2 - y1); }
+};
+
+float iou(const Box& a, const Box& b);
+
+struct Detection {
+  Box box;
+  int label = 0;
+  float score = 0.0f;
+};
+
+// One anchor per feature cell per level (stride-aligned, square).
+struct AnchorGrid {
+  std::vector<Box> anchors;   // flattened over levels, row-major per level
+  std::vector<int> level_of;  // anchor index -> pyramid level
+};
+
+// Build anchors for pyramid levels. level_shapes[i] = {h, w} of level i's
+// feature map; stride/size per level.
+AnchorGrid make_anchors(const std::vector<std::pair<int, int>>& level_shapes,
+                        const std::vector<int>& strides,
+                        const std::vector<float>& sizes);
+
+// Delta (dx, dy, dw, dh) box coder, paper Appendix A post-processing.
+// The delta weights (wx, wy, ww, wh) scale regression targets exactly as
+// the paper's code listing ("dx = offset[:, 0::4] / wx").
+struct BoxCoder {
+  float offset = 0.0f;  // ALIGNED_FLAG.offset: 0 (aligned) or 1 (legacy)
+  float wx = 10.0f, wy = 10.0f, ww = 5.0f, wh = 5.0f;
+
+  // Encode ground truth relative to an anchor (network-target space).
+  void encode(const Box& anchor, const Box& gt, float out[4]) const;
+  // Decode network outputs back to a box (applies exp clamp like the
+  // listing).
+  Box decode(const Box& anchor, const float delta[4]) const;
+};
+
+// Greedy NMS: keep highest-scoring boxes, drop IoU >= threshold overlaps.
+// Operates per label. Returns indices kept (sorted by descending score).
+std::vector<int> nms(const std::vector<Detection>& dets, float iou_threshold);
+
+// COCO-style mAP averaged over IoU thresholds 0.50:0.05:0.95.
+struct GtBox {
+  Box box;
+  int label = 0;
+};
+// detections/gts are per-image lists.
+double mean_average_precision(
+    const std::vector<std::vector<Detection>>& detections,
+    const std::vector<std::vector<GtBox>>& gts, int num_classes);
+
+// Single-threshold AP (exposed for tests).
+double average_precision_at(const std::vector<std::vector<Detection>>& detections,
+                            const std::vector<std::vector<GtBox>>& gts,
+                            int num_classes, float iou_thr);
+
+}  // namespace sysnoise::detect

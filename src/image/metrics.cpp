@@ -1,0 +1,76 @@
+#include "image/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace sysnoise {
+
+namespace {
+void check_same(const ImageU8& a, const ImageU8& b) {
+  if (a.height() != b.height() || a.width() != b.width() ||
+      a.channels() != b.channels())
+    throw std::invalid_argument("image metric: size mismatch");
+}
+}  // namespace
+
+double image_mae(const ImageU8& a, const ImageU8& b) {
+  check_same(a, b);
+  if (a.size() == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    s += std::abs(static_cast<int>(a.vec()[i]) - static_cast<int>(b.vec()[i]));
+  return s / static_cast<double>(a.size());
+}
+
+double image_psnr(const ImageU8& a, const ImageU8& b) {
+  check_same(a, b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a.vec()[i]) - b.vec()[i];
+    s += d * d;
+  }
+  if (s == 0.0) return std::numeric_limits<double>::infinity();
+  const double mse_v = s / static_cast<double>(a.size());
+  return 10.0 * std::log10(255.0 * 255.0 / mse_v);
+}
+
+int image_max_diff(const ImageU8& a, const ImageU8& b) {
+  check_same(a, b);
+  int m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(static_cast<int>(a.vec()[i]) - static_cast<int>(b.vec()[i])));
+  return m;
+}
+
+double image_diff_fraction(const ImageU8& a, const ImageU8& b) {
+  check_same(a, b);
+  const int c = a.channels();
+  const std::size_t pixels = a.size() / static_cast<std::size_t>(c);
+  if (pixels == 0) return 0.0;
+  std::size_t differing = 0;
+  for (std::size_t p = 0; p < pixels; ++p) {
+    for (int ch = 0; ch < c; ++ch) {
+      if (a.vec()[p * c + ch] != b.vec()[p * c + ch]) {
+        ++differing;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(differing) / static_cast<double>(pixels);
+}
+
+ImageU8 image_diff_visual(const ImageU8& a, const ImageU8& b) {
+  check_same(a, b);
+  const int md = image_max_diff(a, b);
+  ImageU8 out(a.height(), a.width(), a.channels());
+  if (md == 0) return out;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const int d = std::abs(static_cast<int>(a.vec()[i]) - static_cast<int>(b.vec()[i]));
+    out.vec()[i] = static_cast<std::uint8_t>(d * 255 / md);
+  }
+  return out;
+}
+
+}  // namespace sysnoise

@@ -1,0 +1,25 @@
+// Image difference metrics (used by tests and the Fig. 5 visualization).
+#pragma once
+
+#include "image/image.h"
+
+namespace sysnoise {
+
+// Mean absolute per-channel difference (same-size images).
+double image_mae(const ImageU8& a, const ImageU8& b);
+
+// Peak signal-to-noise ratio in dB; returns +inf for identical images.
+double image_psnr(const ImageU8& a, const ImageU8& b);
+
+// Largest absolute per-channel difference.
+int image_max_diff(const ImageU8& a, const ImageU8& b);
+
+// Fraction of pixels with any channel differing.
+double image_diff_fraction(const ImageU8& a, const ImageU8& b);
+
+// |a-b| scaled so the max difference maps to 255 (the paper's Fig. 5
+// visualization: "to make the noise more perceptible, we scale it to
+// [0, 255]").
+ImageU8 image_diff_visual(const ImageU8& a, const ImageU8& b);
+
+}  // namespace sysnoise

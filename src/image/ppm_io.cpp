@@ -1,0 +1,35 @@
+#include "image/ppm_io.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace sysnoise {
+
+void write_ppm(const std::string& path, const ImageU8& img) {
+  if (img.channels() != 3 && img.channels() != 1)
+    throw std::invalid_argument("write_ppm: need 1 or 3 channels");
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("write_ppm: cannot open " + path);
+  f << (img.channels() == 3 ? "P6" : "P5") << "\n"
+    << img.width() << " " << img.height() << "\n255\n";
+  f.write(reinterpret_cast<const char*>(img.data()),
+          static_cast<std::streamsize>(img.size()));
+  if (!f) throw std::runtime_error("write_ppm: write failed " + path);
+}
+
+ImageU8 read_ppm(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("read_ppm: cannot open " + path);
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  f >> magic >> w >> h >> maxv;
+  if ((magic != "P6" && magic != "P5") || maxv != 255 || w <= 0 || h <= 0)
+    throw std::runtime_error("read_ppm: unsupported header in " + path);
+  f.get();  // single whitespace after header
+  ImageU8 img(h, w, magic == "P6" ? 3 : 1);
+  f.read(reinterpret_cast<char*>(img.data()), static_cast<std::streamsize>(img.size()));
+  if (!f) throw std::runtime_error("read_ppm: truncated file " + path);
+  return img;
+}
+
+}  // namespace sysnoise

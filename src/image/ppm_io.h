@@ -1,0 +1,17 @@
+// Minimal binary PPM/PGM writer+reader, used to dump Fig. 5 visualizations
+// and example outputs without any external image dependency.
+#pragma once
+
+#include <string>
+
+#include "image/image.h"
+
+namespace sysnoise {
+
+// Writes P6 (3-channel) or P5 (1-channel). Throws on I/O failure.
+void write_ppm(const std::string& path, const ImageU8& img);
+
+// Reads a P6/P5 file written by write_ppm.
+ImageU8 read_ppm(const std::string& path);
+
+}  // namespace sysnoise

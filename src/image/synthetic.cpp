@@ -1,0 +1,142 @@
+#include "image/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace sysnoise {
+
+namespace {
+
+float pattern_value(const TextureParams& p, float y, float x) {
+  const float c = std::cos(p.orientation), s = std::sin(p.orientation);
+  const float u = c * x - s * y;
+  const float v = s * x + c * y;
+  constexpr float kTau = 2.0f * std::numbers::pi_v<float>;
+  switch (p.pattern) {
+    case 0:  // sinusoidal grating
+      return 0.5f + 0.5f * std::sin(kTau * (p.freq_x * u + p.freq_y * v) + p.phase);
+    case 1: {  // checkerboard
+      const int a = static_cast<int>(std::floor(u * p.freq_x * 4.0f + p.phase));
+      const int b = static_cast<int>(std::floor(v * p.freq_y * 4.0f));
+      return ((a + b) & 1) ? 1.0f : 0.0f;
+    }
+    case 2: {  // radial rings
+      const float r = std::sqrt(u * u + v * v);
+      return 0.5f + 0.5f * std::sin(kTau * p.freq_x * r + p.phase);
+    }
+    default: {  // blob field: product of two low-frequency sinusoids, thresholded softly
+      const float a = std::sin(kTau * p.freq_x * u + p.phase);
+      const float b = std::sin(kTau * p.freq_y * v + 0.7f * p.phase);
+      const float m = a * b;
+      return 1.0f / (1.0f + std::exp(-6.0f * m));
+    }
+  }
+}
+
+}  // namespace
+
+TextureParams class_texture(int class_id, int num_classes, Rng& instance_rng) {
+  TextureParams p;
+  const float t = static_cast<float>(class_id) / std::max(1, num_classes);
+  p.pattern = class_id % 4;
+  // Base frequency rises with class id inside each pattern group. The jitter
+  // is deliberately large relative to inter-class spacing so instances of
+  // neighbouring classes overlap: trained classifiers end up with finite
+  // decision margins (paper models are at 63-84% top-1, not 100%), which is
+  // what makes pixel-level SysNoise measurable.
+  const float base_freq = 0.06f + 0.22f * t;
+  p.freq_x = base_freq * (1.0f + instance_rng.uniform_f(-0.22f, 0.22f));
+  p.freq_y = 0.5f * base_freq * (1.0f + instance_rng.uniform_f(-0.22f, 0.22f));
+  p.orientation = t * std::numbers::pi_v<float> +
+                  instance_rng.uniform_f(-0.25f, 0.25f);
+  p.phase = instance_rng.uniform_f(0.0f, 2.0f * std::numbers::pi_v<float>);
+  // Class-conditioned colors: hue walks around the color wheel with class
+  // id; the wide jitter makes adjacent classes' palettes overlap.
+  const float hue = 2.0f * std::numbers::pi_v<float> * t +
+                    instance_rng.uniform_f(-0.5f, 0.5f);
+  p.rgb[0] = 140.0f + 70.0f * std::cos(hue) + instance_rng.uniform_f(-25.0f, 25.0f);
+  p.rgb[1] = 140.0f + 70.0f * std::cos(hue + 2.1f) + instance_rng.uniform_f(-25.0f, 25.0f);
+  p.rgb[2] = 140.0f + 70.0f * std::cos(hue + 4.2f) + instance_rng.uniform_f(-25.0f, 25.0f);
+  p.bg[0] = 80.0f + instance_rng.uniform_f(-40.0f, 40.0f);
+  p.bg[1] = 80.0f + instance_rng.uniform_f(-40.0f, 40.0f);
+  p.bg[2] = 80.0f + instance_rng.uniform_f(-40.0f, 40.0f);
+  p.contrast = 0.45f + instance_rng.uniform_f(0.0f, 0.5f);
+  return p;
+}
+
+ImageU8 render_texture(const TextureParams& p, int height, int width, Rng& rng) {
+  ImageU8 img(height, width, 3);
+  // Random sub-pixel offset so the grating phase is instance-specific.
+  const float oy = rng.uniform_f(0.0f, 8.0f);
+  const float ox = rng.uniform_f(0.0f, 8.0f);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const float m =
+          p.contrast * pattern_value(p, static_cast<float>(y) + oy,
+                                     static_cast<float>(x) + ox);
+      for (int ch = 0; ch < 3; ++ch) {
+        const float v = p.bg[ch] + m * (p.rgb[ch] - p.bg[ch]);
+        img.at(y, x, ch) = clamp_u8f(v);
+      }
+    }
+  }
+  return img;
+}
+
+namespace {
+
+bool inside_shape(ShapeKind kind, int y, int x, int cy, int cx, int radius) {
+  const int dy = y - cy, dx = x - cx;
+  switch (kind) {
+    case ShapeKind::kCircle:
+      return dy * dy + dx * dx <= radius * radius;
+    case ShapeKind::kSquare:
+      return std::abs(dy) <= radius && std::abs(dx) <= radius;
+    case ShapeKind::kTriangle:
+      // Upward triangle: |dx| grows linearly with depth below apex.
+      return dy >= -radius && dy <= radius &&
+             std::abs(dx) <= (dy + radius) / 2;
+  }
+  return false;
+}
+
+}  // namespace
+
+void draw_shape(ImageU8& img, ShapeKind kind, int cy, int cx, int radius,
+                const TextureParams& texture, Rng& rng) {
+  const float oy = rng.uniform_f(0.0f, 4.0f), ox = rng.uniform_f(0.0f, 4.0f);
+  const int y0 = std::max(0, cy - radius), y1 = std::min(img.height() - 1, cy + radius);
+  const int x0 = std::max(0, cx - radius), x1 = std::min(img.width() - 1, cx + radius);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      if (!inside_shape(kind, y, x, cy, cx, radius)) continue;
+      const float m = texture.contrast *
+                      pattern_value(texture, static_cast<float>(y) + oy,
+                                    static_cast<float>(x) + ox);
+      for (int ch = 0; ch < 3; ++ch) {
+        const float v = texture.bg[ch] + m * (texture.rgb[ch] - texture.bg[ch]);
+        img.at(y, x, ch) = clamp_u8f(v);
+      }
+    }
+  }
+}
+
+void draw_shape_mask(std::vector<int>& mask, int h, int w, ShapeKind kind,
+                     int cy, int cx, int radius, int label) {
+  const int y0 = std::max(0, cy - radius), y1 = std::min(h - 1, cy + radius);
+  const int x0 = std::max(0, cx - radius), x1 = std::min(w - 1, cx + radius);
+  for (int y = y0; y <= y1; ++y)
+    for (int x = x0; x <= x1; ++x)
+      if (inside_shape(kind, y, x, cy, cx, radius))
+        mask[static_cast<std::size_t>(y) * w + x] = label;
+}
+
+void add_pixel_noise(ImageU8& img, float stddev, Rng& rng) {
+  for (auto& v : img.vec()) {
+    const float nv = static_cast<float>(v) + rng.normal_f(0.0f, stddev);
+    v = clamp_u8f(nv);
+  }
+}
+
+}  // namespace sysnoise

@@ -1,0 +1,50 @@
+// Procedural rendering primitives for the synthetic datasets.
+//
+// The paper evaluates on ImageNet / COCO / CityScapes; those are replaced
+// (see DESIGN.md §2) with procedurally generated scenes whose class signal
+// lives in textures, shapes and colors. Textures deliberately contain
+// high-frequency content so pixel-level SysNoise (decode/resize/color)
+// measurably perturbs classifier margins, as it does on natural images.
+#pragma once
+
+#include "image/image.h"
+#include "tensor/rng.h"
+
+namespace sysnoise {
+
+// Parameters of a class-conditioned texture. Neighbouring class ids get
+// nearby frequencies/orientations so decision margins are finite.
+struct TextureParams {
+  float freq_x = 0.1f;       // cycles per pixel
+  float freq_y = 0.05f;
+  float orientation = 0.0f;  // radians
+  float phase = 0.0f;
+  float rgb[3] = {200.0f, 120.0f, 80.0f};
+  float bg[3] = {40.0f, 60.0f, 90.0f};
+  int pattern = 0;           // 0 grating, 1 checker, 2 radial, 3 blob field
+  float contrast = 1.0f;
+};
+
+// Derive texture parameters for a class id with per-instance jitter.
+TextureParams class_texture(int class_id, int num_classes, Rng& instance_rng);
+
+// Render a full-frame texture image.
+ImageU8 render_texture(const TextureParams& p, int height, int width, Rng& rng);
+
+// Filled-shape kinds used by detection / segmentation scenes.
+enum class ShapeKind { kCircle = 0, kSquare = 1, kTriangle = 2 };
+constexpr int kNumShapeKinds = 3;
+
+// Paint `kind` with the given texture into img at center (cy,cx), size
+// `radius`; returns nothing, writes pixels in place.
+void draw_shape(ImageU8& img, ShapeKind kind, int cy, int cx, int radius,
+                const TextureParams& texture, Rng& rng);
+
+// Paint the same shape footprint into an integer mask (class id + 1).
+void draw_shape_mask(std::vector<int>& mask, int h, int w, ShapeKind kind,
+                     int cy, int cx, int radius, int label);
+
+// Additive Gaussian pixel noise (sensor noise), clamped to [0,255].
+void add_pixel_noise(ImageU8& img, float stddev, Rng& rng);
+
+}  // namespace sysnoise

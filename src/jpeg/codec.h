@@ -1,0 +1,57 @@
+// Baseline sequential JPEG (JFIF) encoder and a vendor-parameterized decoder.
+//
+// The encoder is the single "ground truth" producer used to build datasets.
+// The decoder models the paper's four decode stacks (Sec. 3.4: PIL, OpenCV,
+// FFmpeg, DALI): vendors share the bitstream format but differ in
+//   - inverse DCT kernel (exact float / fixed-point 13-bit / AAN float /
+//     low-precision fixed-point),
+//   - chroma upsampling (triangle "fancy" filter vs sample replication),
+//   - YCbCr->RGB arithmetic (float+lround / 16-bit fixed point / 8-bit
+//     shift approximation),
+// which yields the few-LSB pixel disagreements the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.h"
+#include "jpeg/dct.h"
+
+namespace sysnoise::jpeg {
+
+enum class DecoderVendor { kPillow = 0, kOpenCV = 1, kFFmpeg = 2, kDALI = 3 };
+constexpr int kNumDecoderVendors = 4;
+const char* vendor_name(DecoderVendor v);
+
+enum class ChromaMode { k444, k420 };
+
+struct EncodeOptions {
+  int quality = 90;
+  ChromaMode chroma = ChromaMode::k420;
+};
+
+// How a vendor turns dequantized coefficients into RGB.
+struct VendorTraits {
+  IdctMethod idct = IdctMethod::kFloatReference;
+  bool fancy_chroma_upsample = true;  // triangle filter vs replication
+  enum class ColorConvert { kFloatLround, kFixedPoint16, kShift8 } color_convert =
+      ColorConvert::kFloatLround;
+};
+
+VendorTraits vendor_traits(DecoderVendor v);
+
+// Encode an interleaved RGB image to a JFIF byte stream.
+std::vector<std::uint8_t> encode(const ImageU8& rgb, const EncodeOptions& opts = {});
+
+// Decode a stream produced by encode() with the given vendor behaviour.
+ImageU8 decode(const std::vector<std::uint8_t>& bytes, DecoderVendor vendor);
+
+// Decode with explicit traits (used by tests and ablations).
+ImageU8 decode_with_traits(const std::vector<std::uint8_t>& bytes,
+                           const VendorTraits& traits);
+
+// Full-range JFIF RGB->YCbCr used by the encoder (exposed for tests).
+void rgb_to_ycbcr(std::uint8_t r, std::uint8_t g, std::uint8_t b, float& y,
+                  float& cb, float& cr);
+
+}  // namespace sysnoise::jpeg

@@ -1,0 +1,19 @@
+// JPEG Annex K quantization tables with libjpeg-style quality scaling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sysnoise::jpeg {
+
+using QuantTable = std::array<std::uint16_t, 64>;  // natural (raster) order
+
+// Annex K Table K.1 (luminance) / K.2 (chrominance), raster order.
+const QuantTable& annex_k_luminance();
+const QuantTable& annex_k_chrominance();
+
+// Scale a base table by quality in [1, 100] using the IJG formula
+// (quality 50 = base table, 100 = all ones).
+QuantTable scale_quality(const QuantTable& base, int quality);
+
+}  // namespace sysnoise::jpeg

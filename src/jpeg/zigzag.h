@@ -1,0 +1,24 @@
+// Zig-zag scan order (ITU-T T.81 Figure 5) mapping natural 8x8 raster order
+// to the transmission order used by entropy coding.
+#pragma once
+
+#include <array>
+
+namespace sysnoise::jpeg {
+
+// kZigZag[i] = natural-order index of the i-th zig-zag coefficient.
+inline constexpr std::array<int, 64> kZigZag = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+// Inverse map: natural index -> zig-zag position.
+constexpr std::array<int, 64> make_inverse_zigzag() {
+  std::array<int, 64> inv{};
+  for (int i = 0; i < 64; ++i) inv[static_cast<std::size_t>(kZigZag[static_cast<std::size_t>(i)])] = i;
+  return inv;
+}
+inline constexpr std::array<int, 64> kZigZagInv = make_inverse_zigzag();
+
+}  // namespace sysnoise::jpeg

@@ -1,0 +1,181 @@
+#include "nlp/lm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/ops_extra.h"
+#include "nn/optim.h"
+
+namespace sysnoise::nlp {
+
+using namespace sysnoise::nn;
+
+std::vector<LmSpec> opt_mini_zoo() {
+  return {
+      {"OPT-125M-mini", 24, 2, 2, 64},
+      {"OPT-350M-mini", 32, 2, 4, 64},
+      {"OPT-1.3B-mini", 48, 3, 4, 64},
+  };
+}
+
+struct CausalLm::Block {
+  LayerNorm ln1, ln2;
+  MultiHeadAttention attn;
+  Linear mlp1, mlp2;
+  Block(int dim, int heads, Rng& rng, const std::string& id)
+      : ln1(dim), ln2(dim),
+        attn(dim, heads, /*causal=*/true, rng, id + ".attn"),
+        mlp1(dim, 4 * dim, rng, id + ".mlp1"),
+        mlp2(4 * dim, dim, rng, id + ".mlp2") {}
+  Node* operator()(Tape& t, Node* x) {
+    x = add(t, x, attn(t, ln1(t, x)));
+    return add(t, x, mlp2(t, gelu(t, mlp1(t, ln2(t, x)))));
+  }
+  void collect(ParamRefs& out) {
+    ln1.collect(out);
+    ln2.collect(out);
+    attn.collect(out);
+    mlp1.collect(out);
+    mlp2.collect(out);
+  }
+};
+
+CausalLm::~CausalLm() = default;
+
+CausalLm::CausalLm(const LmSpec& spec, int vocab, Rng& rng)
+    : spec_(spec),
+      vocab_(vocab),
+      embed_(vocab, spec.dim, rng),
+      pos_(Tensor({1, spec.max_seq, spec.dim})),
+      final_ln_(spec.dim),
+      head_(spec.dim, vocab, rng, spec.name + ".head") {
+  for (float& v : pos_.value.vec()) v = rng.normal_f(0.0f, 0.02f);
+  for (int i = 0; i < spec.layers; ++i)
+    blocks_.push_back(std::make_unique<Block>(spec.dim, spec.heads, rng,
+                                              spec.name + ".b" + std::to_string(i)));
+}
+
+Node* CausalLm::forward(Tape& t, const std::vector<int>& ids, int batch, int seq) {
+  if (seq > spec_.max_seq) throw std::invalid_argument("CausalLm: seq too long");
+  Node* x = embed_(t, ids, batch, seq);
+  // Add the first `seq` positions.
+  {
+    const int d = spec_.dim;
+    Tensor out = x->value;
+    for (int bi = 0; bi < batch; ++bi)
+      for (int ti = 0; ti < seq; ++ti)
+        for (int di = 0; di < d; ++di)
+          out.at3(bi, ti, di) += pos_.value.at3(0, ti, di);
+    Node* y = t.make(std::move(out));
+    Node* xn = x;
+    Param* pp = &pos_;
+    y->backprop = [y, xn, pp, batch, seq, d]() {
+      for (int bi = 0; bi < batch; ++bi)
+        for (int ti = 0; ti < seq; ++ti)
+          for (int di = 0; di < d; ++di) {
+            const float g = y->grad.at3(bi, ti, di);
+            pp->grad.at3(0, ti, di) += g;
+            if (xn->requires_grad) xn->grad.at3(bi, ti, di) += g;
+          }
+    };
+    x = y;
+  }
+  for (auto& b : blocks_) x = (*b)(t, x);
+  x = final_ln_(t, x);
+  return head_(t, x);  // [batch, seq, vocab]
+}
+
+void CausalLm::collect(ParamRefs& out) {
+  embed_.collect(out);
+  out.push_back(&pos_);
+  for (auto& b : blocks_) b->collect(out);
+  final_ln_.collect(out);
+  head_.collect(out);
+}
+
+double CausalLm::score_continuation(const std::vector<int>& context,
+                                    const std::vector<int>& continuation,
+                                    Precision precision, ActRanges* ranges) {
+  std::vector<int> ids = context;
+  ids.insert(ids.end(), continuation.begin(), continuation.end());
+  const int seq = static_cast<int>(ids.size());
+  Tape t;
+  t.ctx.precision = precision;
+  t.ctx.ranges = ranges;
+  Node* logits = forward(t, ids, 1, seq);
+  const Tensor lp = log_softmax_rows(logits->value.reshaped({seq, vocab_}));
+  double score = 0.0;
+  const int ctx_len = static_cast<int>(context.size());
+  for (std::size_t k = 0; k < continuation.size(); ++k) {
+    const int pos = ctx_len + static_cast<int>(k) - 1;  // token predicting cont[k]
+    score += lp.at2(pos, continuation[k]);
+  }
+  return score;
+}
+
+float train_lm(CausalLm& lm, const std::vector<std::vector<int>>& corpus,
+               int epochs, float lr, std::uint64_t seed) {
+  ParamRefs params;
+  lm.collect(params);
+  Adam opt(params, lr);
+  Rng rng(seed);
+  const int n = static_cast<int>(corpus.size());
+  const int bs = 8;
+  float last = 0.0f;
+  for (int e = 0; e < epochs; ++e) {
+    const auto order = rng.permutation(n);
+    for (int b = 0; b < n; b += bs) {
+      // Group same-length sequences: corpus sequences share one length.
+      const int cur = std::min(bs, n - b);
+      const int seq = static_cast<int>(corpus[static_cast<std::size_t>(order[static_cast<std::size_t>(b)])].size());
+      std::vector<int> ids;
+      std::vector<int> targets;
+      int rows = 0;
+      for (int i = 0; i < cur; ++i) {
+        const auto& s = corpus[static_cast<std::size_t>(order[static_cast<std::size_t>(b + i)])];
+        if (static_cast<int>(s.size()) != seq) continue;  // skip ragged
+        ids.insert(ids.end(), s.begin(), s.end());
+        // Next-token targets; last position predicts a pad we exclude by
+        // training on positions [0, seq-2].
+        ++rows;
+      }
+      if (rows == 0) continue;
+      Tape t;
+      t.training = true;
+      opt.zero_grad();
+      Node* logits = lm.forward(t, ids, rows, seq);
+      // Build shifted targets + mask out the final position of each row.
+      std::vector<int> labels(static_cast<std::size_t>(rows) * seq, 0);
+      std::vector<float> mask(static_cast<std::size_t>(rows) * seq, 0.0f);
+      int live = 0;
+      for (int r = 0; r < rows; ++r)
+        for (int p = 0; p + 1 < seq; ++p) {
+          labels[static_cast<std::size_t>(r) * seq + p] =
+              ids[static_cast<std::size_t>(r) * seq + p + 1];
+          mask[static_cast<std::size_t>(r) * seq + p] = 1.0f;
+          ++live;
+        }
+      Node* rowsn = reshape(t, logits, {rows * seq, lm.vocab()});
+      Node* loss = softmax_cross_entropy_masked(t, rowsn, labels, mask,
+                                                static_cast<float>(live));
+      t.backward(loss);
+      clip_grad_norm(params, 5.0f);
+      opt.step();
+      last = loss->value[0];
+    }
+  }
+  return last;
+}
+
+void calibrate_lm(CausalLm& lm, const std::vector<std::vector<int>>& corpus,
+                  ActRanges& ranges, int max_items) {
+  for (int i = 0; i < max_items && i < static_cast<int>(corpus.size()); ++i) {
+    const auto& s = corpus[static_cast<std::size_t>(i)];
+    Tape t;
+    t.ctx.calibrating = true;
+    t.ctx.ranges = &ranges;
+    lm.forward(t, s, 1, static_cast<int>(s.size()));
+  }
+}
+
+}  // namespace sysnoise::nlp

@@ -1,0 +1,60 @@
+// Causal transformer language models ("OPT-mini" family, Table 5) plus
+// multiple-choice scoring. The data-precision SysNoise knob acts at every
+// linear projection through the shared InferenceCtx.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace sysnoise::nlp {
+
+struct LmSpec {
+  std::string name;
+  int dim = 32;
+  int layers = 2;
+  int heads = 2;
+  int max_seq = 64;
+};
+
+// The Table 5 rows of this reproduction (scaled OPT family).
+std::vector<LmSpec> opt_mini_zoo();
+
+class CausalLm {
+ public:
+  CausalLm(const LmSpec& spec, int vocab, Rng& rng);
+  ~CausalLm();  // out-of-line: Block is incomplete here
+
+  // ids: flat batch*seq tokens; returns logits [batch, seq, vocab].
+  nn::Node* forward(nn::Tape& t, const std::vector<int>& ids, int batch, int seq);
+  void collect(nn::ParamRefs& out);
+
+  // Sum log p(continuation | context) under the given precision knobs.
+  double score_continuation(const std::vector<int>& context,
+                            const std::vector<int>& continuation,
+                            nn::Precision precision, nn::ActRanges* ranges);
+
+  int vocab() const { return vocab_; }
+  const LmSpec& spec() const { return spec_; }
+
+ private:
+  struct Block;
+  LmSpec spec_;
+  int vocab_;
+  nn::Embedding embed_;
+  nn::Param pos_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  nn::LayerNorm final_ln_;
+  nn::Linear head_;
+};
+
+// Next-token cross-entropy training on a corpus of token sequences.
+float train_lm(CausalLm& lm, const std::vector<std::vector<int>>& corpus,
+               int epochs, float lr, std::uint64_t seed = 5);
+
+void calibrate_lm(CausalLm& lm, const std::vector<std::vector<int>>& corpus,
+                  nn::ActRanges& ranges, int max_items = 8);
+
+}  // namespace sysnoise::nlp

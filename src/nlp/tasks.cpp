@@ -1,0 +1,128 @@
+#include "nlp/tasks.h"
+
+namespace sysnoise::nlp {
+
+namespace {
+
+int f_rule(int a, int b) { return (a + b) % kSymbols; }
+
+int wrong_symbol(int correct, Rng& rng) {
+  int w = rng.uniform_int(kSymbols);
+  while (w == correct) w = rng.uniform_int(kSymbols);
+  return w;
+}
+
+void append_piqa(std::vector<int>& seq, Rng& rng) {
+  const int a = rng.uniform_int(kSymbols), b = rng.uniform_int(kSymbols);
+  seq.push_back(a);
+  seq.push_back(b);
+  seq.push_back(kTokArrow);
+  seq.push_back(f_rule(a, b));
+  seq.push_back(kTokSep);
+}
+
+void append_lambada(std::vector<int>& seq, Rng& rng) {
+  const int x = rng.uniform_int(kSymbols), y = rng.uniform_int(kSymbols);
+  const int z = wrong_symbol(x, rng), w = rng.uniform_int(kSymbols);
+  // x=y ; z=w ; x=y
+  for (int t : {x, kTokEq, y, kTokSep, z, kTokEq, w, kTokSep, x, kTokEq, y, kTokSep})
+    seq.push_back(t);
+}
+
+void append_hellaswag(std::vector<int>& seq, Rng& rng) {
+  const int a = rng.uniform_int(kSymbols);
+  const int d = 1 + rng.uniform_int(3);
+  for (int i = 0; i < 5; ++i) seq.push_back((a + i * d) % kSymbols);
+  seq.push_back(kTokSep);
+}
+
+void append_winogrande(std::vector<int>& seq, Rng& rng) {
+  const int a = rng.uniform_int(kSymbols);
+  const int b = rng.uniform_int(kSymbols);
+  // a a ; b b ;
+  for (int t : {a, a, kTokSep, b, b, kTokSep}) seq.push_back(t);
+}
+
+constexpr int kSeqLen = 24;
+
+}  // namespace
+
+const char* task_name(TaskKind k) {
+  switch (k) {
+    case TaskKind::kPiqa: return "PIQA-like";
+    case TaskKind::kLambada: return "LAMBADA-like";
+    case TaskKind::kHellaSwag: return "HellaSwag-like";
+    case TaskKind::kWinoGrande: return "WinoGrande-like";
+  }
+  return "?";
+}
+
+std::vector<std::vector<int>> make_lm_corpus(int items, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> corpus;
+  corpus.reserve(static_cast<std::size_t>(items));
+  for (int i = 0; i < items; ++i) {
+    std::vector<int> seq;
+    const int family = i % 4;
+    while (static_cast<int>(seq.size()) < kSeqLen) {
+      switch (family) {
+        case 0: append_piqa(seq, rng); break;
+        case 1: append_lambada(seq, rng); break;
+        case 2: append_hellaswag(seq, rng); break;
+        default: append_winogrande(seq, rng); break;
+      }
+    }
+    seq.resize(kSeqLen);
+    corpus.push_back(std::move(seq));
+  }
+  return corpus;
+}
+
+std::vector<ChoiceItem> make_task_items(TaskKind kind, int items,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ChoiceItem> out;
+  out.reserve(static_cast<std::size_t>(items));
+  for (int i = 0; i < items; ++i) {
+    ChoiceItem item;
+    switch (kind) {
+      case TaskKind::kPiqa: {
+        const int a = rng.uniform_int(kSymbols), b = rng.uniform_int(kSymbols);
+        item.context = {a, b, kTokArrow};
+        item.correct = {f_rule(a, b)};
+        item.wrong = {wrong_symbol(f_rule(a, b), rng)};
+        break;
+      }
+      case TaskKind::kLambada: {
+        const int x = rng.uniform_int(kSymbols), y = rng.uniform_int(kSymbols);
+        const int z = wrong_symbol(x, rng);
+        int w = rng.uniform_int(kSymbols);
+        while (w == y) w = rng.uniform_int(kSymbols);
+        item.context = {x, kTokEq, y, kTokSep, z, kTokEq, w, kTokSep, x, kTokEq};
+        item.correct = {y};
+        item.wrong = {w};  // the distractor assignment's value
+        break;
+      }
+      case TaskKind::kHellaSwag: {
+        const int a = rng.uniform_int(kSymbols);
+        const int d = 1 + rng.uniform_int(3);
+        item.context = {a % kSymbols, (a + d) % kSymbols, (a + 2 * d) % kSymbols};
+        item.correct = {(a + 3 * d) % kSymbols};
+        item.wrong = {wrong_symbol((a + 3 * d) % kSymbols, rng)};
+        break;
+      }
+      case TaskKind::kWinoGrande: {
+        const int a = rng.uniform_int(kSymbols);
+        const int b = wrong_symbol(a, rng);
+        item.context = {a, a, kTokSep, b};
+        item.correct = {b};
+        item.wrong = {wrong_symbol(b, rng)};
+        break;
+      }
+    }
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+}  // namespace sysnoise::nlp

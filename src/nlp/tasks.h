@@ -1,0 +1,45 @@
+// Synthetic NLP benchmark tasks shaped like the paper's four datasets
+// (PIQA, LAMBADA, HellaSwag, WinoGrande). A small deterministic "language"
+// over a symbol alphabet provides learnable regularities; each task is a
+// two-way multiple choice scored by LM log-likelihood, exactly like the
+// originals.
+//
+//  * PIQA-like   : functional rule "a b -> f(a,b)"; pick the correct result.
+//  * LAMBADA-like: long-range recall "x=y ; ... ; x=?" — copy from context.
+//  * HellaSwag-like: sequence continuation of an arithmetic progression.
+//  * WinoGrande-like: agreement — a doubled symbol pattern must re-use the
+//    matching earlier symbol.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace sysnoise::nlp {
+
+// Token alphabet: 0..kSymbols-1 are symbols, then separators.
+constexpr int kSymbols = 16;
+constexpr int kTokSep = kSymbols;      // ';'
+constexpr int kTokArrow = kSymbols + 1;  // '->'
+constexpr int kTokEq = kSymbols + 2;     // '='
+constexpr int kVocab = kSymbols + 3;
+
+enum class TaskKind { kPiqa = 0, kLambada = 1, kHellaSwag = 2, kWinoGrande = 3 };
+constexpr int kNumTasks = 4;
+const char* task_name(TaskKind k);
+
+struct ChoiceItem {
+  std::vector<int> context;
+  std::vector<int> correct;
+  std::vector<int> wrong;
+};
+
+// Training corpus: sequences exhibiting all four regularities (fixed length).
+std::vector<std::vector<int>> make_lm_corpus(int items, std::uint64_t seed);
+
+// Evaluation items for one task.
+std::vector<ChoiceItem> make_task_items(TaskKind kind, int items,
+                                        std::uint64_t seed);
+
+}  // namespace sysnoise::nlp

@@ -1,0 +1,104 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace sysnoise::nn {
+
+Tensor kaiming_normal(std::vector<int> shape, int fan_in, Rng& rng) {
+  Tensor t(std::move(shape));
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (float& v : t.vec()) v = rng.normal_f(0.0f, stddev);
+  return t;
+}
+
+Tensor xavier_uniform(std::vector<int> shape, int fan_in, int fan_out, Rng& rng) {
+  Tensor t(std::move(shape));
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& v : t.vec()) v = rng.uniform_f(-bound, bound);
+  return t;
+}
+
+Conv2d::Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad, Rng& rng,
+               std::string layer_id, int groups, bool bias)
+    : has_bias(bias), id(std::move(layer_id)) {
+  const int icg = in_ch / groups;
+  w = Param(kaiming_normal({out_ch, icg, kernel, kernel}, icg * kernel * kernel, rng));
+  if (has_bias) b = Param(Tensor({out_ch}));
+  spec.stride = stride;
+  spec.pad = pad;
+  spec.groups = groups;
+}
+
+void Conv2d::collect(ParamRefs& out) {
+  out.push_back(&w);
+  if (has_bias) out.push_back(&b);
+}
+
+Linear::Linear(int in_f, int out_f, Rng& rng, std::string layer_id, bool bias)
+    : has_bias(bias), id(std::move(layer_id)) {
+  w = Param(xavier_uniform({out_f, in_f}, in_f, out_f, rng));
+  if (has_bias) b = Param(Tensor({out_f}));
+}
+
+void Linear::collect(ParamRefs& out) {
+  out.push_back(&w);
+  if (has_bias) out.push_back(&b);
+}
+
+BatchNorm2d::BatchNorm2d(int channels)
+    : gamma(Tensor::full({channels}, 1.0f)),
+      beta(Tensor({channels})),
+      running_mean(Tensor({channels})),
+      running_var(Tensor::full({channels}, 1.0f)) {}
+
+void BatchNorm2d::collect(ParamRefs& out) {
+  out.push_back(&gamma);
+  out.push_back(&beta);
+}
+
+void BatchNorm2d::collect_affine(ParamRefs& out) {
+  out.push_back(&gamma);
+  out.push_back(&beta);
+}
+
+LayerNorm::LayerNorm(int dim)
+    : gamma(Tensor::full({dim}, 1.0f)), beta(Tensor({dim})) {}
+
+void LayerNorm::collect(ParamRefs& out) {
+  out.push_back(&gamma);
+  out.push_back(&beta);
+}
+
+Embedding::Embedding(int vocab, int dim, Rng& rng) {
+  Tensor t({vocab, dim});
+  for (float& v : t.vec()) v = rng.normal_f(0.0f, 0.02f);
+  table = Param(std::move(t));
+}
+
+void Embedding::collect(ParamRefs& out) { out.push_back(&table); }
+
+MultiHeadAttention::MultiHeadAttention(int dim, int num_heads, bool causal_mask,
+                                       Rng& rng, const std::string& layer_id)
+    : wq(dim, dim, rng, layer_id + ".q"),
+      wk(dim, dim, rng, layer_id + ".k"),
+      wv(dim, dim, rng, layer_id + ".v"),
+      wo(dim, dim, rng, layer_id + ".o"),
+      heads(num_heads),
+      causal(causal_mask) {}
+
+Node* MultiHeadAttention::operator()(Tape& t, Node* x) {
+  Node* q = wq(t, x);
+  Node* k = wk(t, x);
+  Node* v = wv(t, x);
+  Node* attn = attention_core(t, q, k, v, heads, causal);
+  return wo(t, attn);
+}
+
+void MultiHeadAttention::collect(ParamRefs& out) {
+  wq.collect(out);
+  wk.collect(out);
+  wv.collect(out);
+  wo.collect(out);
+}
+
+}  // namespace sysnoise::nn

@@ -1,0 +1,105 @@
+// Parameter-owning layer structs. Each is a thin wrapper that owns Params
+// (and running stats) and forwards through the ops in ops.h; models compose
+// them freely in their own forward functions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/ops.h"
+#include "tensor/rng.h"
+
+namespace sysnoise::nn {
+
+// Collects every trainable Param of a module tree (for optimizers and
+// serialization). Layers register themselves via collect().
+using ParamRefs = std::vector<Param*>;
+// Non-trainable persistent state (batch-norm running statistics).
+using StateRefs = std::vector<Tensor*>;
+
+struct Conv2d {
+  Param w;  // [OC, IC/groups, K, K]
+  Param b;  // [OC] (empty when !has_bias)
+  Conv2dSpec spec;
+  bool has_bias = true;
+  std::string id;
+
+  Conv2d() = default;
+  Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad, Rng& rng,
+         std::string layer_id, int groups = 1, bool bias = true);
+  Node* operator()(Tape& t, Node* x) {
+    return conv2d(t, x, w, has_bias ? &b : nullptr, spec, id);
+  }
+  void collect(ParamRefs& out);
+};
+
+struct Linear {
+  Param w;  // [out, in]
+  Param b;  // [out]
+  bool has_bias = true;
+  std::string id;
+
+  Linear() = default;
+  Linear(int in_f, int out_f, Rng& rng, std::string layer_id, bool bias = true);
+  Node* operator()(Tape& t, Node* x) {
+    return linear(t, x, w, has_bias ? &b : nullptr, id);
+  }
+  void collect(ParamRefs& out);
+};
+
+struct BatchNorm2d {
+  Param gamma, beta;
+  Tensor running_mean, running_var;
+
+  BatchNorm2d() = default;
+  explicit BatchNorm2d(int channels);
+  // Mode selected from the tape: training -> kTrain, else adapt flag.
+  Node* operator()(Tape& t, Node* x, BnMode mode) {
+    return batchnorm2d(t, x, gamma, beta, running_mean, running_var, mode);
+  }
+  void collect(ParamRefs& out);
+  // Affine-only refs (what TENT is allowed to update).
+  void collect_affine(ParamRefs& out);
+  // Running statistics (persisted with the weights).
+  void collect_state(StateRefs& out) {
+    out.push_back(&running_mean);
+    out.push_back(&running_var);
+  }
+};
+
+struct LayerNorm {
+  Param gamma, beta;
+  LayerNorm() = default;
+  explicit LayerNorm(int dim);
+  Node* operator()(Tape& t, Node* x) { return layernorm(t, x, gamma, beta); }
+  void collect(ParamRefs& out);
+};
+
+struct Embedding {
+  Param table;  // [V, D]
+  Embedding() = default;
+  Embedding(int vocab, int dim, Rng& rng);
+  Node* operator()(Tape& t, const std::vector<int>& ids, int batch, int seq) {
+    return embedding(t, ids, batch, seq, table);
+  }
+  void collect(ParamRefs& out);
+};
+
+// Multi-head self-attention block: q/k/v/out projections + attention core.
+struct MultiHeadAttention {
+  Linear wq, wk, wv, wo;
+  int heads = 1;
+  bool causal = false;
+
+  MultiHeadAttention() = default;
+  MultiHeadAttention(int dim, int num_heads, bool causal_mask, Rng& rng,
+                     const std::string& layer_id);
+  Node* operator()(Tape& t, Node* x);
+  void collect(ParamRefs& out);
+};
+
+// Initializers (deterministic given the rng).
+Tensor kaiming_normal(std::vector<int> shape, int fan_in, Rng& rng);
+Tensor xavier_uniform(std::vector<int> shape, int fan_in, int fan_out, Rng& rng);
+
+}  // namespace sysnoise::nn

@@ -1,0 +1,33 @@
+// Secondary ops used by specific model families (SE blocks, ViT/Swin
+// token plumbing, segmentation heads).
+#pragma once
+
+#include "nn/ops.h"
+
+namespace sysnoise::nn {
+
+// x * sigmoid(x) (EfficientNet's activation).
+Node* silu(Tape& t, Node* x);
+
+// Broadcast multiply: x [N,C,H,W] scaled per (n, c) by s [N,C] (SE gate).
+Node* channel_scale(Tape& t, Node* x, Node* s);
+
+// x [B,T,D] + pos [1,T,D] broadcast over batch (learned position embedding).
+Node* add_pos_embedding(Tape& t, Node* x, Param& pos);
+
+// Mean over the token axis: [B,T,D] -> [B,D].
+Node* mean_tokens(Tape& t, Node* x);
+
+// [N,C,H,W] -> [N,H,W,C] (for per-pixel losses over the channel axis).
+Node* nchw_to_nhwc(Tape& t, Node* x);
+
+// Partition a [B, H*W, D] token map (H, W given) into non-overlapping
+// win x win windows: output [B*nw, win*win, D]. Inverse: window_merge.
+Node* window_partition(Tape& t, Node* x, int h, int w, int win);
+Node* window_merge(Tape& t, Node* x, int h, int w, int win, int batch);
+
+// 2x2 patch merging for Swin-style downsampling: [B, H*W, D] ->
+// [B, (H/2)*(W/2), 4D] by concatenating each 2x2 neighbourhood.
+Node* patch_merge(Tape& t, Node* x, int h, int w);
+
+}  // namespace sysnoise::nn

@@ -1,0 +1,84 @@
+#include "nn/optim.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sysnoise::nn {
+
+Sgd::Sgd(std::vector<Param*> params, float lr, float momentum, float weight_decay)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    Tensor& vel = velocity_[i];
+    for (std::size_t j = 0; j < p->value.size(); ++j) {
+      float g = p->grad[j] + weight_decay_ * p->value[j];
+      vel[j] = momentum_ * vel[j] + g;
+      p->value[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2, float eps,
+           float weight_decay)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    for (std::size_t j = 0; j < p->value.size(); ++j) {
+      const float g = p->grad[j] + weight_decay_ * p->value[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
+      const float mhat = m_[i][j] / bc1;
+      const float vhat = v_[i][j] / bc2;
+      p->value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+float cosine_lr(float base_lr, int step, int total_steps) {
+  if (total_steps <= 0) return base_lr;
+  const float t = static_cast<float>(step) / static_cast<float>(total_steps);
+  return base_lr * 0.5f * (1.0f + std::cos(std::numbers::pi_v<float> * t));
+}
+
+float clip_grad_norm(const std::vector<Param*>& params, float max_norm) {
+  double total = 0.0;
+  for (const Param* p : params)
+    for (std::size_t j = 0; j < p->grad.size(); ++j)
+      total += static_cast<double>(p->grad[j]) * p->grad[j];
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float s = max_norm / norm;
+    for (Param* p : params)
+      for (std::size_t j = 0; j < p->grad.size(); ++j) p->grad[j] *= s;
+  }
+  return norm;
+}
+
+}  // namespace sysnoise::nn

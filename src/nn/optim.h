@@ -1,0 +1,46 @@
+// Optimizers over collections of Param*.
+#pragma once
+
+#include <vector>
+
+#include "nn/tape.h"
+
+namespace sysnoise::nn {
+
+class Sgd {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  float lr_, momentum_, weight_decay_;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> m_, v_;
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  long step_count_ = 0;
+};
+
+// Cosine LR schedule helper: lr(t) = base * 0.5*(1+cos(pi * t / total)).
+float cosine_lr(float base_lr, int step, int total_steps);
+
+// Global gradient-norm clipping; returns the pre-clip norm.
+float clip_grad_norm(const std::vector<Param*>& params, float max_norm);
+
+}  // namespace sysnoise::nn

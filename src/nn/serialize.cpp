@@ -1,0 +1,107 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace sysnoise::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53594E50;  // "SYNP"
+
+void write_tensor(std::ofstream& f, const Tensor& t) {
+  const auto rank = static_cast<std::uint32_t>(t.rank());
+  f.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (int d : t.shape()) {
+    const auto dd = static_cast<std::int32_t>(d);
+    f.write(reinterpret_cast<const char*>(&dd), sizeof(dd));
+  }
+  f.write(reinterpret_cast<const char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+bool read_tensor(std::ifstream& f, Tensor& t) {
+  std::uint32_t rank = 0;
+  f.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!f) return false;
+  std::vector<int> shape(rank);
+  for (auto& d : shape) {
+    std::int32_t dd = 0;
+    f.read(reinterpret_cast<char*>(&dd), sizeof(dd));
+    d = dd;
+  }
+  if (shape != t.shape())
+    throw std::runtime_error("load_params: shape mismatch (stale cache?)");
+  f.read(reinterpret_cast<char*>(t.data()),
+         static_cast<std::streamsize>(t.size() * sizeof(float)));
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+void save_params(const std::string& path, const std::vector<Param*>& params,
+                 const std::vector<const Tensor*>& extra_state) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_params: cannot open " + path);
+  f.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  const auto count =
+      static_cast<std::uint32_t>(params.size() + extra_state.size());
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Param* p : params) write_tensor(f, p->value);
+  for (const Tensor* t : extra_state) write_tensor(f, *t);
+  if (!f) throw std::runtime_error("save_params: write failed " + path);
+}
+
+bool load_params(const std::string& path, const std::vector<Param*>& params,
+                 const std::vector<Tensor*>& extra_state) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::uint32_t magic = 0, count = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (magic != kMagic) throw std::runtime_error("load_params: bad magic " + path);
+  if (count != params.size() + extra_state.size())
+    throw std::runtime_error("load_params: param count mismatch " + path);
+  for (Param* p : params)
+    if (!read_tensor(f, p->value)) return false;
+  for (Tensor* t : extra_state)
+    if (!read_tensor(f, *t)) return false;
+  return true;
+}
+
+void save_ranges(const std::string& path, const ActRanges& ranges) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_ranges: cannot open " + path);
+  const auto count = static_cast<std::uint32_t>(ranges.size());
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [key, obs] : ranges) {
+    const auto len = static_cast<std::uint32_t>(key.size());
+    f.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    f.write(key.data(), static_cast<std::streamsize>(len));
+    f.write(reinterpret_cast<const char*>(&obs.lo), sizeof(obs.lo));
+    f.write(reinterpret_cast<const char*>(&obs.hi), sizeof(obs.hi));
+  }
+}
+
+bool load_ranges(const std::string& path, ActRanges& ranges) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::uint32_t count = 0;
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t len = 0;
+    f.read(reinterpret_cast<char*>(&len), sizeof(len));
+    std::string key(len, '\0');
+    f.read(key.data(), static_cast<std::streamsize>(len));
+    RangeObserver obs;
+    f.read(reinterpret_cast<char*>(&obs.lo), sizeof(obs.lo));
+    f.read(reinterpret_cast<char*>(&obs.hi), sizeof(obs.hi));
+    obs.seen = true;
+    if (!f) return false;
+    ranges[key] = obs;
+  }
+  return true;
+}
+
+}  // namespace sysnoise::nn

@@ -1,0 +1,73 @@
+#include "quant/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sysnoise {
+
+QuantParams choose_qparams(float lo, float hi) {
+  lo = std::min(lo, 0.0f);
+  hi = std::max(hi, 0.0f);
+  if (hi - lo < 1e-8f) return {1.0f, 0};
+  QuantParams qp;
+  qp.scale = (hi - lo) / 255.0f;
+  const float zp = -128.0f - lo / qp.scale;
+  qp.zero_point = static_cast<int>(std::lround(std::clamp(zp, -128.0f, 127.0f)));
+  return qp;
+}
+
+QuantParams choose_qparams_symmetric(float abs_max) {
+  if (abs_max < 1e-8f) return {1.0f, 0};
+  return {abs_max / 127.0f, 0};
+}
+
+std::int8_t quantize_value(float v, const QuantParams& qp) {
+  const float q = std::nearbyintf(v / qp.scale) + static_cast<float>(qp.zero_point);
+  return static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
+}
+
+float dequantize_value(std::int8_t q, const QuantParams& qp) {
+  return (static_cast<float>(q) - static_cast<float>(qp.zero_point)) * qp.scale;
+}
+
+void fake_quantize_(Tensor& t, const QuantParams& qp) {
+  for (float& v : t.vec()) v = dequantize_value(quantize_value(v, qp), qp);
+}
+
+std::vector<std::int8_t> quantize_tensor(const Tensor& t, const QuantParams& qp) {
+  std::vector<std::int8_t> out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) out[i] = quantize_value(t[i], qp);
+  return out;
+}
+
+void RangeObserver::observe(const Tensor& t) {
+  if (t.empty()) return;
+  const float mn = t.min(), mx = t.max();
+  if (!seen) {
+    lo = mn;
+    hi = mx;
+    seen = true;
+  } else {
+    lo = std::min(lo, mn);
+    hi = std::max(hi, mx);
+  }
+}
+
+void int8_gemm_dequant(int m, int n, int k, const std::int8_t* a,
+                       const QuantParams& qa, const std::int8_t* b,
+                       const QuantParams& qb, float* c_fp32) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (int kk = 0; kk < k; ++kk) {
+        const std::int32_t av = a[static_cast<std::size_t>(i) * k + kk] - qa.zero_point;
+        const std::int32_t bv = b[static_cast<std::size_t>(kk) * n + j] - qb.zero_point;
+        acc += av * bv;
+      }
+      c_fp32[static_cast<std::size_t>(i) * n + j] =
+          static_cast<float>(acc) * qa.scale * qb.scale;
+    }
+  }
+}
+
+}  // namespace sysnoise

@@ -1,0 +1,53 @@
+// Interpolation kernel functions shared by the two resampler styles.
+// Formulas follow the paper's Appendix A and the reference implementations
+// (Pillow's Resample.c, OpenCV's resize.cpp).
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace sysnoise {
+
+inline double sinc(double x) {
+  if (x == 0.0) return 1.0;
+  x *= std::numbers::pi;
+  return std::sin(x) / x;
+}
+
+// Triangle / bilinear kernel, support 1.
+inline double filter_triangle(double x) {
+  x = std::fabs(x);
+  return x < 1.0 ? 1.0 - x : 0.0;
+}
+
+// Box kernel, support 0.5 (Pillow's BOX).
+inline double filter_box(double x) {
+  return (x > -0.5 && x <= 0.5) ? 1.0 : 0.0;
+}
+
+// Hamming-windowed sinc, support 1 (Pillow's HAMMING).
+inline double filter_hamming(double x) {
+  x = std::fabs(x);
+  if (x == 0.0) return 1.0;
+  if (x >= 1.0) return 0.0;
+  x *= std::numbers::pi;
+  return std::sin(x) / x * (0.54 + 0.46 * std::cos(x));
+}
+
+// Keys cubic kernel with free parameter a; support 2.
+// Pillow uses a = -0.5, OpenCV uses a = -0.75 — one of the "same name,
+// different numbers" package mismatches the paper highlights.
+inline double filter_cubic(double x, double a) {
+  x = std::fabs(x);
+  if (x < 1.0) return ((a + 2.0) * x - (a + 3.0)) * x * x + 1.0;
+  if (x < 2.0) return (((x - 5.0) * x + 8.0) * x - 4.0) * a;
+  return 0.0;
+}
+
+// Lanczos kernel with lobe count `n` (Pillow: 3, OpenCV: 4).
+inline double filter_lanczos(double x, int n) {
+  if (std::fabs(x) >= static_cast<double>(n)) return 0.0;
+  return sinc(x) * sinc(x / static_cast<double>(n));
+}
+
+}  // namespace sysnoise

@@ -1,0 +1,171 @@
+#include "resize/opencv_resize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "resize/filters.h"
+
+namespace sysnoise {
+
+namespace {
+
+constexpr int kCoefBits = 11;  // OpenCV INTER_RESIZE_COEF_BITS
+constexpr int kCoefScale = 1 << kCoefBits;
+
+ImageU8 cv_nearest(const ImageU8& src, int out_h, int out_w) {
+  const double sy = static_cast<double>(src.height()) / out_h;
+  const double sx = static_cast<double>(src.width()) / out_w;
+  ImageU8 out(out_h, out_w, src.channels());
+  for (int y = 0; y < out_h; ++y) {
+    // OpenCV INTER_NEAREST: floor(dst * scale) — no half-pixel shift,
+    // a deliberate asymmetry vs Pillow's center-based nearest.
+    const int iy = std::min(static_cast<int>(y * sy), src.height() - 1);
+    for (int x = 0; x < out_w; ++x) {
+      const int ix = std::min(static_cast<int>(x * sx), src.width() - 1);
+      for (int ch = 0; ch < src.channels(); ++ch)
+        out.at(y, x, ch) = src.at(iy, ix, ch);
+    }
+  }
+  return out;
+}
+
+ImageU8 cv_linear(const ImageU8& src, int out_h, int out_w) {
+  const double sy = static_cast<double>(src.height()) / out_h;
+  const double sx = static_cast<double>(src.width()) / out_w;
+  const int c = src.channels();
+  ImageU8 out(out_h, out_w, c);
+  for (int y = 0; y < out_h; ++y) {
+    double fy = (y + 0.5) * sy - 0.5;
+    int iy = static_cast<int>(std::floor(fy));
+    fy -= iy;
+    if (iy < 0) { iy = 0; fy = 0.0; }
+    if (iy >= src.height() - 1) { iy = src.height() - 1; fy = 0.0; }
+    const int wy1 = static_cast<int>(std::lround(fy * kCoefScale));
+    const int wy0 = kCoefScale - wy1;
+    for (int x = 0; x < out_w; ++x) {
+      double fx = (x + 0.5) * sx - 0.5;
+      int ix = static_cast<int>(std::floor(fx));
+      fx -= ix;
+      if (ix < 0) { ix = 0; fx = 0.0; }
+      if (ix >= src.width() - 1) { ix = src.width() - 1; fx = 0.0; }
+      const int wx1 = static_cast<int>(std::lround(fx * kCoefScale));
+      const int wx0 = kCoefScale - wx1;
+      const int iy1 = std::min(iy + 1, src.height() - 1);
+      const int ix1 = std::min(ix + 1, src.width() - 1);
+      for (int ch = 0; ch < c; ++ch) {
+        const std::int64_t acc =
+            static_cast<std::int64_t>(wy0) * (wx0 * src.at(iy, ix, ch) + wx1 * src.at(iy, ix1, ch)) +
+            static_cast<std::int64_t>(wy1) * (wx0 * src.at(iy1, ix, ch) + wx1 * src.at(iy1, ix1, ch));
+        out.at(y, x, ch) = clamp_u8(
+            static_cast<int>((acc + (1ll << (2 * kCoefBits - 1))) >> (2 * kCoefBits)));
+      }
+    }
+  }
+  return out;
+}
+
+// Generic float-kernel sampler with fixed taps (cubic: 4, lanczos4: 8).
+ImageU8 cv_kernel(const ImageU8& src, int out_h, int out_w, int taps,
+                  double (*kernel)(double)) {
+  const double sy = static_cast<double>(src.height()) / out_h;
+  const double sx = static_cast<double>(src.width()) / out_w;
+  const int c = src.channels();
+  const int half = taps / 2;
+  ImageU8 out(out_h, out_w, c);
+  std::vector<double> wy(static_cast<std::size_t>(taps)),
+      wx(static_cast<std::size_t>(taps));
+  for (int y = 0; y < out_h; ++y) {
+    const double fy = (y + 0.5) * sy - 0.5;
+    const int iy = static_cast<int>(std::floor(fy));
+    double sumy = 0.0;
+    for (int i = 0; i < taps; ++i) {
+      wy[static_cast<std::size_t>(i)] = kernel(fy - (iy - half + 1 + i));
+      sumy += wy[static_cast<std::size_t>(i)];
+    }
+    for (auto& v : wy) v /= sumy;
+    for (int x = 0; x < out_w; ++x) {
+      const double fx = (x + 0.5) * sx - 0.5;
+      const int ix = static_cast<int>(std::floor(fx));
+      double sumx = 0.0;
+      for (int i = 0; i < taps; ++i) {
+        wx[static_cast<std::size_t>(i)] = kernel(fx - (ix - half + 1 + i));
+        sumx += wx[static_cast<std::size_t>(i)];
+      }
+      for (auto& v : wx) v /= sumx;
+      for (int ch = 0; ch < c; ++ch) {
+        double acc = 0.0;
+        for (int i = 0; i < taps; ++i) {
+          const int yy = iy - half + 1 + i;
+          double row = 0.0;
+          for (int j = 0; j < taps; ++j) {
+            const int xx = ix - half + 1 + j;
+            row += wx[static_cast<std::size_t>(j)] * src.at_clamped(yy, xx, ch);
+          }
+          acc += wy[static_cast<std::size_t>(i)] * row;
+        }
+        out.at(y, x, ch) = clamp_u8f(static_cast<float>(acc));
+      }
+    }
+  }
+  return out;
+}
+
+double cubic_cv(double x) { return filter_cubic(x, -0.75); }
+double lanczos4(double x) { return filter_lanczos(x, 4); }
+
+// Exact fractional box coverage for downscale (INTER_AREA).
+ImageU8 cv_area_down(const ImageU8& src, int out_h, int out_w) {
+  const double sy = static_cast<double>(src.height()) / out_h;
+  const double sx = static_cast<double>(src.width()) / out_w;
+  const int c = src.channels();
+  ImageU8 out(out_h, out_w, c);
+  for (int y = 0; y < out_h; ++y) {
+    const double y0 = y * sy, y1 = (y + 1) * sy;
+    const int iy0 = static_cast<int>(std::floor(y0));
+    const int iy1 = std::min(static_cast<int>(std::ceil(y1)), src.height());
+    for (int x = 0; x < out_w; ++x) {
+      const double x0 = x * sx, x1 = (x + 1) * sx;
+      const int ix0 = static_cast<int>(std::floor(x0));
+      const int ix1 = std::min(static_cast<int>(std::ceil(x1)), src.width());
+      for (int ch = 0; ch < c; ++ch) {
+        double acc = 0.0, area = 0.0;
+        for (int yy = iy0; yy < iy1; ++yy) {
+          const double hy = std::min<double>(yy + 1, y1) - std::max<double>(yy, y0);
+          for (int xx = ix0; xx < ix1; ++xx) {
+            const double wxp = std::min<double>(xx + 1, x1) - std::max<double>(xx, x0);
+            acc += hy * wxp * src.at(yy, xx, ch);
+            area += hy * wxp;
+          }
+        }
+        out.at(y, x, ch) = clamp_u8f(static_cast<float>(acc / area));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ImageU8 opencv_resize(const ImageU8& src, int out_h, int out_w, CvInterp interp) {
+  if (out_h <= 0 || out_w <= 0)
+    throw std::invalid_argument("opencv_resize: bad output size");
+  switch (interp) {
+    case CvInterp::kNearest:
+      return cv_nearest(src, out_h, out_w);
+    case CvInterp::kLinear:
+      return cv_linear(src, out_h, out_w);
+    case CvInterp::kCubic:
+      return cv_kernel(src, out_h, out_w, 4, cubic_cv);
+    case CvInterp::kLanczos4:
+      return cv_kernel(src, out_h, out_w, 8, lanczos4);
+    case CvInterp::kArea:
+      if (out_h <= src.height() && out_w <= src.width())
+        return cv_area_down(src, out_h, out_w);
+      return cv_linear(src, out_h, out_w);  // OpenCV's upscale fallback
+  }
+  throw std::logic_error("opencv_resize: unknown interp");
+}
+
+}  // namespace sysnoise

@@ -1,0 +1,18 @@
+// OpenCV-style resampler (mirrors modules/imgproc/resize.cpp semantics):
+//  * half-pixel mapping fx = (dst+0.5)*scale - 0.5,
+//  * kernels have FIXED support regardless of scale (no antialias),
+//  * bilinear runs in 11-bit fixed point (INTER_RESIZE_COEF_BITS),
+//  * bicubic uses a = -0.75 (vs Pillow's -0.5), lanczos has 4 lobes (vs 3),
+//  * INTER_AREA does exact fractional box coverage on downscale and falls
+//    back to bilinear on upscale.
+#pragma once
+
+#include "image/image.h"
+
+namespace sysnoise {
+
+enum class CvInterp { kNearest, kLinear, kArea, kCubic, kLanczos4 };
+
+ImageU8 opencv_resize(const ImageU8& src, int out_h, int out_w, CvInterp interp);
+
+}  // namespace sysnoise

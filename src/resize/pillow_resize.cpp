@@ -1,0 +1,156 @@
+#include "resize/pillow_resize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "resize/filters.h"
+
+namespace sysnoise {
+
+namespace {
+
+// Pillow's fixed-point precision for uint8 resampling (Resample.c).
+constexpr int kPrecisionBits = 32 - 8 - 2;
+
+struct FilterDef {
+  double (*fn)(double);
+  double support;
+};
+
+double cubic_pillow(double x) { return filter_cubic(x, -0.5); }
+double lanczos3(double x) { return filter_lanczos(x, 3); }
+
+FilterDef filter_def(PillowFilter f) {
+  switch (f) {
+    case PillowFilter::kBox: return {filter_box, 0.5};
+    case PillowFilter::kBilinear: return {filter_triangle, 1.0};
+    case PillowFilter::kHamming: return {filter_hamming, 1.0};
+    case PillowFilter::kBicubic: return {cubic_pillow, 2.0};
+    case PillowFilter::kLanczos: return {lanczos3, 3.0};
+    case PillowFilter::kNearest: break;
+  }
+  throw std::logic_error("filter_def: nearest has no kernel");
+}
+
+// Precomputed bounds + normalized fixed-point coefficients for one axis
+// (PIL precompute_coeffs).
+struct AxisCoeffs {
+  std::vector<int> xmin;                 // first source index per output
+  std::vector<int> xsize;                // tap count per output
+  std::vector<std::vector<int>> coeffs;  // fixed-point weights per output
+};
+
+AxisCoeffs precompute(int in_size, int out_size, const FilterDef& fd) {
+  AxisCoeffs ac;
+  ac.xmin.resize(static_cast<std::size_t>(out_size));
+  ac.xsize.resize(static_cast<std::size_t>(out_size));
+  ac.coeffs.resize(static_cast<std::size_t>(out_size));
+
+  const double scale = static_cast<double>(in_size) / out_size;
+  const double filterscale = std::max(scale, 1.0);  // antialias on downscale
+  const double support = fd.support * filterscale;
+
+  std::vector<double> w;
+  for (int xx = 0; xx < out_size; ++xx) {
+    const double center = (xx + 0.5) * scale;
+    int xmin = static_cast<int>(center - support + 0.5);
+    if (xmin < 0) xmin = 0;
+    int xmax = static_cast<int>(center + support + 0.5);
+    if (xmax > in_size) xmax = in_size;
+    const int n = xmax - xmin;
+
+    w.assign(static_cast<std::size_t>(n), 0.0);
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double val = fd.fn((xmin + i + 0.5 - center) / filterscale);
+      w[static_cast<std::size_t>(i)] = val;
+      total += val;
+    }
+    std::vector<int> fixed(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const double norm = total != 0.0 ? w[static_cast<std::size_t>(i)] / total : 0.0;
+      // Pillow rounds half away from zero when quantizing coefficients.
+      fixed[static_cast<std::size_t>(i)] =
+          static_cast<int>(std::round(norm * (1 << kPrecisionBits)));
+    }
+    ac.xmin[static_cast<std::size_t>(xx)] = xmin;
+    ac.xsize[static_cast<std::size_t>(xx)] = n;
+    ac.coeffs[static_cast<std::size_t>(xx)] = std::move(fixed);
+  }
+  return ac;
+}
+
+std::uint8_t clip8(std::int64_t acc) {
+  // Pillow: add half, shift, clamp.
+  const std::int64_t v = (acc + (1ll << (kPrecisionBits - 1))) >> kPrecisionBits;
+  return clamp_u8(static_cast<int>(std::clamp<std::int64_t>(v, 0, 255)));
+}
+
+ImageU8 resample_horizontal(const ImageU8& src, int out_w, const AxisCoeffs& ac) {
+  const int h = src.height(), c = src.channels();
+  ImageU8 out(h, out_w, c);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < out_w; ++x) {
+      const int xmin = ac.xmin[static_cast<std::size_t>(x)];
+      const auto& cf = ac.coeffs[static_cast<std::size_t>(x)];
+      for (int ch = 0; ch < c; ++ch) {
+        std::int64_t acc = 0;
+        for (int i = 0; i < ac.xsize[static_cast<std::size_t>(x)]; ++i)
+          acc += static_cast<std::int64_t>(cf[static_cast<std::size_t>(i)]) *
+                 src.at(y, xmin + i, ch);
+        out.at(y, x, ch) = clip8(acc);
+      }
+    }
+  return out;
+}
+
+ImageU8 resample_vertical(const ImageU8& src, int out_h, const AxisCoeffs& ac) {
+  const int w = src.width(), c = src.channels();
+  ImageU8 out(out_h, w, c);
+  for (int y = 0; y < out_h; ++y) {
+    const int ymin = ac.xmin[static_cast<std::size_t>(y)];
+    const auto& cf = ac.coeffs[static_cast<std::size_t>(y)];
+    for (int x = 0; x < w; ++x)
+      for (int ch = 0; ch < c; ++ch) {
+        std::int64_t acc = 0;
+        for (int i = 0; i < ac.xsize[static_cast<std::size_t>(y)]; ++i)
+          acc += static_cast<std::int64_t>(cf[static_cast<std::size_t>(i)]) *
+                 src.at(ymin + i, x, ch);
+        out.at(y, x, ch) = clip8(acc);
+      }
+  }
+  return out;
+}
+
+ImageU8 nearest_resize(const ImageU8& src, int out_h, int out_w) {
+  const double sy = static_cast<double>(src.height()) / out_h;
+  const double sx = static_cast<double>(src.width()) / out_w;
+  ImageU8 out(out_h, out_w, src.channels());
+  for (int y = 0; y < out_h; ++y) {
+    const int iy = std::min(static_cast<int>((y + 0.5) * sy), src.height() - 1);
+    for (int x = 0; x < out_w; ++x) {
+      const int ix = std::min(static_cast<int>((x + 0.5) * sx), src.width() - 1);
+      for (int ch = 0; ch < src.channels(); ++ch)
+        out.at(y, x, ch) = src.at(iy, ix, ch);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ImageU8 pillow_resize(const ImageU8& src, int out_h, int out_w, PillowFilter f) {
+  if (out_h <= 0 || out_w <= 0)
+    throw std::invalid_argument("pillow_resize: bad output size");
+  if (f == PillowFilter::kNearest) return nearest_resize(src, out_h, out_w);
+  const FilterDef fd = filter_def(f);
+  // Horizontal then vertical, with uint8 rounding between passes (as PIL).
+  const AxisCoeffs hx = precompute(src.width(), out_w, fd);
+  ImageU8 tmp = resample_horizontal(src, out_w, hx);
+  const AxisCoeffs vx = precompute(src.height(), out_h, fd);
+  return resample_vertical(tmp, out_h, vx);
+}
+
+}  // namespace sysnoise

@@ -1,0 +1,18 @@
+// Pillow-style separable resampler (mirrors PIL Resample.c):
+//  * output pixel centers map to input as (i + 0.5) * scale,
+//  * the kernel support is stretched by max(1, scale) => antialiasing when
+//    downscaling,
+//  * coefficients are normalized then quantized to fixed point with
+//    Pillow's PRECISION_BITS, and each of the two passes rounds back to
+//    uint8 (double rounding, faithful to Pillow).
+#pragma once
+
+#include "image/image.h"
+
+namespace sysnoise {
+
+enum class PillowFilter { kNearest, kBox, kBilinear, kHamming, kBicubic, kLanczos };
+
+ImageU8 pillow_resize(const ImageU8& src, int out_h, int out_w, PillowFilter f);
+
+}  // namespace sysnoise

@@ -1,0 +1,93 @@
+#include "resize/resize.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "resize/opencv_resize.h"
+#include "resize/pillow_resize.h"
+
+namespace sysnoise {
+
+const char* resize_method_name(ResizeMethod m) {
+  switch (m) {
+    case ResizeMethod::kPillowBilinear: return "Pillow-bilinear";
+    case ResizeMethod::kPillowNearest: return "Pillow-nearest";
+    case ResizeMethod::kPillowBox: return "Pillow-box";
+    case ResizeMethod::kPillowHamming: return "Pillow-hamming";
+    case ResizeMethod::kPillowBicubic: return "Pillow-cubic";
+    case ResizeMethod::kPillowLanczos: return "Pillow-lanczos";
+    case ResizeMethod::kOpenCVBilinear: return "OpenCV-bilinear";
+    case ResizeMethod::kOpenCVNearest: return "OpenCV-nearest";
+    case ResizeMethod::kOpenCVArea: return "OpenCV-area";
+    case ResizeMethod::kOpenCVBicubic: return "OpenCV-cubic";
+    case ResizeMethod::kOpenCVLanczos4: return "OpenCV-lanczos";
+  }
+  return "?";
+}
+
+const std::vector<ResizeMethod>& all_resize_methods() {
+  static const std::vector<ResizeMethod> all = {
+      ResizeMethod::kPillowBilinear, ResizeMethod::kPillowNearest,
+      ResizeMethod::kPillowBox,      ResizeMethod::kPillowHamming,
+      ResizeMethod::kPillowBicubic,  ResizeMethod::kPillowLanczos,
+      ResizeMethod::kOpenCVBilinear, ResizeMethod::kOpenCVNearest,
+      ResizeMethod::kOpenCVArea,     ResizeMethod::kOpenCVBicubic,
+      ResizeMethod::kOpenCVLanczos4};
+  return all;
+}
+
+ImageU8 resize(const ImageU8& src, int out_h, int out_w, ResizeMethod method) {
+  switch (method) {
+    case ResizeMethod::kPillowBilinear:
+      return pillow_resize(src, out_h, out_w, PillowFilter::kBilinear);
+    case ResizeMethod::kPillowNearest:
+      return pillow_resize(src, out_h, out_w, PillowFilter::kNearest);
+    case ResizeMethod::kPillowBox:
+      return pillow_resize(src, out_h, out_w, PillowFilter::kBox);
+    case ResizeMethod::kPillowHamming:
+      return pillow_resize(src, out_h, out_w, PillowFilter::kHamming);
+    case ResizeMethod::kPillowBicubic:
+      return pillow_resize(src, out_h, out_w, PillowFilter::kBicubic);
+    case ResizeMethod::kPillowLanczos:
+      return pillow_resize(src, out_h, out_w, PillowFilter::kLanczos);
+    case ResizeMethod::kOpenCVBilinear:
+      return opencv_resize(src, out_h, out_w, CvInterp::kLinear);
+    case ResizeMethod::kOpenCVNearest:
+      return opencv_resize(src, out_h, out_w, CvInterp::kNearest);
+    case ResizeMethod::kOpenCVArea:
+      return opencv_resize(src, out_h, out_w, CvInterp::kArea);
+    case ResizeMethod::kOpenCVBicubic:
+      return opencv_resize(src, out_h, out_w, CvInterp::kCubic);
+    case ResizeMethod::kOpenCVLanczos4:
+      return opencv_resize(src, out_h, out_w, CvInterp::kLanczos4);
+  }
+  throw std::logic_error("resize: unknown method");
+}
+
+ImageU8 resize_shorter_side(const ImageU8& src, int shorter, ResizeMethod method) {
+  const int h = src.height(), w = src.width();
+  int oh, ow;
+  if (h <= w) {
+    oh = shorter;
+    ow = static_cast<int>(std::lround(static_cast<double>(w) * shorter / h));
+  } else {
+    ow = shorter;
+    oh = static_cast<int>(std::lround(static_cast<double>(h) * shorter / w));
+  }
+  return resize(src, oh, ow, method);
+}
+
+ImageU8 center_crop(const ImageU8& src, int crop_h, int crop_w) {
+  if (crop_h > src.height() || crop_w > src.width())
+    throw std::invalid_argument("center_crop: crop larger than image");
+  const int y0 = (src.height() - crop_h) / 2;
+  const int x0 = (src.width() - crop_w) / 2;
+  ImageU8 out(crop_h, crop_w, src.channels());
+  for (int y = 0; y < crop_h; ++y)
+    for (int x = 0; x < crop_w; ++x)
+      for (int ch = 0; ch < src.channels(); ++ch)
+        out.at(y, x, ch) = src.at(y0 + y, x0 + x, ch);
+  return out;
+}
+
+}  // namespace sysnoise

@@ -1,0 +1,50 @@
+// Image resize — the paper's highest-impact pre-processing noise.
+//
+// Eleven methods (Table 1: "Number of Categories = 11") drawn from two
+// package styles that really do disagree:
+//  * Pillow-style: separable resampling where the filter support is
+//    stretched by the scale factor when downscaling (antialiasing), with
+//    Pillow's 8-bit fixed-point coefficient accumulation.
+//  * OpenCV-style: fixed-size kernels independent of scale (no antialias),
+//    half-pixel coordinate mapping, fixed-point bilinear, plus INTER_AREA
+//    box averaging.
+// Even the *same named* interpolation (e.g. bilinear) differs across the
+// two styles — exactly the package-level mismatch described in Sec. 3.1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+
+namespace sysnoise {
+
+enum class ResizeMethod {
+  kPillowBilinear = 0,
+  kPillowNearest = 1,
+  kPillowBox = 2,
+  kPillowHamming = 3,
+  kPillowBicubic = 4,
+  kPillowLanczos = 5,
+  kOpenCVBilinear = 6,
+  kOpenCVNearest = 7,
+  kOpenCVArea = 8,
+  kOpenCVBicubic = 9,
+  kOpenCVLanczos4 = 10,
+};
+constexpr int kNumResizeMethods = 11;
+
+const char* resize_method_name(ResizeMethod m);
+
+// All methods, in the enum order above (the paper's option set).
+const std::vector<ResizeMethod>& all_resize_methods();
+
+// Resize to (out_h, out_w) with the given method.
+ImageU8 resize(const ImageU8& src, int out_h, int out_w, ResizeMethod method);
+
+// "Shorter side to S, keep aspect" used by classification preprocessing
+// (resize so min(h,w)==S), followed by a center crop to (crop_h, crop_w).
+ImageU8 resize_shorter_side(const ImageU8& src, int shorter, ResizeMethod method);
+ImageU8 center_crop(const ImageU8& src, int crop_h, int crop_w);
+
+}  // namespace sysnoise

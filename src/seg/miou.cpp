@@ -1,0 +1,53 @@
+#include "seg/miou.h"
+
+#include <stdexcept>
+
+namespace sysnoise::seg {
+
+std::vector<double> per_class_iou(const std::vector<int>& pred,
+                                  const std::vector<int>& gt, int num_classes) {
+  if (pred.size() != gt.size())
+    throw std::invalid_argument("per_class_iou: size mismatch");
+  std::vector<long> inter(static_cast<std::size_t>(num_classes), 0),
+      p_count(static_cast<std::size_t>(num_classes), 0),
+      g_count(static_cast<std::size_t>(num_classes), 0);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const int p = pred[i], g = gt[i];
+    if (p >= 0 && p < num_classes) ++p_count[static_cast<std::size_t>(p)];
+    if (g >= 0 && g < num_classes) ++g_count[static_cast<std::size_t>(g)];
+    if (p == g && p >= 0 && p < num_classes) ++inter[static_cast<std::size_t>(p)];
+  }
+  std::vector<double> ious(static_cast<std::size_t>(num_classes), -1.0);
+  for (int c = 0; c < num_classes; ++c) {
+    const long uni = p_count[static_cast<std::size_t>(c)] + g_count[static_cast<std::size_t>(c)] -
+                     inter[static_cast<std::size_t>(c)];
+    if (uni > 0)
+      ious[static_cast<std::size_t>(c)] =
+          static_cast<double>(inter[static_cast<std::size_t>(c)]) / static_cast<double>(uni);
+  }
+  return ious;
+}
+
+double mean_iou(const std::vector<int>& pred, const std::vector<int>& gt,
+                int num_classes) {
+  const auto ious = per_class_iou(pred, gt, num_classes);
+  double s = 0.0;
+  int n = 0;
+  for (double v : ious)
+    if (v >= 0.0) {
+      s += v;
+      ++n;
+    }
+  return n > 0 ? s / n : 0.0;
+}
+
+double pixel_accuracy(const std::vector<int>& pred, const std::vector<int>& gt) {
+  if (pred.size() != gt.size())
+    throw std::invalid_argument("pixel_accuracy: size mismatch");
+  if (pred.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) correct += pred[i] == gt[i];
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+}  // namespace sysnoise::seg

@@ -1,0 +1,21 @@
+// Semantic segmentation metrics (CityScapes substitute evaluation).
+#pragma once
+
+#include <vector>
+
+namespace sysnoise::seg {
+
+// Confusion-matrix based mean IoU over `num_classes`; inputs are flat
+// per-pixel label vectors (prediction, ground truth) of equal size.
+// Classes absent from both prediction and GT are skipped.
+double mean_iou(const std::vector<int>& pred, const std::vector<int>& gt,
+                int num_classes);
+
+// Per-class IoU vector (NaN-free: absent classes reported as -1).
+std::vector<double> per_class_iou(const std::vector<int>& pred,
+                                  const std::vector<int>& gt, int num_classes);
+
+// Plain pixel accuracy.
+double pixel_accuracy(const std::vector<int>& pred, const std::vector<int>& gt);
+
+}  // namespace sysnoise::seg

@@ -1,0 +1,72 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace sysnoise {
+
+namespace {
+constexpr int kBlockK = 128;
+constexpr int kBlockN = 256;
+}  // namespace
+
+void gemm_acc(int m, int n, int k, const float* a, const float* b, float* c) {
+  // i-k-j loop order with k/n blocking: B rows stream through cache.
+  for (int k0 = 0; k0 < k; k0 += kBlockK) {
+    const int k1 = std::min(k, k0 + kBlockK);
+    for (int n0 = 0; n0 < n; n0 += kBlockN) {
+      const int n1 = std::min(n, n0 + kBlockN);
+      for (int i = 0; i < m; ++i) {
+        float* crow = c + static_cast<std::ptrdiff_t>(i) * n;
+        const float* arow = a + static_cast<std::ptrdiff_t>(i) * k;
+        for (int kk = k0; kk < k1; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = b + static_cast<std::ptrdiff_t>(kk) * n;
+          for (int j = n0; j < n1; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm(int m, int n, int k, const float* a, const float* b, float* c) {
+  std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
+  gemm_acc(m, n, k, a, b, c);
+}
+
+void gemm_at(int m, int n, int k, const float* a, const float* b, float* c) {
+  std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
+  gemm_at_acc(m, n, k, a, b, c);
+}
+
+void gemm_at_acc(int m, int n, int k, const float* a, const float* b, float* c) {
+  // A is k x m; iterate kk outer so both A and B stream row-wise.
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = a + static_cast<std::ptrdiff_t>(kk) * m;
+    const float* brow = b + static_cast<std::ptrdiff_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::ptrdiff_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_bt_acc(int m, int n, int k, const float* a, const float* b, float* c) {
+  // B is n x k; dot products of A rows with B rows.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::ptrdiff_t>(i) * k;
+    float* crow = c + static_cast<std::ptrdiff_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::ptrdiff_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace sysnoise

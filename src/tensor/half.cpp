@@ -1,0 +1,85 @@
+#include "tensor/half.h"
+
+#include <bit>
+#include <cstring>
+
+namespace sysnoise {
+
+std::uint16_t float_to_half(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t mant = x & 0x007FFFFFu;
+  const int exp = static_cast<int>((x >> 23) & 0xFFu);
+
+  if (exp == 0xFF) {  // inf or nan
+    if (mant == 0) return static_cast<std::uint16_t>(sign | 0x7C00u);
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant >> 13) | 1u);
+  }
+
+  // Re-bias: half exponent = exp - 127 + 15.
+  int new_exp = exp - 127 + 15;
+  if (new_exp >= 0x1F) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (new_exp <= 0) {  // subnormal half or zero
+    if (new_exp < -10) return static_cast<std::uint16_t>(sign);  // underflow
+    // Add implicit leading 1 and shift into subnormal position.
+    std::uint32_t m = mant | 0x00800000u;
+    const int shift = 14 - new_exp;  // in [14, 24]
+    const std::uint32_t half_mant = m >> shift;
+    // Round to nearest even.
+    const std::uint32_t rem = m & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t result = half_mant;
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++result;
+    return static_cast<std::uint16_t>(sign | result);
+  }
+
+  // Normal case: keep top 10 mantissa bits, round to nearest even.
+  std::uint32_t half_mant = mant >> 13;
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) {
+    ++half_mant;
+    if (half_mant == 0x400u) {  // mantissa overflow -> bump exponent
+      half_mant = 0;
+      ++new_exp;
+      if (new_exp >= 0x1F) return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+  }
+  return static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(new_exp) << 10) |
+                                    half_mant);
+}
+
+float half_to_float(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  std::uint32_t mant = h & 0x3FFu;
+
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // signed zero
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+            ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1F) {
+    out = sign | 0x7F800000u | (mant << 13);  // inf / nan
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+void fp16_round_trip_(Tensor& t) {
+  for (float& v : t.vec()) v = fp16_round(v);
+}
+
+}  // namespace sysnoise

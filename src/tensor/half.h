@@ -1,0 +1,27 @@
+// IEEE 754 binary16 conversion used to *simulate* FP16 deployment.
+//
+// The paper's FP16 "data precision" noise is a round trip of FP32 weights
+// and activations through half precision (Sec. 3.2 / Appendix A). We
+// implement the conversion bit-exactly (round-to-nearest-even, subnormal
+// and inf/nan handling) rather than relying on compiler __fp16 support.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace sysnoise {
+
+// FP32 -> binary16 bits, round-to-nearest-even.
+std::uint16_t float_to_half(float f);
+
+// binary16 bits -> FP32.
+float half_to_float(std::uint16_t h);
+
+// Round-trip a single value through FP16.
+inline float fp16_round(float f) { return half_to_float(float_to_half(f)); }
+
+// Round-trip every element of a tensor through FP16 (in place).
+void fp16_round_trip_(Tensor& t);
+
+}  // namespace sysnoise

@@ -1,0 +1,90 @@
+#include "tensor/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sysnoise {
+
+namespace {
+
+// SplitMix64 used only to expand the seed into xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+float Rng::uniform_f(float lo, float hi) {
+  return static_cast<float>(uniform(lo, hi));
+}
+
+int Rng::uniform_int(int n) {
+  if (n <= 0) return 0;
+  // Rejection-free modulo is fine here; n is tiny relative to 2^64.
+  return static_cast<int>(next_u64() % static_cast<std::uint64_t>(n));
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+float Rng::normal_f(float mean, float stddev) {
+  return mean + stddev * static_cast<float>(normal());
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::vector<int> Rng::permutation(int n) {
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  for (int i = n - 1; i > 0; --i) {
+    const int j = uniform_int(i + 1);
+    std::swap(idx[static_cast<std::size_t>(i)], idx[static_cast<std::size_t>(j)]);
+  }
+  return idx;
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xA0761D6478BD642Full); }
+
+}  // namespace sysnoise

@@ -1,0 +1,45 @@
+// Deterministic PRNG for the whole reproduction.
+//
+// std::*_distribution output is implementation-defined, which would make
+// results differ between standard libraries — exactly the kind of system
+// noise this benchmark must control for. We therefore ship xoshiro256**
+// plus our own uniform / normal / integer sampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sysnoise {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  float uniform_f(float lo, float hi);
+  // Uniform integer in [0, n).
+  int uniform_int(int n);
+  // Standard normal via Box-Muller (deterministic across platforms).
+  double normal();
+  float normal_f(float mean, float stddev);
+  // Bernoulli with probability p of true.
+  bool bernoulli(double p);
+
+  // Fisher-Yates shuffle of an index vector [0, n).
+  std::vector<int> permutation(int n);
+
+  // Derive an independent stream (for per-module seeding).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace sysnoise

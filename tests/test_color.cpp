@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "color/yuv.h"
+#include "image/metrics.h"
+#include "image/synthetic.h"
+#include "tensor/rng.h"
+
+namespace sysnoise {
+namespace {
+
+ImageU8 make_image(int h, int w, std::uint64_t seed = 31) {
+  Rng r(seed);
+  TextureParams p = class_texture(6, 10, r);
+  return render_texture(p, h, w, r);
+}
+
+TEST(Yuv, KnownValuesBt601) {
+  std::uint8_t y, u, v;
+  rgb_to_yuv_bt601(0, 0, 0, y, u, v);
+  EXPECT_EQ(y, 16);  // studio-swing black
+  EXPECT_EQ(u, 128);
+  EXPECT_EQ(v, 128);
+  rgb_to_yuv_bt601(255, 255, 255, y, u, v);
+  EXPECT_EQ(y, 235);  // studio-swing white
+  EXPECT_EQ(u, 128);
+  EXPECT_EQ(v, 128);
+  rgb_to_yuv_bt601(255, 0, 0, y, u, v);
+  EXPECT_NEAR(y, 81, 1);
+  EXPECT_NEAR(v, 240, 1);
+}
+
+TEST(Yuv, FloatInverseRecoversPrimaries) {
+  for (auto [r0, g0, b0] : {std::tuple<int,int,int>{255, 0, 0}, {0, 255, 0},
+                            {0, 0, 255}, {255, 255, 255}, {0, 0, 0},
+                            {128, 128, 128}, {37, 201, 96}}) {
+    std::uint8_t y, u, v, r, g, b;
+    rgb_to_yuv_bt601(static_cast<std::uint8_t>(r0), static_cast<std::uint8_t>(g0),
+                     static_cast<std::uint8_t>(b0), y, u, v);
+    yuv_to_rgb_bt601_float(y, u, v, r, g, b);
+    EXPECT_NEAR(r, r0, 3);
+    EXPECT_NEAR(g, g0, 3);
+    EXPECT_NEAR(b, b0, 3);
+  }
+}
+
+TEST(Yuv, IntApproximationTracksFloat) {
+  Rng rng(17);
+  int maxd = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint8_t y = static_cast<std::uint8_t>(rng.uniform_int(220) + 16);
+    const std::uint8_t u = static_cast<std::uint8_t>(rng.uniform_int(225) + 16);
+    const std::uint8_t v = static_cast<std::uint8_t>(rng.uniform_int(225) + 16);
+    std::uint8_t rf, gf, bf, ri, gi, bi;
+    yuv_to_rgb_bt601_float(y, u, v, rf, gf, bf);
+    yuv_to_rgb_bt601_int(y, u, v, ri, gi, bi);
+    maxd = std::max({maxd, std::abs(rf - ri), std::abs(gf - gi), std::abs(bf - bi)});
+  }
+  EXPECT_LE(maxd, 2);  // Eq. 7 is a close but inexact approximation
+  EXPECT_GE(maxd, 1);  // ...and it must differ somewhere (that's the noise)
+}
+
+TEST(Yuv, RoundTripIsLossyButTight) {
+  const ImageU8 img = make_image(32, 32);
+  const ImageU8 rt = apply_color_mode(img, ColorMode::kYuv444RoundTrip);
+  EXPECT_GT(image_diff_fraction(img, rt), 0.01);  // rounding losses exist
+  EXPECT_GT(image_psnr(img, rt), 40.0);           // but tiny
+}
+
+TEST(Yuv, Nv12LayoutDimensions) {
+  const ImageU8 img = make_image(15, 17);
+  Nv12Frame f = rgb_to_nv12(img);
+  EXPECT_EQ(f.height, 15);
+  EXPECT_EQ(f.width, 17);
+  EXPECT_EQ(f.y.size(), 15u * 17u);
+  EXPECT_EQ(f.uv.size(), 8u * 9u * 2u);  // ceil(15/2) x ceil(17/2) x 2
+}
+
+TEST(Yuv, Nv12RoundTripNoisierThan444) {
+  const ImageU8 img = make_image(64, 64, 9);
+  const ImageU8 rt444 = apply_color_mode(img, ColorMode::kYuv444RoundTrip);
+  const ImageU8 rt420 = apply_color_mode(img, ColorMode::kNv12RoundTrip);
+  EXPECT_GT(image_mae(img, rt420), image_mae(img, rt444));
+  EXPECT_GT(image_psnr(img, rt420), 20.0);  // still visually close
+}
+
+TEST(Yuv, DirectRgbIsIdentity) {
+  const ImageU8 img = make_image(16, 16);
+  const ImageU8 out = apply_color_mode(img, ColorMode::kDirectRGB);
+  EXPECT_EQ(image_max_diff(img, out), 0);
+}
+
+TEST(Yuv, GrayscaleStaysNeutral) {
+  // Neutral grays have U=V=128; chroma subsampling cannot shift hue.
+  ImageU8 img(8, 8, 3);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      for (int c = 0; c < 3; ++c)
+        img.at(y, x, c) = static_cast<std::uint8_t>(32 * ((y + x) % 8));
+  const ImageU8 rt = apply_color_mode(img, ColorMode::kNv12RoundTrip);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_NEAR(rt.at(y, x, 0), rt.at(y, x, 1), 3);
+      EXPECT_NEAR(rt.at(y, x, 1), rt.at(y, x, 2), 3);
+    }
+}
+
+TEST(Yuv, OddDimensionsHandled) {
+  for (auto [h, w] : {std::pair{1, 1}, {3, 5}, {7, 2}}) {
+    const ImageU8 img = make_image(h, w, static_cast<std::uint64_t>(h * 100 + w));
+    const ImageU8 rt = apply_color_mode(img, ColorMode::kNv12RoundTrip);
+    EXPECT_EQ(rt.height(), h);
+    EXPECT_EQ(rt.width(), w);
+  }
+}
+
+TEST(Yuv, ModeNames) {
+  EXPECT_STREQ(color_mode_name(ColorMode::kDirectRGB), "RGB");
+  EXPECT_STREQ(color_mode_name(ColorMode::kYuv444RoundTrip), "YUV444");
+  EXPECT_STREQ(color_mode_name(ColorMode::kNv12RoundTrip), "NV12");
+}
+
+}  // namespace
+}  // namespace sysnoise

@@ -1,0 +1,161 @@
+// Integration tests of the SysNoise core framework: runner sweeps,
+// reporters, mitigation preprocessors, TENT, and the learned codec.
+// Uses a dedicated (tiny) cache dir via SYSNOISE_CACHE_DIR if the caller
+// set one; models here are trained on the shared benchmark dataset once
+// and re-used from the cache.
+#include <gtest/gtest.h>
+
+#include "core/learned_codec.h"
+#include "core/mitigation.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "image/metrics.h"
+
+namespace sysnoise::core {
+namespace {
+
+TEST(Report, TextTableAlignsColumns) {
+  TextTable t({"A", "LongHeader"});
+  t.add_row({"xx", "1"});
+  t.add_row({"y", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| A  | LongHeader |"), std::string::npos);
+  EXPECT_NE(s.find("| xx | 1          |"), std::string::npos);
+}
+
+TEST(Report, FmtHelpers) {
+  EXPECT_EQ(fmt(1.234567), "1.23");
+  EXPECT_EQ(fmt(1.235, 1), "1.2");
+  EXPECT_EQ(fmt_mm(0.5, 1.25), "0.50 (1.25)");
+}
+
+TEST(Report, NoiseTableRendersOptionalColumns) {
+  NoiseRow r;
+  r.model = "M";
+  r.trained = 75.0;
+  r.ceil = std::nullopt;
+  std::vector<NoiseRow> rows = {r};
+  const std::string cls = render_noise_table(rows, "ACC", false, false);
+  EXPECT_NE(cls.find("| -"), std::string::npos);  // missing ceil renders "-"
+  r.ceil = 1.5;
+  r.upsample = 2.0;
+  r.postproc = 2.5;
+  rows[0] = r;
+  const std::string det = render_noise_table(rows, "mAP", true, true);
+  EXPECT_NE(det.find("Upsample"), std::string::npos);
+  EXPECT_NE(det.find("Post-proc"), std::string::npos);
+  EXPECT_NE(det.find("2.50"), std::string::npos);
+}
+
+TEST(Report, CsvHasHeaderAndRow) {
+  NoiseRow r;
+  r.model = "M";
+  r.trained = 70.0;
+  const std::string csv = noise_rows_csv({r});
+  EXPECT_NE(csv.find("model,trained"), std::string::npos);
+  EXPECT_NE(csv.find("M,70.00"), std::string::npos);
+}
+
+TEST(Runner, CombinedConfigFlipsEverything) {
+  const SysNoiseConfig c = combined_config(true, true, true);
+  EXPECT_NE(c.decoder, SysNoiseConfig{}.decoder);
+  EXPECT_NE(c.resize, SysNoiseConfig{}.resize);
+  EXPECT_EQ(c.color, ColorMode::kNv12RoundTrip);
+  EXPECT_EQ(c.precision, nn::Precision::kINT8);
+  EXPECT_TRUE(c.ceil_mode);
+  EXPECT_EQ(c.upsample, nn::UpsampleMode::kBilinear);
+  EXPECT_FLOAT_EQ(c.proposal_offset, 1.0f);
+  // Knobs gated by architecture stay at the training value.
+  const SysNoiseConfig c2 = combined_config(false, false, false);
+  EXPECT_FALSE(c2.ceil_mode);
+  EXPECT_EQ(c2.upsample, nn::UpsampleMode::kNearest);
+  EXPECT_FLOAT_EQ(c2.proposal_offset, 0.0f);
+}
+
+TEST(Runner, ClassifierSweepProducesFiniteDeltas) {
+  auto tc = models::get_classifier("MCUNet");
+  const NoiseRow row = measure_classifier(tc);
+  EXPECT_EQ(row.model, "MCUNet");
+  EXPECT_GT(row.trained, 40.0);  // far above 10% chance
+  // Deltas are bounded by the accuracy itself.
+  for (double d : {row.decode_mean, row.resize_mean, row.color, row.fp16, row.int8,
+                   row.combined}) {
+    EXPECT_GE(d, -row.trained);
+    EXPECT_LE(d, row.trained);
+  }
+  EXPECT_GE(row.decode_max, row.decode_mean);
+  EXPECT_GE(row.resize_max, row.resize_mean);
+  EXPECT_FALSE(row.ceil.has_value());  // MCUNet has no max-pool
+}
+
+TEST(Runner, StepwiseUsesCumulativeConfigs) {
+  auto tc = models::get_classifier("MCUNet");
+  const auto steps = stepwise_classifier(tc);
+  ASSERT_EQ(steps.size(), 4u);  // no ceil step for MCUNet
+  EXPECT_EQ(steps[0].step, "Decode");
+  EXPECT_EQ(steps[3].step, "+INT8");
+}
+
+TEST(Mitigation, MixPreprocessorVariesOutput) {
+  const PipelineSpec spec = models::cls_pipeline_spec();
+  const auto& ds = models::benchmark_cls_dataset();
+  auto prep = mix_training_preprocessor(spec, true, true);
+  Rng rng(3);
+  const Tensor a = prep(ds.train[0], rng);
+  // With mixing, repeated calls eventually differ (different decoder/resize).
+  bool differs = false;
+  for (int i = 0; i < 8 && !differs; ++i)
+    differs = max_abs_diff(a, prep(ds.train[0], rng)) > 1e-6f;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Mitigation, FixedPreprocessorIsDeterministic) {
+  const PipelineSpec spec = models::cls_pipeline_spec();
+  const auto& ds = models::benchmark_cls_dataset();
+  SysNoiseConfig cfg;
+  cfg.resize = ResizeMethod::kOpenCVBilinear;
+  auto prep = fixed_config_preprocessor(spec, cfg);
+  Rng r1(1), r2(99);
+  EXPECT_FLOAT_EQ(max_abs_diff(prep(ds.train[1], r1), prep(ds.train[1], r2)), 0.0f);
+}
+
+TEST(Mitigation, AugmentationsProduceValidTensors) {
+  const PipelineSpec spec = models::cls_pipeline_spec();
+  const auto& ds = models::benchmark_cls_dataset();
+  Rng rng(5);
+  for (int s = 0; s < kNumAugStrategies; ++s) {
+    auto prep = augmented_preprocessor(spec, static_cast<AugStrategy>(s));
+    const Tensor t = prep(ds.train[2], rng);
+    EXPECT_EQ(t.shape(), (std::vector<int>{1, 3, 32, 32}))
+        << aug_strategy_name(static_cast<AugStrategy>(s));
+    EXPECT_LT(t.abs_max(), 10.0f);
+  }
+}
+
+TEST(Mitigation, TentRunsAndReturnsAccuracy) {
+  auto tc = models::get_classifier("MCUNet");
+  const auto& ds = models::benchmark_cls_dataset();
+  const PipelineSpec spec = models::cls_pipeline_spec();
+  SysNoiseConfig cfg;
+  cfg.resize = ResizeMethod::kOpenCVNearest;
+  const double acc =
+      eval_classifier_tent(*tc.model, ds.eval, cfg, spec, &tc.ranges);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 100.0);
+}
+
+TEST(LearnedCodecTest, ReconstructsApproximately) {
+  auto codec = get_learned_codec();
+  const auto& ds = models::benchmark_cls_dataset();
+  const ImageU8 img = jpeg::decode(ds.eval[0].jpeg, jpeg::DecoderVendor::kPillow);
+  const ImageU8 rec = codec->reconstruct(img);
+  EXPECT_EQ(rec.height(), img.height());
+  EXPECT_EQ(rec.width(), img.width());
+  // Trained AE should be a rough reconstruction: better than a grey frame.
+  ImageU8 grey(img.height(), img.width(), 3);
+  for (auto& v : grey.vec()) v = 128;
+  EXPECT_LT(image_mae(img, rec), image_mae(img, grey));
+}
+
+}  // namespace
+}  // namespace sysnoise::core

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "data/noise_config.h"
+#include "data/pipeline.h"
+#include "image/metrics.h"
+
+namespace sysnoise {
+namespace {
+
+data::ClsDatasetSpec small_cls_spec() {
+  data::ClsDatasetSpec s;
+  s.num_classes = 4;
+  s.train_per_class = 3;
+  s.eval_per_class = 2;
+  return s;
+}
+
+TEST(NoiseConfig, TrainingDefaultIsPyTorchLike) {
+  const SysNoiseConfig cfg = SysNoiseConfig::training_default();
+  EXPECT_EQ(cfg.decoder, jpeg::DecoderVendor::kPillow);
+  EXPECT_EQ(cfg.resize, ResizeMethod::kPillowBilinear);
+  EXPECT_EQ(cfg.color, ColorMode::kDirectRGB);
+  EXPECT_EQ(cfg.precision, nn::Precision::kFP32);
+  EXPECT_FALSE(cfg.ceil_mode);
+  EXPECT_EQ(cfg.upsample, nn::UpsampleMode::kNearest);
+  EXPECT_FLOAT_EQ(cfg.proposal_offset, 0.0f);
+}
+
+TEST(NoiseConfig, OptionCountsMatchTable1) {
+  // Table 1 category counts: decoder 4, resize 11, color 2, precision 3.
+  EXPECT_EQ(decoder_noise_options().size(), 3u);   // 4 incl. training default
+  EXPECT_EQ(resize_noise_options().size(), 10u);   // 11 incl. default
+  EXPECT_EQ(color_noise_options().size(), 1u);     // 2 incl. direct RGB
+  EXPECT_EQ(precision_noise_options().size(), 2u); // 3 incl. FP32
+}
+
+TEST(NoiseConfig, DescribeMentionsEveryKnob) {
+  const std::string d = SysNoiseConfig::training_default().describe();
+  for (const char* key :
+       {"decoder=", "resize=", "color=", "prec=", "ceil=", "upsample=", "offset="})
+    EXPECT_NE(d.find(key), std::string::npos) << key;
+}
+
+TEST(ClsDataset, DeterministicAndBalanced) {
+  const auto a = data::make_classification_dataset(small_cls_spec());
+  const auto b = data::make_classification_dataset(small_cls_spec());
+  ASSERT_EQ(a.train.size(), 12u);
+  ASSERT_EQ(a.eval.size(), 8u);
+  EXPECT_EQ(a.train[0].jpeg, b.train[0].jpeg);  // bitwise identical
+  std::vector<int> counts(4, 0);
+  for (const auto& s : a.eval) ++counts[static_cast<std::size_t>(s.label)];
+  for (int c : counts) EXPECT_EQ(c, 2);
+}
+
+TEST(ClsDataset, SamplesAreValidJpegs) {
+  const auto ds = data::make_classification_dataset(small_cls_spec());
+  for (const auto& s : ds.eval) {
+    const ImageU8 img = jpeg::decode(s.jpeg, jpeg::DecoderVendor::kPillow);
+    EXPECT_EQ(img.height(), 48);
+    EXPECT_EQ(img.width(), 48);
+  }
+}
+
+TEST(Pipeline, OutputShapeAndNormalization) {
+  const auto ds = data::make_classification_dataset(small_cls_spec());
+  const PipelineSpec spec{.out_h = 32, .out_w = 32};
+  const Tensor t = preprocess(ds.eval[0].jpeg, SysNoiseConfig::training_default(), spec);
+  EXPECT_EQ(t.shape(), (std::vector<int>{1, 3, 32, 32}));
+  // Normalized values should live in a plausible range.
+  EXPECT_GT(t.min(), -3.0f);
+  EXPECT_LT(t.max(), 3.5f);
+}
+
+TEST(Pipeline, NoiseKnobsChangeTensor) {
+  const auto ds = data::make_classification_dataset(small_cls_spec());
+  const PipelineSpec spec{.out_h = 32, .out_w = 32};
+  const SysNoiseConfig base = SysNoiseConfig::training_default();
+  const Tensor ref = preprocess(ds.eval[0].jpeg, base, spec);
+
+  SysNoiseConfig dec = base;
+  dec.decoder = jpeg::DecoderVendor::kDALI;
+  SysNoiseConfig rez = base;
+  rez.resize = ResizeMethod::kOpenCVNearest;
+  SysNoiseConfig col = base;
+  col.color = ColorMode::kNv12RoundTrip;
+
+  const float d_dec = max_abs_diff(ref, preprocess(ds.eval[0].jpeg, dec, spec));
+  const float d_rez = max_abs_diff(ref, preprocess(ds.eval[0].jpeg, rez, spec));
+  const float d_col = max_abs_diff(ref, preprocess(ds.eval[0].jpeg, col, spec));
+  EXPECT_GT(d_dec, 0.0f);
+  EXPECT_GT(d_rez, d_dec);  // resize noise dominates decode noise
+  EXPECT_GT(d_col, 0.0f);
+  // All of them remain small perturbations, not content changes.
+  EXPECT_LT(d_rez, 3.0f);
+}
+
+TEST(Pipeline, PreprocessImageMatchesTensorPath) {
+  const auto ds = data::make_classification_dataset(small_cls_spec());
+  const PipelineSpec spec{.out_h = 32, .out_w = 32};
+  const SysNoiseConfig cfg = SysNoiseConfig::training_default();
+  const ImageU8 img = preprocess_image(ds.eval[0].jpeg, cfg, spec);
+  const Tensor t = preprocess(ds.eval[0].jpeg, cfg, spec);
+  // Undo normalization on one pixel and compare.
+  const float v = t.at4(0, 0, 7, 9) * spec.stddev[0] + spec.mean[0];
+  EXPECT_NEAR(v * 255.0f, static_cast<float>(img.at(7, 9, 0)), 0.75f);
+}
+
+TEST(DetDataset, BoxesWithinImageAndScaled) {
+  data::DetDatasetSpec spec;
+  spec.train_images = 4;
+  spec.eval_images = 3;
+  const auto ds = data::make_detection_dataset(spec);
+  ASSERT_EQ(ds.eval.size(), 3u);
+  for (const auto& s : ds.eval) {
+    EXPECT_FALSE(s.boxes.empty());
+    for (const auto& g : s.boxes) {
+      EXPECT_GE(g.box.x1, 0.0f);
+      EXPECT_LE(g.box.x2, 64.0f);
+      EXPECT_GT(g.box.area(), 0.0f);
+      EXPECT_GE(g.label, 0);
+      EXPECT_LT(g.label, 3);
+    }
+  }
+}
+
+TEST(SegDataset, MaskLabelsInRangeAndNonTrivial) {
+  data::SegDatasetSpec spec;
+  spec.train_images = 3;
+  spec.eval_images = 2;
+  const auto ds = data::make_segmentation_dataset(spec);
+  for (const auto& s : ds.eval) {
+    ASSERT_EQ(s.mask.size(), 64u * 64u);
+    int fg = 0;
+    for (int v : s.mask) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 4);
+      fg += v != 0;
+    }
+    EXPECT_GT(fg, 30);  // some foreground exists
+    EXPECT_LT(fg, 64 * 64);
+  }
+}
+
+TEST(SegDataset, MaskAlignsWithImageContent) {
+  // Foreground pixels should differ in color statistics from background —
+  // a sanity check that mask and JPEG describe the same scene.
+  data::SegDatasetSpec spec;
+  spec.train_images = 1;
+  spec.eval_images = 1;
+  const auto ds = data::make_segmentation_dataset(spec);
+  const auto& s = ds.eval[0];
+  const ImageU8 img = resize(jpeg::decode(s.jpeg, jpeg::DecoderVendor::kPillow), 64,
+                             64, ResizeMethod::kPillowBilinear);
+  double fg_sum = 0.0, bg_sum = 0.0;
+  int fg_n = 0, bg_n = 0;
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x) {
+      const int lum = img.at(y, x, 0) + img.at(y, x, 1) + img.at(y, x, 2);
+      if (s.mask[static_cast<std::size_t>(y) * 64 + x] != 0) {
+        fg_sum += lum;
+        ++fg_n;
+      } else {
+        bg_sum += lum;
+        ++bg_n;
+      }
+    }
+  ASSERT_GT(fg_n, 0);
+  ASSERT_GT(bg_n, 0);
+  EXPECT_GT(std::abs(fg_sum / fg_n - bg_sum / bg_n), 5.0);
+}
+
+}  // namespace
+}  // namespace sysnoise

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "image/image.h"
+#include "image/metrics.h"
+#include "image/ppm_io.h"
+#include "image/synthetic.h"
+
+namespace sysnoise {
+namespace {
+
+TEST(ImageU8, BasicAccess) {
+  ImageU8 img(4, 6, 3);
+  EXPECT_EQ(img.height(), 4);
+  EXPECT_EQ(img.width(), 6);
+  EXPECT_EQ(img.size(), 72u);
+  img.at(3, 5, 2) = 200;
+  EXPECT_EQ(img.at(3, 5, 2), 200);
+  EXPECT_EQ(img.at_clamped(10, -3, 2), img.at(3, 0, 2));
+}
+
+TEST(ImageU8, ClampHelpers) {
+  EXPECT_EQ(clamp_u8(-5), 0);
+  EXPECT_EQ(clamp_u8(300), 255);
+  EXPECT_EQ(clamp_u8(128), 128);
+  EXPECT_EQ(clamp_u8f(127.5f), 128);  // lround half away from zero
+  EXPECT_EQ(clamp_u8f(-0.4f), 0);
+}
+
+TEST(ImageTensor, RoundTripRaw) {
+  Rng rng(3);
+  ImageU8 img(5, 7, 3);
+  for (auto& v : img.vec()) v = static_cast<std::uint8_t>(rng.uniform_int(256));
+  Tensor t = image_to_tensor_raw(img);
+  EXPECT_EQ(t.shape(), (std::vector<int>{1, 3, 5, 7}));
+  ImageU8 back = tensor_to_image(t);
+  EXPECT_EQ(image_max_diff(img, back), 0);
+}
+
+TEST(ImageTensor, Normalization) {
+  ImageU8 img(1, 1, 3);
+  img.at(0, 0, 0) = 255;
+  img.at(0, 0, 1) = 0;
+  img.at(0, 0, 2) = 128;
+  Tensor t = image_to_tensor(img, {0.5f, 0.5f, 0.5f}, {0.25f, 0.25f, 0.25f});
+  EXPECT_NEAR(t.at4(0, 0, 0, 0), 2.0f, 1e-5f);
+  EXPECT_NEAR(t.at4(0, 1, 0, 0), -2.0f, 1e-5f);
+  EXPECT_NEAR(t.at4(0, 2, 0, 0), 0.0f, 0.01f);
+}
+
+TEST(Metrics, IdenticalImages) {
+  ImageU8 a(8, 8, 3);
+  for (std::size_t i = 0; i < a.size(); ++i) a.vec()[i] = static_cast<std::uint8_t>(i % 251);
+  EXPECT_DOUBLE_EQ(image_mae(a, a), 0.0);
+  EXPECT_EQ(image_max_diff(a, a), 0);
+  EXPECT_DOUBLE_EQ(image_diff_fraction(a, a), 0.0);
+  EXPECT_TRUE(std::isinf(image_psnr(a, a)));
+}
+
+TEST(Metrics, KnownDifference) {
+  ImageU8 a(2, 2, 1), b(2, 2, 1);
+  b.vec() = {10, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(image_mae(a, b), 2.5);
+  EXPECT_EQ(image_max_diff(a, b), 10);
+  EXPECT_DOUBLE_EQ(image_diff_fraction(a, b), 0.25);
+  EXPECT_NEAR(image_psnr(a, b), 10.0 * std::log10(255.0 * 255.0 / 25.0), 1e-9);
+}
+
+TEST(Metrics, DiffVisualScalesToMax) {
+  ImageU8 a(1, 2, 1), b(1, 2, 1);
+  a.vec() = {100, 100};
+  b.vec() = {110, 105};
+  ImageU8 d = image_diff_visual(a, b);
+  EXPECT_EQ(d.at(0, 0, 0), 255);
+  EXPECT_EQ(d.at(0, 1, 0), 127);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  ImageU8 a(2, 2, 3), b(2, 3, 3);
+  EXPECT_THROW(image_mae(a, b), std::invalid_argument);
+}
+
+TEST(Synthetic, TextureDeterministicPerSeed) {
+  Rng r1(77), r2(77);
+  TextureParams p1 = class_texture(3, 10, r1);
+  TextureParams p2 = class_texture(3, 10, r2);
+  Rng g1(5), g2(5);
+  ImageU8 a = render_texture(p1, 32, 32, g1);
+  ImageU8 b = render_texture(p2, 32, 32, g2);
+  EXPECT_EQ(image_max_diff(a, b), 0);
+}
+
+TEST(Synthetic, DifferentClassesDiffer) {
+  Rng r(1);
+  TextureParams pa = class_texture(0, 10, r);
+  TextureParams pb = class_texture(5, 10, r);
+  Rng g(2);
+  ImageU8 a = render_texture(pa, 32, 32, g);
+  Rng g2(2);
+  ImageU8 b = render_texture(pb, 32, 32, g2);
+  EXPECT_GT(image_mae(a, b), 1.0);
+}
+
+TEST(Synthetic, ShapesPaintInsideBounds) {
+  Rng r(4);
+  TextureParams p = class_texture(1, 3, r);
+  for (auto kind : {ShapeKind::kCircle, ShapeKind::kSquare, ShapeKind::kTriangle}) {
+    ImageU8 img(32, 32, 3);
+    draw_shape(img, kind, 16, 16, 8, p, r);
+    // Corner pixels untouched (shape radius 8 around center cannot reach).
+    EXPECT_EQ(img.at(0, 0, 0), 0);
+    EXPECT_EQ(img.at(31, 31, 2), 0);
+    // Center painted.
+    int center_sum = img.at(16, 16, 0) + img.at(16, 16, 1) + img.at(16, 16, 2);
+    EXPECT_GT(center_sum, 0);
+  }
+}
+
+TEST(Synthetic, MaskMatchesShapeFootprint) {
+  std::vector<int> mask(32 * 32, 0);
+  draw_shape_mask(mask, 32, 32, ShapeKind::kSquare, 16, 16, 4, 7);
+  EXPECT_EQ(mask[16 * 32 + 16], 7);
+  EXPECT_EQ(mask[16 * 32 + 20], 7);  // right edge inclusive
+  EXPECT_EQ(mask[16 * 32 + 21], 0);
+  EXPECT_EQ(mask[0], 0);
+}
+
+TEST(Synthetic, PixelNoiseBounded) {
+  Rng r(6);
+  ImageU8 img(16, 16, 3);
+  for (auto& v : img.vec()) v = 128;
+  add_pixel_noise(img, 3.0f, r);
+  double mae = 0.0;
+  for (auto v : img.vec()) mae += std::abs(static_cast<int>(v) - 128);
+  mae /= static_cast<double>(img.size());
+  EXPECT_GT(mae, 1.0);
+  EXPECT_LT(mae, 6.0);
+}
+
+TEST(PpmIo, RoundTrip) {
+  Rng r(8);
+  ImageU8 img(9, 11, 3);
+  for (auto& v : img.vec()) v = static_cast<std::uint8_t>(r.uniform_int(256));
+  const std::string path = std::filesystem::temp_directory_path() / "sysnoise_test.ppm";
+  write_ppm(path, img);
+  ImageU8 back = read_ppm(path);
+  EXPECT_EQ(back.height(), 9);
+  EXPECT_EQ(back.width(), 11);
+  EXPECT_EQ(image_max_diff(img, back), 0);
+  std::remove(path.c_str());
+}
+
+TEST(PpmIo, RejectsMissingFile) {
+  EXPECT_THROW(read_ppm("/nonexistent/nope.ppm"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sysnoise

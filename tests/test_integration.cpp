@@ -1,0 +1,168 @@
+// Cross-module integration and property tests, including the paper's
+// Appendix E "Consistency of results" claim: with pinned implementations,
+// repeated evaluation of the same model under the same SysNoise config
+// must be bit-identical (the framework itself adds no noise).
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "image/metrics.h"
+#include "models/zoo.h"
+
+namespace sysnoise {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Appendix E: repeated runs are exactly reproducible
+// ---------------------------------------------------------------------------
+
+TEST(Consistency, EvaluationIsBitwiseRepeatable) {
+  auto tc = models::get_classifier("MCUNet");
+  const auto& ds = models::benchmark_cls_dataset();
+  const PipelineSpec spec = models::cls_pipeline_spec();
+  for (const SysNoiseConfig& cfg :
+       {SysNoiseConfig::training_default(),
+        core::combined_config(false, false, false)}) {
+    const double a = models::eval_classifier(*tc.model, ds.eval, cfg, spec, &tc.ranges);
+    const double b = models::eval_classifier(*tc.model, ds.eval, cfg, spec, &tc.ranges);
+    EXPECT_DOUBLE_EQ(a, b) << cfg.describe();
+  }
+}
+
+TEST(Consistency, PreprocessIsBitwiseRepeatable) {
+  const auto& ds = models::benchmark_cls_dataset();
+  const PipelineSpec spec = models::cls_pipeline_spec();
+  for (int v = 0; v < jpeg::kNumDecoderVendors; ++v) {
+    SysNoiseConfig cfg;
+    cfg.decoder = static_cast<jpeg::DecoderVendor>(v);
+    const Tensor a = preprocess(ds.eval[0].jpeg, cfg, spec);
+    const Tensor b = preprocess(ds.eval[0].jpeg, cfg, spec);
+    EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.0f);
+  }
+}
+
+TEST(Consistency, DatasetRegenerationIsStable) {
+  // Dataset regeneration must reproduce the exact bitstreams the cached
+  // models were trained on — otherwise the model cache would silently rot.
+  const auto a = data::make_classification_dataset({});
+  const auto b = data::make_classification_dataset({});
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); i += 37) {
+    EXPECT_EQ(a.train[i].jpeg, b.train[i].jpeg) << i;
+    EXPECT_EQ(a.train[i].label, b.train[i].label) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end noise-propagation properties
+// ---------------------------------------------------------------------------
+
+TEST(EndToEndNoise, EveryPreprocessingKnobReachesTheTensor) {
+  const auto& ds = models::benchmark_cls_dataset();
+  const PipelineSpec spec = models::cls_pipeline_spec();
+  const Tensor base = preprocess(ds.eval[1].jpeg, {}, spec);
+
+  int changed = 0;
+  for (auto v : decoder_noise_options()) {
+    SysNoiseConfig c;
+    c.decoder = v;
+    changed += max_abs_diff(base, preprocess(ds.eval[1].jpeg, c, spec)) > 0.0f;
+  }
+  EXPECT_EQ(changed, 3);
+  changed = 0;
+  for (auto m : resize_noise_options()) {
+    SysNoiseConfig c;
+    c.resize = m;
+    changed += max_abs_diff(base, preprocess(ds.eval[1].jpeg, c, spec)) > 0.0f;
+  }
+  EXPECT_EQ(changed, 10);
+}
+
+TEST(EndToEndNoise, InferenceKnobsChangeLogitsNotShape) {
+  auto tc = models::get_classifier("ResNet-XS");
+  const auto& ds = models::benchmark_cls_dataset();
+  const PipelineSpec spec = models::cls_pipeline_spec();
+  const Tensor x = preprocess(ds.eval[2].jpeg, {}, spec);
+
+  auto logits = [&](const SysNoiseConfig& cfg) {
+    nn::Tape t;
+    t.ctx = cfg.inference_ctx(&tc.ranges);
+    return tc.model->forward(t, t.input(x), nn::BnMode::kEval)->value;
+  };
+  const Tensor base = logits({});
+  for (auto knob : {0, 1, 2}) {
+    SysNoiseConfig c;
+    if (knob == 0) c.precision = nn::Precision::kFP16;
+    if (knob == 1) c.precision = nn::Precision::kINT8;
+    if (knob == 2) c.ceil_mode = true;
+    const Tensor noisy = logits(c);
+    ASSERT_EQ(noisy.shape(), base.shape());
+    EXPECT_GT(max_abs_diff(base, noisy), 0.0f) << knob;
+  }
+}
+
+TEST(EndToEndNoise, NoiseMagnitudeOrderingAtTensorLevel) {
+  // Pixel-level severity ordering that drives the accuracy tables:
+  // resize >> color > decode, and FP16 << INT8 at the logit level.
+  const auto& ds = models::benchmark_cls_dataset();
+  const PipelineSpec spec = models::cls_pipeline_spec();
+  double d_decode = 0.0, d_resize = 0.0, d_color = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const Tensor base = preprocess(ds.eval[static_cast<std::size_t>(i)].jpeg, {}, spec);
+    SysNoiseConfig c;
+    c.decoder = jpeg::DecoderVendor::kOpenCV;
+    d_decode += max_abs_diff(base, preprocess(ds.eval[static_cast<std::size_t>(i)].jpeg, c, spec));
+    c = {};
+    c.resize = ResizeMethod::kOpenCVNearest;
+    d_resize += max_abs_diff(base, preprocess(ds.eval[static_cast<std::size_t>(i)].jpeg, c, spec));
+    c = {};
+    c.color = ColorMode::kNv12RoundTrip;
+    d_color += max_abs_diff(base, preprocess(ds.eval[static_cast<std::size_t>(i)].jpeg, c, spec));
+  }
+  EXPECT_GT(d_resize, d_color);
+  EXPECT_GT(d_color, d_decode);
+  EXPECT_GT(d_decode, 0.0);
+}
+
+TEST(EndToEndNoise, CombinedConfigAtLeastAsSevereAsParts) {
+  // At the *image* level the combined pipeline differs at least as much
+  // from the training pipeline as the single strongest axis does.
+  const auto& ds = models::benchmark_cls_dataset();
+  const PipelineSpec spec = models::cls_pipeline_spec();
+  const ImageU8 base = preprocess_image(ds.eval[4].jpeg, {}, spec);
+  SysNoiseConfig single;
+  single.resize = ResizeMethod::kOpenCVNearest;
+  const double d_single =
+      image_mae(base, preprocess_image(ds.eval[4].jpeg, single, spec));
+  const SysNoiseConfig comb = core::combined_config(true, false, false);
+  const double d_comb =
+      image_mae(base, preprocess_image(ds.eval[4].jpeg, comb, spec));
+  EXPECT_GE(d_comb, d_single * 0.8);  // compound, not cancel
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized sweep: every decoder x resize pair yields a sane pipeline
+// ---------------------------------------------------------------------------
+
+class PipelineGrid
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PipelineGrid, ProducesInRangeTensors) {
+  const auto [vendor, method] = GetParam();
+  const auto& ds = models::benchmark_cls_dataset();
+  const PipelineSpec spec = models::cls_pipeline_spec();
+  SysNoiseConfig cfg;
+  cfg.decoder = static_cast<jpeg::DecoderVendor>(vendor);
+  cfg.resize = static_cast<ResizeMethod>(method);
+  const Tensor t = preprocess(ds.eval[0].jpeg, cfg, spec);
+  EXPECT_EQ(t.shape(), (std::vector<int>{1, 3, 32, 32}));
+  EXPECT_GT(t.min(), -4.0f);
+  EXPECT_LT(t.max(), 4.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStacks, PipelineGrid,
+    ::testing::Combine(::testing::Range(0, jpeg::kNumDecoderVendors),
+                       ::testing::Range(0, kNumResizeMethods)));
+
+}  // namespace
+}  // namespace sysnoise

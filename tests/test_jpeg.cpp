@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/metrics.h"
+#include "image/synthetic.h"
+#include "jpeg/codec.h"
+#include "jpeg/dct.h"
+#include "jpeg/huffman.h"
+#include "jpeg/quant_tables.h"
+#include "jpeg/zigzag.h"
+#include "tensor/rng.h"
+
+namespace sysnoise::jpeg {
+namespace {
+
+ImageU8 test_image(int h, int w, std::uint64_t seed = 42) {
+  sysnoise::Rng r(seed);
+  TextureParams p = class_texture(2, 8, r);
+  return render_texture(p, h, w, r);
+}
+
+// ---------------------------------------------------------------------------
+// DCT kernels
+// ---------------------------------------------------------------------------
+
+TEST(Dct, ForwardInverseRoundTrip) {
+  sysnoise::Rng r(1);
+  float in[64], coef[64], out[64];
+  for (auto& v : in) v = r.uniform_f(-128.0f, 127.0f);
+  fdct8x8(in, coef);
+  idct8x8_reference(coef, out);
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(out[i], in[i], 1e-2f);
+}
+
+TEST(Dct, DcOnlyBlockIsFlat) {
+  float coef[64] = {0};
+  coef[0] = 80.0f;
+  float out[64];
+  idct8x8_reference(coef, out);
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(out[i], 80.0f / 8.0f, 1e-4f);
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  sysnoise::Rng r(2);
+  float in[64], coef[64];
+  for (auto& v : in) v = r.uniform_f(-100.0f, 100.0f);
+  fdct8x8(in, coef);
+  double e_in = 0, e_out = 0;
+  for (int i = 0; i < 64; ++i) {
+    e_in += static_cast<double>(in[i]) * in[i];
+    e_out += static_cast<double>(coef[i]) * coef[i];
+  }
+  EXPECT_NEAR(e_in, e_out, e_in * 1e-5);
+}
+
+TEST(Dct, AanMatchesReference) {
+  sysnoise::Rng r(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    float coef[64], ref[64], aan[64];
+    for (auto& v : coef) v = r.uniform_f(-200.0f, 200.0f);
+    idct8x8_reference(coef, ref);
+    idct8x8_aan(coef, aan);
+    for (int i = 0; i < 64; ++i) EXPECT_NEAR(aan[i], ref[i], 0.05f) << trial;
+  }
+}
+
+TEST(Dct, FixedPointTracksReferenceWithinRounding) {
+  sysnoise::Rng r(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    float coef[64], ref[64], fx13[64], fx9[64];
+    for (auto& v : coef) v = static_cast<float>(r.uniform_int(201) - 100);
+    idct8x8_reference(coef, ref);
+    idct8x8_fixed(coef, fx13, 13);
+    idct8x8_fixed(coef, fx9, 9);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_NEAR(fx13[i], ref[i], 1.5f);
+      EXPECT_NEAR(fx9[i], ref[i], 4.0f);
+    }
+  }
+}
+
+TEST(Dct, VariantsActuallyDiffer) {
+  // If all vendors produced bit-identical pixels there would be no decoder
+  // SysNoise at all; verify the kernels disagree at the sub-LSB level.
+  sysnoise::Rng r(5);
+  float coef[64], a[64], b[64];
+  for (auto& v : coef) v = static_cast<float>(r.uniform_int(101) - 50);
+  idct8x8_reference(coef, a);
+  idct8x8_fixed(coef, b, 9);
+  float maxd = 0.0f;
+  for (int i = 0; i < 64; ++i) maxd = std::max(maxd, std::fabs(a[i] - b[i]));
+  EXPECT_GT(maxd, 1e-3f);
+}
+
+// ---------------------------------------------------------------------------
+// Zig-zag, quant tables, Huffman primitives
+// ---------------------------------------------------------------------------
+
+TEST(ZigZag, IsPermutationAndInverse) {
+  bool seen[64] = {false};
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_GE(kZigZag[static_cast<std::size_t>(i)], 0);
+    ASSERT_LT(kZigZag[static_cast<std::size_t>(i)], 64);
+    seen[kZigZag[static_cast<std::size_t>(i)]] = true;
+    EXPECT_EQ(kZigZagInv[static_cast<std::size_t>(kZigZag[static_cast<std::size_t>(i)])], i);
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  // Spot-check the canonical start of the pattern.
+  EXPECT_EQ(kZigZag[0], 0);
+  EXPECT_EQ(kZigZag[1], 1);
+  EXPECT_EQ(kZigZag[2], 8);
+  EXPECT_EQ(kZigZag[63], 63);
+}
+
+TEST(QuantTables, QualityScaling) {
+  const auto& base = annex_k_luminance();
+  auto q50 = scale_quality(base, 50);
+  EXPECT_EQ(q50, base);  // quality 50 is the identity
+  auto q100 = scale_quality(base, 100);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(q100[static_cast<std::size_t>(i)], 1);
+  auto q10 = scale_quality(base, 10);
+  auto q90 = scale_quality(base, 90);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_GE(q10[static_cast<std::size_t>(i)], q90[static_cast<std::size_t>(i)]);
+    EXPECT_GE(q90[static_cast<std::size_t>(i)], 1);
+  }
+}
+
+TEST(Huffman, CategoryAndValueBits) {
+  EXPECT_EQ(bit_category(0), 0);
+  EXPECT_EQ(bit_category(1), 1);
+  EXPECT_EQ(bit_category(-1), 1);
+  EXPECT_EQ(bit_category(255), 8);
+  EXPECT_EQ(bit_category(-1024), 11);
+  for (int v = -300; v <= 300; ++v) {
+    const int cat = bit_category(v);
+    if (v == 0) continue;
+    EXPECT_EQ(extend_value(value_bits(v, cat), cat), v) << v;
+  }
+}
+
+TEST(Huffman, BitIoRoundTripWithStuffing) {
+  BitWriter bw;
+  bw.put_bits(0xFF, 8);  // forces a stuffed byte
+  bw.put_bits(0x3, 2);
+  bw.put_bits(0x155, 9);
+  bw.flush();
+  const auto& bytes = bw.bytes();
+  ASSERT_GE(bytes.size(), 3u);
+  EXPECT_EQ(bytes[0], 0xFF);
+  EXPECT_EQ(bytes[1], 0x00);  // stuffing
+  BitReader br(bytes.data(), bytes.size());
+  EXPECT_EQ(br.read_bits(8), 0xFFu);
+  EXPECT_EQ(br.read_bits(2), 0x3u);
+  EXPECT_EQ(br.read_bits(9), 0x155u);
+}
+
+TEST(Huffman, EncodeDecodeSymbols) {
+  const auto& spec = std_ac_luminance();
+  HuffEncoder enc(spec);
+  HuffDecoder dec(spec);
+  BitWriter bw;
+  const std::vector<int> syms = {0x01, 0x00, 0xF0, 0x22, 0xFA, 0x11};
+  for (int s : syms) bw.put_bits(enc.code(s), enc.length(s));
+  bw.flush();
+  const auto& bytes = bw.bytes();
+  BitReader br(bytes.data(), bytes.size());
+  for (int s : syms) EXPECT_EQ(dec.decode(br), s);
+}
+
+TEST(Huffman, StandardTableSizes) {
+  EXPECT_EQ(std_dc_luminance().symbols.size(), 12u);
+  EXPECT_EQ(std_dc_chrominance().symbols.size(), 12u);
+  EXPECT_EQ(std_ac_luminance().symbols.size(), 162u);
+  EXPECT_EQ(std_ac_chrominance().symbols.size(), 162u);
+}
+
+// ---------------------------------------------------------------------------
+// Codec end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(Codec, EncodeProducesJfifStream) {
+  ImageU8 img = test_image(32, 48);
+  auto bytes = encode(img, {.quality = 90, .chroma = ChromaMode::k420});
+  ASSERT_GE(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0xFF);
+  EXPECT_EQ(bytes[1], 0xD8);  // SOI
+  EXPECT_EQ(bytes[bytes.size() - 2], 0xFF);
+  EXPECT_EQ(bytes[bytes.size() - 1], 0xD9);  // EOI
+}
+
+TEST(Codec, RoundTripHighQualityCloseToOriginal) {
+  ImageU8 img = test_image(48, 48);
+  auto bytes = encode(img, {.quality = 95, .chroma = ChromaMode::k444});
+  ImageU8 dec = decode(bytes, DecoderVendor::kPillow);
+  EXPECT_EQ(dec.height(), 48);
+  EXPECT_EQ(dec.width(), 48);
+  EXPECT_GT(image_psnr(img, dec), 30.0);
+}
+
+TEST(Codec, NonMultipleOf16Dimensions) {
+  for (auto [h, w] : {std::pair{17, 23}, {8, 8}, {33, 31}, {50, 70}}) {
+    ImageU8 img = test_image(h, w);
+    auto bytes = encode(img, {.quality = 90, .chroma = ChromaMode::k420});
+    ImageU8 dec = decode(bytes, DecoderVendor::kOpenCV);
+    EXPECT_EQ(dec.height(), h);
+    EXPECT_EQ(dec.width(), w);
+    EXPECT_GT(image_psnr(img, dec), 22.0) << h << "x" << w;
+  }
+}
+
+TEST(Codec, LowerQualityLowerFidelityAndSmaller) {
+  ImageU8 img = test_image(64, 64);
+  auto hi = encode(img, {.quality = 95});
+  auto lo = encode(img, {.quality = 30});
+  EXPECT_LT(lo.size(), hi.size());
+  const double psnr_hi = image_psnr(img, decode(hi, DecoderVendor::kPillow));
+  const double psnr_lo = image_psnr(img, decode(lo, DecoderVendor::kPillow));
+  EXPECT_GT(psnr_hi, psnr_lo);
+}
+
+TEST(Codec, VendorsProduceSlightlyDifferentPixels) {
+  // The decoder SysNoise mechanism: same bitstream, different pixels.
+  ImageU8 img = test_image(64, 64, 7);
+  auto bytes = encode(img, {.quality = 90});
+  ImageU8 ref = decode(bytes, DecoderVendor::kPillow);
+  for (auto v : {DecoderVendor::kOpenCV, DecoderVendor::kFFmpeg, DecoderVendor::kDALI}) {
+    ImageU8 other = decode(bytes, v);
+    const double frac = image_diff_fraction(ref, other);
+    EXPECT_GT(frac, 0.001) << vendor_name(v);        // vendors disagree...
+    const int maxd = image_max_diff(ref, other);
+    EXPECT_LE(maxd, 40) << vendor_name(v);           // ...but only slightly
+    EXPECT_GT(image_psnr(ref, other), 25.0) << vendor_name(v);
+  }
+}
+
+TEST(Codec, VendorDecodeIsDeterministic) {
+  ImageU8 img = test_image(40, 40, 9);
+  auto bytes = encode(img);
+  for (int v = 0; v < kNumDecoderVendors; ++v) {
+    auto vendor = static_cast<DecoderVendor>(v);
+    ImageU8 a = decode(bytes, vendor);
+    ImageU8 b = decode(bytes, vendor);
+    EXPECT_EQ(image_max_diff(a, b), 0);
+  }
+}
+
+TEST(Codec, RgbToYcbcrKnownValues) {
+  float y, cb, cr;
+  rgb_to_ycbcr(255, 255, 255, y, cb, cr);
+  EXPECT_NEAR(y, 255.0f, 0.01f);
+  EXPECT_NEAR(cb, 128.0f, 0.01f);
+  EXPECT_NEAR(cr, 128.0f, 0.01f);
+  rgb_to_ycbcr(255, 0, 0, y, cb, cr);
+  EXPECT_NEAR(y, 76.2f, 0.1f);
+  EXPECT_GT(cr, 200.0f);
+}
+
+TEST(Codec, RejectsGarbage) {
+  std::vector<std::uint8_t> garbage = {0x00, 0x01, 0x02};
+  EXPECT_THROW(decode(garbage, DecoderVendor::kPillow), std::runtime_error);
+  std::vector<std::uint8_t> soi_only = {0xFF, 0xD8, 0xFF, 0xD9};
+  EXPECT_THROW(decode(soi_only, DecoderVendor::kPillow), std::runtime_error);
+}
+
+TEST(Codec, ChromaSubsamplingReducesSize) {
+  ImageU8 img = test_image(64, 64, 11);
+  auto s420 = encode(img, {.quality = 90, .chroma = ChromaMode::k420});
+  auto s444 = encode(img, {.quality = 90, .chroma = ChromaMode::k444});
+  EXPECT_LT(s420.size(), s444.size());
+}
+
+class CodecVendorParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecVendorParam, EveryVendorDecodesEverySize) {
+  const auto vendor = static_cast<DecoderVendor>(GetParam());
+  for (int dim : {8, 15, 24, 37}) {
+    ImageU8 img = test_image(dim, dim + 3, static_cast<std::uint64_t>(dim));
+    for (auto chroma : {ChromaMode::k420, ChromaMode::k444}) {
+      auto bytes = encode(img, {.quality = 85, .chroma = chroma});
+      ImageU8 dec = decode(bytes, vendor);
+      ASSERT_EQ(dec.height(), dim);
+      ASSERT_EQ(dec.width(), dim + 3);
+      EXPECT_GT(image_psnr(img, dec), 20.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVendors, CodecVendorParam,
+                         ::testing::Range(0, kNumDecoderVendors));
+
+}  // namespace
+}  // namespace sysnoise::jpeg

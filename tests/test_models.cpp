@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "models/train.h"
+#include "models/zoo.h"
+#include "nn/serialize.h"
+
+namespace sysnoise::models {
+namespace {
+
+// Small dataset shared by the training tests in this file.
+const data::ClsDataset& tiny_cls() {
+  static const data::ClsDataset ds = [] {
+    data::ClsDatasetSpec spec;
+    spec.num_classes = 4;
+    spec.train_per_class = 8;
+    spec.eval_per_class = 5;
+    spec.seed = 99;
+    return data::make_classification_dataset(spec);
+  }();
+  return ds;
+}
+
+const PipelineSpec kSpec{.out_h = 32, .out_w = 32};
+
+TEST(Zoo, AllClassifiersConstructAndForward) {
+  Tensor x({2, 3, 32, 32});
+  Rng fill(3);
+  for (float& v : x.vec()) v = fill.uniform_f(-1.0f, 1.0f);
+  for (const auto& spec : classifier_zoo()) {
+    Rng rng(1);
+    auto model = make_classifier(spec.name, 10, rng);
+    nn::Tape t;
+    nn::Node* logits = model->forward(t, t.input(x), nn::BnMode::kEval);
+    ASSERT_EQ(logits->value.shape(), (std::vector<int>{2, 10})) << spec.name;
+    // Params collect without crashing and are non-empty.
+    nn::ParamRefs params;
+    model->collect(params);
+    EXPECT_GT(params.size(), 4u) << spec.name;
+  }
+}
+
+TEST(Zoo, ResNetFamilyRespectsMaxpoolFlag) {
+  Rng rng(1);
+  EXPECT_TRUE(make_classifier("ResNet-S", 10, rng)->has_maxpool());
+  EXPECT_FALSE(make_classifier("MobileNetV2-1.0", 10, rng)->has_maxpool());
+  EXPECT_FALSE(make_classifier("ViT-T", 10, rng)->has_maxpool());
+}
+
+TEST(Zoo, DeterministicInit) {
+  Rng r1(5), r2(5);
+  auto a = make_classifier("ResNet-XS", 10, r1);
+  auto b = make_classifier("ResNet-XS", 10, r2);
+  nn::ParamRefs pa, pb;
+  a->collect(pa);
+  b->collect(pb);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_FLOAT_EQ(max_abs_diff(pa[i]->value, pb[i]->value), 0.0f);
+}
+
+TEST(Training, SmallClassifierLearnsAboveChance) {
+  const auto& ds = tiny_cls();
+  Rng rng(11);
+  auto model = make_classifier("ResNet-XS", ds.num_classes, rng);
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_size = 8;
+  cfg.lr = 0.08f;
+  train_classifier(*model, ds.train, ds.num_classes,
+                   default_cls_preprocessor(kSpec), cfg);
+  const double acc = eval_classifier(*model, ds.eval,
+                                     SysNoiseConfig::training_default(), kSpec,
+                                     nullptr);
+  EXPECT_GT(acc, 45.0) << "4-class chance is 25%";
+}
+
+TEST(Training, NoiseConfigsShiftAccuracyOnTrainedModel) {
+  const auto& ds = tiny_cls();
+  Rng rng(12);
+  auto model = make_classifier("MCUNet", ds.num_classes, rng);
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_size = 8;
+  cfg.lr = 0.08f;
+  train_classifier(*model, ds.train, ds.num_classes,
+                   default_cls_preprocessor(kSpec), cfg);
+
+  nn::ActRanges ranges;
+  calibrate_classifier(*model, ds.train, kSpec, ranges, 16);
+
+  const double base = eval_classifier(*model, ds.eval,
+                                      SysNoiseConfig::training_default(), kSpec,
+                                      &ranges);
+  // FP16: tiny or no change.
+  SysNoiseConfig fp16 = SysNoiseConfig::training_default();
+  fp16.precision = nn::Precision::kFP16;
+  const double acc16 = eval_classifier(*model, ds.eval, fp16, kSpec, &ranges);
+  EXPECT_NEAR(acc16, base, 10.0);
+
+  // Resize flip must still produce a sane accuracy (not collapse to chance).
+  SysNoiseConfig rez = SysNoiseConfig::training_default();
+  rez.resize = ResizeMethod::kOpenCVNearest;
+  const double accr = eval_classifier(*model, ds.eval, rez, kSpec, &ranges);
+  EXPECT_GT(accr, 25.0);
+}
+
+TEST(Training, DetectorLearnsToLocalize) {
+  data::DetDatasetSpec dspec;
+  dspec.train_images = 40;
+  dspec.eval_images = 10;
+  dspec.seed = 77;
+  const auto ds = data::make_detection_dataset(dspec);
+  Rng rng(13);
+  Detector det("mobilenet", /*softmax=*/false, ds.num_classes, rng);
+  TrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.batch_size = 8;
+  cfg.lr = 0.02f;
+  const PipelineSpec spec{.out_h = 64, .out_w = 64};
+  train_detector(det, ds, spec, cfg);
+  const double map = eval_detector(det, ds, SysNoiseConfig::training_default(),
+                                   spec, nullptr);
+  EXPECT_GT(map, 5.0);  // far above the ~0 of an untrained net
+
+  // Proposal offset flip changes mAP but not catastrophically.
+  SysNoiseConfig off = SysNoiseConfig::training_default();
+  off.proposal_offset = 1.0f;
+  const double map_off = eval_detector(det, ds, off, spec, nullptr);
+  EXPECT_GT(map_off, 0.0);
+  EXPECT_NE(map_off, map);
+}
+
+TEST(Training, SegmenterLearnsMasks) {
+  data::SegDatasetSpec sspec;
+  sspec.train_images = 16;
+  sspec.eval_images = 6;
+  sspec.seed = 88;
+  const auto ds = data::make_segmentation_dataset(sspec);
+  Rng rng(14);
+  auto model = make_segmenter("UNet", ds.num_classes, rng);
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_size = 4;
+  cfg.lr = 0.05f;
+  const PipelineSpec spec{.out_h = 64, .out_w = 64};
+  train_segmenter(*model, ds, spec, cfg);
+  const double miou = eval_segmenter(*model, ds, SysNoiseConfig::training_default(),
+                                     spec, nullptr);
+  EXPECT_GT(miou, 25.0);
+
+  // Upsample flip (nearest->bilinear) must change predictions.
+  SysNoiseConfig up = SysNoiseConfig::training_default();
+  up.upsample = nn::UpsampleMode::kBilinear;
+  const double miou_up = eval_segmenter(*model, ds, up, spec, nullptr);
+  EXPECT_NE(miou, miou_up);
+}
+
+TEST(Zoo, StateRoundTripPreservesEval) {
+  const auto& ds = tiny_cls();
+  Rng rng(15);
+  auto model = make_classifier("MCUNet", ds.num_classes, rng);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 8;
+  train_classifier(*model, ds.train, ds.num_classes,
+                   default_cls_preprocessor(kSpec), cfg);
+  const double acc = eval_classifier(*model, ds.eval,
+                                     SysNoiseConfig::training_default(), kSpec,
+                                     nullptr);
+
+  nn::ParamRefs params;
+  model->collect(params);
+  nn::StateRefs state;
+  model->collect_state(state);
+  std::vector<const Tensor*> cstate(state.begin(), state.end());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sysnoise_zoo_test.bin").string();
+  nn::save_params(path, params, cstate);
+
+  Rng rng2(999);  // different init
+  auto fresh = make_classifier("MCUNet", ds.num_classes, rng2);
+  nn::ParamRefs params2;
+  fresh->collect(params2);
+  nn::StateRefs state2;
+  fresh->collect_state(state2);
+  ASSERT_TRUE(nn::load_params(path, params2, state2));
+  const double acc2 = eval_classifier(*fresh, ds.eval,
+                                      SysNoiseConfig::training_default(), kSpec,
+                                      nullptr);
+  EXPECT_DOUBLE_EQ(acc, acc2);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sysnoise::models

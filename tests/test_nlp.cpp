@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "nlp/lm.h"
+#include "nlp/tasks.h"
+
+namespace sysnoise::nlp {
+namespace {
+
+TEST(Tasks, CorpusDeterministicAndWellFormed) {
+  const auto a = make_lm_corpus(20, 5);
+  const auto b = make_lm_corpus(20, 5);
+  ASSERT_EQ(a.size(), 20u);
+  EXPECT_EQ(a[3], b[3]);
+  for (const auto& seq : a) {
+    EXPECT_EQ(seq.size(), 24u);
+    for (int tok : seq) {
+      EXPECT_GE(tok, 0);
+      EXPECT_LT(tok, kVocab);
+    }
+  }
+}
+
+TEST(Tasks, ItemsHaveDistinctOptions) {
+  for (int k = 0; k < kNumTasks; ++k) {
+    const auto items = make_task_items(static_cast<TaskKind>(k), 50, 7);
+    ASSERT_EQ(items.size(), 50u);
+    for (const auto& item : items) {
+      EXPECT_FALSE(item.context.empty());
+      ASSERT_EQ(item.correct.size(), 1u);
+      ASSERT_EQ(item.wrong.size(), 1u);
+      EXPECT_NE(item.correct[0], item.wrong[0]);
+    }
+  }
+}
+
+TEST(Tasks, PiqaRuleIsConsistent) {
+  // The functional rule f(a,b) must match between corpus and task items:
+  // items with identical (a, b) context share the same correct answer.
+  const auto items1 = make_task_items(TaskKind::kPiqa, 200, 1);
+  const auto items2 = make_task_items(TaskKind::kPiqa, 200, 2);
+  for (const auto& x : items1)
+    for (const auto& y : items2)
+      if (x.context == y.context) EXPECT_EQ(x.correct[0], y.correct[0]);
+}
+
+TEST(Tasks, NamesAreStable) {
+  EXPECT_STREQ(task_name(TaskKind::kPiqa), "PIQA-like");
+  EXPECT_STREQ(task_name(TaskKind::kWinoGrande), "WinoGrande-like");
+}
+
+TEST(Lm, ForwardShape) {
+  Rng rng(3);
+  CausalLm lm(opt_mini_zoo()[0], kVocab, rng);
+  const std::vector<int> ids = {1, 2, 3, 4, 5, 6};
+  nn::Tape t;
+  nn::Node* logits = lm.forward(t, ids, 2, 3);
+  EXPECT_EQ(logits->value.shape(), (std::vector<int>{2, 3, kVocab}));
+}
+
+TEST(Lm, CausalityHolds) {
+  // Changing a later token must not change earlier logits.
+  Rng rng(4);
+  CausalLm lm(opt_mini_zoo()[0], kVocab, rng);
+  std::vector<int> a = {1, 2, 3, 4};
+  std::vector<int> b = {1, 2, 3, 9};
+  nn::Tape ta, tb;
+  nn::Node* la = lm.forward(ta, a, 1, 4);
+  nn::Node* lb = lm.forward(tb, b, 1, 4);
+  for (int p = 0; p < 3; ++p)
+    for (int v = 0; v < kVocab; ++v)
+      EXPECT_FLOAT_EQ(la->value.at3(0, p, v), lb->value.at3(0, p, v)) << p;
+}
+
+TEST(Lm, TrainingReducesLossAndLearnsRecall) {
+  Rng rng(5);
+  CausalLm lm(opt_mini_zoo()[0], kVocab, rng);
+  const auto corpus = make_lm_corpus(240, 11);
+  const float first = train_lm(lm, corpus, 1, 2e-3f);
+  const float later = train_lm(lm, corpus, 9, 2e-3f);
+  EXPECT_LT(later, first);
+
+  // After training, the LAMBADA-like recall task should be above chance.
+  const auto items = make_task_items(TaskKind::kLambada, 60, 21);
+  int correct = 0;
+  for (const auto& item : items) {
+    const double sc = lm.score_continuation(item.context, item.correct,
+                                            nn::Precision::kFP32, nullptr);
+    const double sw = lm.score_continuation(item.context, item.wrong,
+                                            nn::Precision::kFP32, nullptr);
+    correct += sc > sw;
+  }
+  EXPECT_GT(correct, 36) << "recall task should beat 50% chance on 60 items";
+}
+
+TEST(Lm, PrecisionPerturbsScoresSlightly) {
+  Rng rng(6);
+  CausalLm lm(opt_mini_zoo()[0], kVocab, rng);
+  const auto corpus = make_lm_corpus(80, 13);
+  train_lm(lm, corpus, 2, 2e-3f);
+  nn::ActRanges ranges;
+  calibrate_lm(lm, corpus, ranges);
+
+  const std::vector<int> ctx = {1, 2, kTokArrow};
+  const std::vector<int> cont = {3};
+  const double s32 = lm.score_continuation(ctx, cont, nn::Precision::kFP32, &ranges);
+  const double s16 = lm.score_continuation(ctx, cont, nn::Precision::kFP16, &ranges);
+  const double s8 = lm.score_continuation(ctx, cont, nn::Precision::kINT8, &ranges);
+  EXPECT_NE(s32, s16);
+  EXPECT_NE(s32, s8);
+  EXPECT_LT(std::abs(s32 - s16), std::abs(s32 - s8) + 1.0);  // INT8 noisier
+  EXPECT_LT(std::abs(s32 - s8), 5.0);  // but not catastrophic
+}
+
+}  // namespace
+}  // namespace sysnoise::nlp

@@ -1,0 +1,233 @@
+// Cross-cutting property-based suites (TEST_P sweeps) on invariants that
+// must hold for *every* option of each SysNoise axis — the contract the
+// benchmark relies on: noises are perturbations, never semantic rewrites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "color/yuv.h"
+#include "detect/box.h"
+#include "image/metrics.h"
+#include "image/synthetic.h"
+#include "jpeg/codec.h"
+#include "nn/ops.h"
+#include "resize/resize.h"
+#include "tensor/rng.h"
+
+namespace sysnoise {
+namespace {
+
+ImageU8 textured(int h, int w, std::uint64_t seed) {
+  Rng r(seed);
+  TextureParams p = class_texture(static_cast<int>(seed % 10), 10, r);
+  return render_texture(p, h, w, r);
+}
+
+// ---------------------------------------------------------------------------
+// JPEG: quality ladder properties
+// ---------------------------------------------------------------------------
+
+class JpegQuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(JpegQuality, HigherQualityNeverSmallerPsnr) {
+  const int q = GetParam();
+  const ImageU8 img = textured(48, 48, 3);
+  const auto lo = jpeg::encode(img, {.quality = q});
+  const auto hi = jpeg::encode(img, {.quality = std::min(q + 20, 100)});
+  const double psnr_lo = image_psnr(img, jpeg::decode(lo, jpeg::DecoderVendor::kPillow));
+  const double psnr_hi = image_psnr(img, jpeg::decode(hi, jpeg::DecoderVendor::kPillow));
+  EXPECT_GE(psnr_hi + 0.3, psnr_lo);  // allow rounding slack
+}
+
+TEST_P(JpegQuality, EncodeIsDeterministic) {
+  const int q = GetParam();
+  const ImageU8 img = textured(32, 40, 4);
+  EXPECT_EQ(jpeg::encode(img, {.quality = q}), jpeg::encode(img, {.quality = q}));
+}
+
+TEST_P(JpegQuality, AllVendorsAgreeWithinQuantizationError) {
+  const int q = GetParam();
+  const ImageU8 img = textured(40, 40, 5);
+  const auto bytes = jpeg::encode(img, {.quality = q});
+  const ImageU8 ref = jpeg::decode(bytes, jpeg::DecoderVendor::kPillow);
+  for (int v = 1; v < jpeg::kNumDecoderVendors; ++v) {
+    const ImageU8 other = jpeg::decode(bytes, static_cast<jpeg::DecoderVendor>(v));
+    // Vendor disagreement must stay far below the codec's own loss floor.
+    EXPECT_GT(image_psnr(ref, other), 24.0) << "vendor " << v << " q " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QualityLadder, JpegQuality,
+                         ::testing::Values(40, 60, 75, 90));
+
+// ---------------------------------------------------------------------------
+// Resize: brightness-preservation property across all 11 methods
+// ---------------------------------------------------------------------------
+
+class ResizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResizeProperty, MeanBrightnessApproximatelyPreserved) {
+  const auto method = static_cast<ResizeMethod>(GetParam());
+  const ImageU8 img = textured(72, 72, 6);
+  const ImageU8 out = resize(img, 36, 36, method);
+  double mean_in = 0.0, mean_out = 0.0;
+  for (auto v : img.vec()) mean_in += v;
+  for (auto v : out.vec()) mean_out += v;
+  mean_in /= static_cast<double>(img.size());
+  mean_out /= static_cast<double>(out.size());
+  // Nearest-type kernels drift the most; everything stays within a few LSB.
+  EXPECT_NEAR(mean_in, mean_out, 4.0) << resize_method_name(method);
+}
+
+TEST_P(ResizeProperty, ExtremeAspectRatiosSurvive) {
+  const auto method = static_cast<ResizeMethod>(GetParam());
+  const ImageU8 img = textured(64, 64, 7);
+  const ImageU8 wide = resize(img, 4, 64, method);
+  const ImageU8 tall = resize(img, 64, 4, method);
+  EXPECT_EQ(wide.height(), 4);
+  EXPECT_EQ(tall.width(), 4);
+}
+
+TEST_P(ResizeProperty, UpscaleIsLocallyBounded) {
+  // Interpolating between in-range samples cannot invent extreme values
+  // beyond a kernel-dependent overshoot margin (lanczos/cubic ring a bit).
+  const auto method = static_cast<ResizeMethod>(GetParam());
+  ImageU8 img(8, 8, 1);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      img.at(y, x, 0) = static_cast<std::uint8_t>(100 + 10 * ((x + y) % 3));
+  const ImageU8 up = resize(img, 32, 32, method);
+  for (auto v : up.vec()) {
+    EXPECT_GE(static_cast<int>(v), 85) << resize_method_name(method);
+    EXPECT_LE(static_cast<int>(v), 135) << resize_method_name(method);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, ResizeProperty,
+                         ::testing::Range(0, kNumResizeMethods));
+
+// ---------------------------------------------------------------------------
+// Color: round-trip contraction property
+// ---------------------------------------------------------------------------
+
+class ColorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColorProperty, RoundTripIsIdempotentWithinOneStep) {
+  // Applying the same color round trip twice adds (almost) nothing beyond
+  // the first application: the conversion is a quantizer, and quantizers
+  // are near-idempotent.
+  const auto mode = static_cast<ColorMode>(GetParam());
+  const ImageU8 img = textured(32, 32, 8);
+  const ImageU8 once = apply_color_mode(img, mode);
+  const ImageU8 twice = apply_color_mode(once, mode);
+  EXPECT_LE(image_mae(once, twice), image_mae(img, once) + 0.75);
+  EXPECT_LE(image_max_diff(once, twice), 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ColorProperty,
+                         ::testing::Range(0, kNumColorModes));
+
+// ---------------------------------------------------------------------------
+// Pooling: exhaustive floor/ceil sweep against a brute-force reference
+// ---------------------------------------------------------------------------
+
+class PoolShape : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(PoolShape, SatisfiesPoolingInvariants) {
+  const auto [in, k, s, p] = GetParam();
+  if (k > in + 2 * p) GTEST_SKIP();
+  const int floor_out = nn::pooled_size(in, k, s, p, false);
+  const int ceil_out = nn::pooled_size(in, k, s, p, true);
+  // Ceil mode can add at most one extra window, never remove one.
+  EXPECT_GE(ceil_out, floor_out);
+  EXPECT_LE(ceil_out, floor_out + 1);
+  // Ceil adds a window exactly when the stride does not divide the span.
+  const bool has_remainder = (in + 2 * p - k) % s != 0;
+  if (!has_remainder) EXPECT_EQ(ceil_out, floor_out);
+  // Floor mode: the last window fits entirely inside the padded input.
+  EXPECT_LE((floor_out - 1) * s + k, in + 2 * p);
+  // Both modes: every window starts within input + left padding
+  // (the PyTorch clamp rule).
+  EXPECT_LT((ceil_out - 1) * s, in + p)
+      << "in=" << in << " k=" << k << " s=" << s << " p=" << p;
+  EXPECT_GE(floor_out, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PoolShape,
+    ::testing::Combine(::testing::Values(7, 8, 15, 16, 17, 32),
+                       ::testing::Values(2, 3),
+                       ::testing::Values(1, 2),
+                       ::testing::Values(0, 1)));
+
+// ---------------------------------------------------------------------------
+// Detection: AP threshold monotonicity
+// ---------------------------------------------------------------------------
+
+TEST(DetectionProperty, ApIsMonotoneInIouThreshold) {
+  // Fixed detections: raising the IoU bar can never raise AP.
+  Rng rng(11);
+  std::vector<std::vector<detect::GtBox>> gts(5);
+  std::vector<std::vector<detect::Detection>> dets(5);
+  for (int img = 0; img < 5; ++img) {
+    for (int i = 0; i < 3; ++i) {
+      const float x = rng.uniform_f(0.0f, 40.0f), y = rng.uniform_f(0.0f, 40.0f);
+      const float s = rng.uniform_f(8.0f, 20.0f);
+      gts[static_cast<std::size_t>(img)].push_back({{x, y, x + s, y + s}, i % 2});
+      // Slightly jittered prediction of the same box.
+      const float j = rng.uniform_f(0.0f, 4.0f);
+      dets[static_cast<std::size_t>(img)].push_back(
+          {{x + j, y + j, x + s + j, y + s + j}, i % 2, rng.uniform_f(0.3f, 0.9f)});
+    }
+  }
+  double prev = 1.1;
+  for (float thr : {0.5f, 0.6f, 0.7f, 0.8f, 0.9f}) {
+    const double ap = detect::average_precision_at(dets, gts, 2, thr);
+    EXPECT_LE(ap, prev + 1e-9) << thr;
+    prev = ap;
+  }
+}
+
+TEST(DetectionProperty, CoderOffsetErrorScalesWithNothingWeird) {
+  // The offset-mismatch error is bounded by ~1px in each coordinate scaled
+  // through the exp decode — i.e. small for all realistic box sizes.
+  const detect::BoxCoder train{0.0f};
+  const detect::BoxCoder deploy{1.0f};
+  Rng rng(12);
+  for (int i = 0; i < 200; ++i) {
+    const float s = rng.uniform_f(6.0f, 50.0f);
+    const detect::Box anchor{20, 20, 20 + s, 20 + s};
+    const detect::Box gt{20 + s * 0.1f, 20 - s * 0.05f, 20 + s * 1.05f, 20 + s * 0.95f};
+    float d[4];
+    train.encode(anchor, gt, d);
+    const detect::Box out = deploy.decode(anchor, d);
+    EXPECT_LT(std::fabs(out.x1 - gt.x1), 3.0f);
+    EXPECT_LT(std::fabs(out.y2 - gt.y2), 3.0f);
+    EXPECT_GT(detect::iou(out, gt), 0.8f);  // the noise perturbs, not destroys
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NV12 chroma geometry
+// ---------------------------------------------------------------------------
+
+TEST(ColorGeometry, Nv12ChromaBlockAlignment) {
+  // A 2x2-aligned solid color block survives NV12 exactly (up to the
+  // integer-approximation error), because subsampling never mixes it with
+  // neighbours.
+  ImageU8 img(8, 8, 3);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) {
+      const bool left = x < 4;
+      img.at(y, x, 0) = left ? 200 : 40;
+      img.at(y, x, 1) = left ? 60 : 180;
+      img.at(y, x, 2) = left ? 90 : 120;
+    }
+  const ImageU8 rt = apply_color_mode(img, ColorMode::kNv12RoundTrip);
+  // Interior pixels of each half keep their color to within a few steps.
+  EXPECT_NEAR(rt.at(4, 1, 0), 200, 8);
+  EXPECT_NEAR(rt.at(4, 6, 1), 180, 8);
+}
+
+}  // namespace
+}  // namespace sysnoise

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/quantize.h"
+#include "tensor/rng.h"
+
+namespace sysnoise {
+namespace {
+
+TEST(Quant, ChooseQparamsCoversRange) {
+  const QuantParams qp = choose_qparams(-2.0f, 6.0f);
+  EXPECT_NEAR(qp.scale, 8.0f / 255.0f, 1e-6f);
+  // Range endpoints representable within one step.
+  EXPECT_NEAR(dequantize_value(quantize_value(-2.0f, qp), qp), -2.0f, qp.scale);
+  EXPECT_NEAR(dequantize_value(quantize_value(6.0f, qp), qp), 6.0f, qp.scale);
+}
+
+TEST(Quant, ZeroIsExact) {
+  // Affine quantization must represent 0 exactly (zero-padding identity).
+  for (auto [lo, hi] : {std::pair{-1.0f, 1.0f}, {-0.3f, 5.0f}, {0.0f, 2.0f},
+                        {-4.0f, 0.0f}}) {
+    const QuantParams qp = choose_qparams(lo, hi);
+    EXPECT_FLOAT_EQ(dequantize_value(quantize_value(0.0f, qp), qp), 0.0f)
+        << lo << "," << hi;
+  }
+}
+
+TEST(Quant, SymmetricZeroPoint) {
+  const QuantParams qp = choose_qparams_symmetric(3.0f);
+  EXPECT_EQ(qp.zero_point, 0);
+  EXPECT_NEAR(qp.scale, 3.0f / 127.0f, 1e-6f);
+  EXPECT_EQ(quantize_value(3.0f, qp), 127);
+  EXPECT_EQ(quantize_value(-3.0f, qp), -127);
+}
+
+TEST(Quant, ClampsOutOfRange) {
+  const QuantParams qp = choose_qparams(-1.0f, 1.0f);
+  EXPECT_EQ(quantize_value(100.0f, qp), 127);
+  EXPECT_EQ(quantize_value(-100.0f, qp), -128);
+}
+
+TEST(Quant, QuantErrorBoundedByHalfStep) {
+  Rng rng(3);
+  const QuantParams qp = choose_qparams(-4.0f, 4.0f);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform_f(-4.0f, 4.0f);
+    const float q = dequantize_value(quantize_value(v, qp), qp);
+    EXPECT_LE(std::fabs(q - v), qp.scale * 0.5f + 1e-6f);
+  }
+}
+
+TEST(Quant, FakeQuantIsIdempotent) {
+  Rng rng(4);
+  Tensor t({64});
+  for (float& v : t.vec()) v = rng.uniform_f(-2.0f, 2.0f);
+  const QuantParams qp = choose_qparams(t.min(), t.max());
+  Tensor once = t;
+  fake_quantize_(once, qp);
+  Tensor twice = once;
+  fake_quantize_(twice, qp);
+  EXPECT_FLOAT_EQ(max_abs_diff(once, twice), 0.0f);
+}
+
+TEST(Quant, RangeObserverTracksMinMax) {
+  RangeObserver obs;
+  EXPECT_FALSE(obs.seen);
+  obs.observe(Tensor::from_vector({3}, {1.0f, -2.0f, 0.5f}));
+  obs.observe(Tensor::from_vector({2}, {3.0f, 0.0f}));
+  EXPECT_TRUE(obs.seen);
+  EXPECT_FLOAT_EQ(obs.lo, -2.0f);
+  EXPECT_FLOAT_EQ(obs.hi, 3.0f);
+}
+
+TEST(Quant, FakeQuantMatchesIntegerGemm) {
+  // The load-bearing equivalence: fake-quant float gemm == int8 gemm with
+  // int32 accumulation and float dequant, to float rounding.
+  Rng rng(5);
+  const int m = 4, n = 6, k = 8;
+  Tensor a({m, k}), b({k, n});
+  for (float& v : a.vec()) v = rng.uniform_f(-1.5f, 2.5f);
+  for (float& v : b.vec()) v = rng.uniform_f(-0.8f, 0.8f);
+  const QuantParams qa = choose_qparams(a.min(), a.max());
+  const QuantParams qb = choose_qparams_symmetric(b.abs_max());
+
+  // Integer path.
+  const auto aq = quantize_tensor(a, qa);
+  const auto bq = quantize_tensor(b, qb);
+  std::vector<float> c_int(static_cast<std::size_t>(m) * n);
+  int8_gemm_dequant(m, n, k, aq.data(), qa, bq.data(), qb, c_int.data());
+
+  // Fake-quant float path.
+  Tensor af = a, bf = b;
+  fake_quantize_(af, qa);
+  fake_quantize_(bf, qb);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += af.at2(i, kk) * bf.at2(kk, j);
+      EXPECT_NEAR(acc, c_int[static_cast<std::size_t>(i) * n + j], 1e-4f);
+    }
+}
+
+TEST(Quant, DegenerateRange) {
+  const QuantParams qp = choose_qparams(0.0f, 0.0f);
+  EXPECT_FLOAT_EQ(qp.scale, 1.0f);
+  EXPECT_EQ(quantize_value(0.0f, qp), 0);
+}
+
+}  // namespace
+}  // namespace sysnoise

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/metrics.h"
+#include "image/synthetic.h"
+#include "resize/filters.h"
+#include "resize/resize.h"
+#include "tensor/rng.h"
+
+namespace sysnoise {
+namespace {
+
+ImageU8 make_image(int h, int w, std::uint64_t seed = 21) {
+  Rng r(seed);
+  TextureParams p = class_texture(4, 10, r);
+  return render_texture(p, h, w, r);
+}
+
+ImageU8 constant_image(int h, int w, std::uint8_t v) {
+  ImageU8 img(h, w, 3);
+  for (auto& x : img.vec()) x = v;
+  return img;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel functions
+// ---------------------------------------------------------------------------
+
+TEST(Filters, TriangleProperties) {
+  EXPECT_DOUBLE_EQ(filter_triangle(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(filter_triangle(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(filter_triangle(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(filter_triangle(-0.25), 0.75);
+}
+
+TEST(Filters, BoxSupport) {
+  EXPECT_DOUBLE_EQ(filter_box(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(filter_box(0.5), 1.0);   // right-inclusive
+  EXPECT_DOUBLE_EQ(filter_box(-0.5), 0.0);  // left-exclusive
+  EXPECT_DOUBLE_EQ(filter_box(0.51), 0.0);
+}
+
+TEST(Filters, CubicInterpolatesConstants) {
+  // Keys kernels reproduce constants: sum over integer-shifted taps == 1.
+  for (double a : {-0.5, -0.75}) {
+    for (double frac : {0.0, 0.25, 0.5, 0.9}) {
+      double s = 0.0;
+      for (int i = -1; i <= 2; ++i) s += filter_cubic(frac - i, a);
+      EXPECT_NEAR(s, 1.0, 1e-12) << "a=" << a << " frac=" << frac;
+    }
+  }
+}
+
+TEST(Filters, CubicAtIntegers) {
+  for (double a : {-0.5, -0.75}) {
+    EXPECT_DOUBLE_EQ(filter_cubic(0.0, a), 1.0);
+    EXPECT_NEAR(filter_cubic(1.0, a), 0.0, 1e-12);
+    EXPECT_NEAR(filter_cubic(2.0, a), 0.0, 1e-12);
+  }
+}
+
+TEST(Filters, LanczosAtIntegers) {
+  EXPECT_DOUBLE_EQ(filter_lanczos(0.0, 3), 1.0);
+  for (int k = 1; k < 3; ++k) EXPECT_NEAR(filter_lanczos(k, 3), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(filter_lanczos(3.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(filter_lanczos(4.5, 4), filter_lanczos(-4.5, 4));
+}
+
+TEST(Filters, HammingProperties) {
+  EXPECT_DOUBLE_EQ(filter_hamming(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(filter_hamming(1.0), 0.0);
+  EXPECT_GT(filter_hamming(0.3), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Behavioural properties across all 11 methods
+// ---------------------------------------------------------------------------
+
+class AllMethods : public ::testing::TestWithParam<int> {
+ protected:
+  ResizeMethod method() const { return static_cast<ResizeMethod>(GetParam()); }
+};
+
+TEST_P(AllMethods, PreservesConstantImages) {
+  const ImageU8 img = constant_image(37, 29, 173);
+  for (auto [oh, ow] : {std::pair{16, 16}, {64, 64}, {37, 29}, {11, 53}}) {
+    ImageU8 out = resize(img, oh, ow, method());
+    ASSERT_EQ(out.height(), oh);
+    ASSERT_EQ(out.width(), ow);
+    for (auto v : out.vec())
+      ASSERT_NEAR(static_cast<int>(v), 173, 1) << resize_method_name(method());
+  }
+}
+
+TEST_P(AllMethods, IdentitySizeIsNearIdentity) {
+  const ImageU8 img = make_image(24, 24);
+  ImageU8 out = resize(img, 24, 24, method());
+  // Same-size resize must be (almost) a no-op for every kernel.
+  EXPECT_LE(image_max_diff(img, out), 2) << resize_method_name(method());
+}
+
+TEST_P(AllMethods, DownUpRoundTripReasonable) {
+  const ImageU8 img = make_image(64, 64);
+  ImageU8 small = resize(img, 32, 32, method());
+  ImageU8 back = resize(small, 64, 64, method());
+  EXPECT_GT(image_psnr(img, back), 12.0) << resize_method_name(method());
+}
+
+TEST_P(AllMethods, OutputRangeValid) {
+  // High-contrast input must not produce out-of-range wraparound.
+  ImageU8 img(16, 16, 3);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x)
+      for (int c = 0; c < 3; ++c) img.at(y, x, c) = ((x + y) % 2) ? 255 : 0;
+  ImageU8 out = resize(img, 23, 9, method());
+  EXPECT_EQ(out.height(), 23);
+  EXPECT_EQ(out.width(), 9);
+  // (uint8 storage guarantees range; this checks no crash + exact dims.)
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllMethods, ::testing::Range(0, kNumResizeMethods));
+
+// ---------------------------------------------------------------------------
+// Cross-method disagreement: the SysNoise mechanism itself
+// ---------------------------------------------------------------------------
+
+TEST(ResizeNoise, MethodsDisagreeOnTexturedDownscale) {
+  const ImageU8 img = make_image(96, 96, 5);
+  const ImageU8 ref = resize(img, 32, 32, ResizeMethod::kPillowBilinear);
+  int differing_methods = 0;
+  for (ResizeMethod m : all_resize_methods()) {
+    if (m == ResizeMethod::kPillowBilinear) continue;
+    const ImageU8 out = resize(img, 32, 32, m);
+    if (image_mae(ref, out) > 0.5) ++differing_methods;
+  }
+  // Every other method should measurably differ from Pillow-bilinear.
+  EXPECT_EQ(differing_methods, kNumResizeMethods - 1);
+}
+
+TEST(ResizeNoise, SameNameDifferentPackageDiffers) {
+  // The paper's package-level mismatch: "bilinear" is not one algorithm.
+  const ImageU8 img = make_image(96, 96, 6);
+  const ImageU8 a = resize(img, 32, 32, ResizeMethod::kPillowBilinear);
+  const ImageU8 b = resize(img, 32, 32, ResizeMethod::kOpenCVBilinear);
+  EXPECT_GT(image_mae(a, b), 0.5);  // antialiasing makes them diverge
+  const ImageU8 an = resize(img, 32, 32, ResizeMethod::kPillowNearest);
+  const ImageU8 bn = resize(img, 32, 32, ResizeMethod::kOpenCVNearest);
+  EXPECT_GT(image_diff_fraction(an, bn), 0.05);  // coordinate mapping differs
+}
+
+TEST(ResizeNoise, UpscaleBilinearStylesClose) {
+  // On 2x upscale (no antialias in play) the two bilinears nearly agree.
+  const ImageU8 img = make_image(32, 32, 7);
+  const ImageU8 a = resize(img, 64, 64, ResizeMethod::kPillowBilinear);
+  const ImageU8 b = resize(img, 64, 64, ResizeMethod::kOpenCVBilinear);
+  EXPECT_LT(image_mae(a, b), 2.0);
+  EXPECT_GT(image_psnr(a, b), 30.0);
+}
+
+TEST(ResizeNoise, AreaEqualsBoxOnIntegerDownscale) {
+  // INTER_AREA and Pillow BOX both compute exact box averages for integer
+  // factors; results should match to within 1 LSB of rounding.
+  const ImageU8 img = make_image(64, 64, 8);
+  const ImageU8 a = resize(img, 32, 32, ResizeMethod::kOpenCVArea);
+  const ImageU8 b = resize(img, 32, 32, ResizeMethod::kPillowBox);
+  EXPECT_LE(image_max_diff(a, b), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Pillow nearest / OpenCV nearest exact semantics
+// ---------------------------------------------------------------------------
+
+TEST(ResizeSemantics, PillowNearestPicksCenters) {
+  // 4 -> 2 downscale: output pixel 0 samples source index floor((0+.5)*2)=1.
+  ImageU8 img(1, 4, 1);
+  img.at(0, 0, 0) = 10;
+  img.at(0, 1, 0) = 20;
+  img.at(0, 2, 0) = 30;
+  img.at(0, 3, 0) = 40;
+  ImageU8 out = resize(img, 1, 2, ResizeMethod::kPillowNearest);
+  EXPECT_EQ(out.at(0, 0, 0), 20);
+  EXPECT_EQ(out.at(0, 1, 0), 40);
+}
+
+TEST(ResizeSemantics, OpenCVNearestPicksFloors) {
+  // OpenCV: source index floor(0*2)=0, floor(1*2)=2.
+  ImageU8 img(1, 4, 1);
+  img.at(0, 0, 0) = 10;
+  img.at(0, 1, 0) = 20;
+  img.at(0, 2, 0) = 30;
+  img.at(0, 3, 0) = 40;
+  ImageU8 out = resize(img, 1, 2, ResizeMethod::kOpenCVNearest);
+  EXPECT_EQ(out.at(0, 0, 0), 10);
+  EXPECT_EQ(out.at(0, 1, 0), 30);
+}
+
+TEST(ResizeSemantics, BilinearExactMidpoint) {
+  // 2x upscale of [0, 100]: OpenCV half-pixel mapping puts output 1 at
+  // source 0.25 -> 25.
+  ImageU8 img(1, 2, 1);
+  img.at(0, 0, 0) = 0;
+  img.at(0, 1, 0) = 100;
+  ImageU8 out = resize(img, 1, 4, ResizeMethod::kOpenCVBilinear);
+  EXPECT_EQ(out.at(0, 0, 0), 0);
+  EXPECT_NEAR(out.at(0, 1, 0), 25, 1);
+  EXPECT_NEAR(out.at(0, 2, 0), 75, 1);
+  EXPECT_EQ(out.at(0, 3, 0), 100);
+}
+
+TEST(ResizeSemantics, ShorterSideKeepsAspect) {
+  const ImageU8 img = make_image(60, 90);
+  ImageU8 out = resize_shorter_side(img, 30, ResizeMethod::kPillowBilinear);
+  EXPECT_EQ(out.height(), 30);
+  EXPECT_EQ(out.width(), 45);
+  const ImageU8 tall = make_image(90, 60);
+  ImageU8 out2 = resize_shorter_side(tall, 30, ResizeMethod::kPillowBilinear);
+  EXPECT_EQ(out2.height(), 45);
+  EXPECT_EQ(out2.width(), 30);
+}
+
+TEST(ResizeSemantics, CenterCrop) {
+  ImageU8 img(6, 8, 1);
+  for (int y = 0; y < 6; ++y)
+    for (int x = 0; x < 8; ++x) img.at(y, x, 0) = static_cast<std::uint8_t>(y * 10 + x);
+  ImageU8 c = center_crop(img, 2, 4);
+  EXPECT_EQ(c.height(), 2);
+  EXPECT_EQ(c.width(), 4);
+  EXPECT_EQ(c.at(0, 0, 0), 22);  // y0=2, x0=2
+  EXPECT_THROW(center_crop(img, 10, 2), std::invalid_argument);
+}
+
+TEST(ResizeSemantics, RejectsBadSizes) {
+  const ImageU8 img = make_image(8, 8);
+  EXPECT_THROW(resize(img, 0, 4, ResizeMethod::kPillowBilinear), std::invalid_argument);
+  EXPECT_THROW(resize(img, 4, -1, ResizeMethod::kOpenCVArea), std::invalid_argument);
+}
+
+TEST(ResizeSemantics, MethodNamesUnique) {
+  std::set<std::string> names;
+  for (ResizeMethod m : all_resize_methods()) names.insert(resize_method_name(m));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumResizeMethods));
+}
+
+}  // namespace
+}  // namespace sysnoise

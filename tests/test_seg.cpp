@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "seg/miou.h"
+
+namespace sysnoise::seg {
+namespace {
+
+TEST(MeanIou, PerfectPrediction) {
+  const std::vector<int> gt = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(mean_iou(gt, gt, 3), 1.0);
+  EXPECT_DOUBLE_EQ(pixel_accuracy(gt, gt), 1.0);
+}
+
+TEST(MeanIou, KnownPartialOverlap) {
+  const std::vector<int> gt = {0, 0, 1, 1};
+  const std::vector<int> pred = {0, 1, 1, 1};
+  // class 0: inter 1, union 2 -> 0.5 ; class 1: inter 2, union 3 -> 2/3.
+  EXPECT_NEAR(mean_iou(pred, gt, 2), (0.5 + 2.0 / 3.0) / 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(pixel_accuracy(pred, gt), 0.75);
+}
+
+TEST(MeanIou, AbsentClassSkipped) {
+  const std::vector<int> gt = {0, 0, 0, 0};
+  const std::vector<int> pred = {0, 0, 0, 0};
+  // Classes 1 and 2 never appear; only class 0 contributes.
+  EXPECT_DOUBLE_EQ(mean_iou(pred, gt, 3), 1.0);
+  const auto per = per_class_iou(pred, gt, 3);
+  EXPECT_DOUBLE_EQ(per[0], 1.0);
+  EXPECT_DOUBLE_EQ(per[1], -1.0);
+  EXPECT_DOUBLE_EQ(per[2], -1.0);
+}
+
+TEST(MeanIou, CompletelyWrong) {
+  const std::vector<int> gt = {0, 0, 1, 1};
+  const std::vector<int> pred = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(mean_iou(pred, gt, 2), 0.0);
+  EXPECT_DOUBLE_EQ(pixel_accuracy(pred, gt), 0.0);
+}
+
+TEST(MeanIou, SizeMismatchThrows) {
+  EXPECT_THROW(mean_iou({0, 1}, {0}, 2), std::invalid_argument);
+  EXPECT_THROW(pixel_accuracy({0, 1}, {0}), std::invalid_argument);
+}
+
+TEST(MeanIou, OutOfRangeLabelsIgnored) {
+  const std::vector<int> gt = {0, 5, 1};   // 5 out of range for 2 classes
+  const std::vector<int> pred = {0, 0, 1};
+  // Only in-range labels enter the confusion counts.
+  EXPECT_GT(mean_iou(pred, gt, 2), 0.5);
+}
+
+}  // namespace
+}  // namespace sysnoise::seg
