@@ -7,44 +7,41 @@
 
 #include "bench/bench_util.h"
 #include "core/report.h"
-#include "core/runner.h"
+#include "models/eval_tasks.h"
 
 using namespace sysnoise;
-
-namespace {
-
-std::string render_steps(const std::vector<core::StepPoint>& pts,
-                         const char* metric) {
-  core::TextTable table({"Noise added (cumulative)", std::string("Δ") + metric});
-  for (const auto& p : pts) table.add_row({p.step, core::fmt(p.delta)});
-  return table.str();
-}
-
-}  // namespace
 
 int main() {
   bench::banner("Fig. 3 — stepwise combined SysNoise", "Sec. 4.2, Fig. 3");
 
+  core::SweepCache cache;
+  core::SweepOptions opts;
+  opts.cache = &cache;
+
   std::printf("[fig3] classifier (ResNet-M)...\n");
   std::fflush(stdout);
   auto tc = models::get_classifier("ResNet-M");
-  const auto cls_steps = core::stepwise_classifier(tc);
+  models::ClassifierTask cls_task(tc);
+  cache.seed(cls_task, SysNoiseConfig::training_default(), tc.trained_acc);
+  const auto cls_steps = core::stepwise(cls_task, opts);
   std::printf("(a) ResNet-M classification — trained ACC %.2f%%\n", tc.trained_acc);
-  const std::string cls_table = render_steps(cls_steps, "ACC");
+  const std::string cls_table = core::render_step_table(cls_steps, "ACC");
   std::fputs(cls_table.c_str(), stdout);
 
   std::printf("[fig3] detector (FasterRCNN-ResNet)...\n");
   std::fflush(stdout);
   auto td = models::get_detector("FasterRCNN-ResNet");
-  const auto det_steps = core::stepwise_detector(td);
+  models::DetectorTask det_task(td);
+  cache.seed(det_task, SysNoiseConfig::training_default(), td.trained_map);
+  const auto det_steps = core::stepwise(det_task, opts);
   std::printf("(b) FasterRCNN-ResNet detection — trained mAP %.2f\n",
               td.trained_map);
-  const std::string det_table = render_steps(det_steps, "mAP");
+  const std::string det_table = core::render_step_table(det_steps, "mAP");
   std::fputs(det_table.c_str(), stdout);
 
-  std::string csv = "task,step,delta\n";
-  for (const auto& p : cls_steps) csv += "cls," + p.step + "," + core::fmt(p.delta) + "\n";
-  for (const auto& p : det_steps) csv += "det," + p.step + "," + core::fmt(p.delta) + "\n";
+  std::string csv = core::step_points_csv(cls_steps, "cls");
+  const std::string det_csv = core::step_points_csv(det_steps, "det");
+  csv += det_csv.substr(det_csv.find('\n') + 1);  // drop repeated header
   bench::write_file("fig3_combined.txt", cls_table + "\n" + det_table);
   bench::write_file("fig3_combined.csv", csv);
   return 0;

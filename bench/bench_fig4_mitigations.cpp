@@ -7,21 +7,37 @@
 #include "bench/bench_util.h"
 #include "core/mitigation.h"
 #include "core/report.h"
-#include "core/runner.h"
+#include "models/eval_tasks.h"
 
 using namespace sysnoise;
 
 namespace {
 
+double axis_mean(const core::AxisReport& r, const char* axis) {
+  const core::AxisResult* res = r.find(axis);
+  return res != nullptr ? res->mean : 0.0;
+}
+
 void add_row(core::TextTable& table, std::string& csv, const std::string& label,
-             models::TrainedClassifier& tc) {
-  const core::NoiseRow r = core::measure_classifier(tc);
-  table.add_row({label, core::fmt(r.trained), core::fmt(r.decode_mean),
-                 core::fmt(r.resize_mean), core::fmt(r.color), core::fmt(r.int8),
-                 r.ceil.has_value() ? core::fmt(*r.ceil) : "-"});
-  csv += label + "," + core::fmt(r.trained) + "," + core::fmt(r.decode_mean) + "," +
-         core::fmt(r.resize_mean) + "," + core::fmt(r.color) + "," +
-         core::fmt(r.int8) + "," + (r.ceil ? core::fmt(*r.ceil) : "") + "\n";
+             models::TrainedClassifier& tc, core::SweepCache& cache) {
+  models::ClassifierTask task(tc);
+  const core::AxisReport r =
+      models::sweep_seeded(task, task.trained_metric(), cache);
+  const core::AxisResult* prec = r.find("Precision");
+  const core::OptionDelta* int8 =
+      prec != nullptr ? prec->option("INT8") : nullptr;
+  const core::AxisResult* ceil = r.find("Ceil Mode");
+  table.add_row({label, core::fmt(r.trained), core::fmt(axis_mean(r, "Decode")),
+                 core::fmt(axis_mean(r, "Resize")),
+                 core::fmt(axis_mean(r, "Color Mode")),
+                 int8 != nullptr ? core::fmt(int8->delta) : "-",
+                 ceil != nullptr ? core::fmt(ceil->mean) : "-"});
+  csv += label + "," + core::fmt(r.trained) + "," +
+         core::fmt(axis_mean(r, "Decode")) + "," +
+         core::fmt(axis_mean(r, "Resize")) + "," +
+         core::fmt(axis_mean(r, "Color Mode")) + "," +
+         (int8 != nullptr ? core::fmt(int8->delta) : "") + "," +
+         (ceil != nullptr ? core::fmt(ceil->mean) : "") + "\n";
 }
 
 }  // namespace
@@ -37,6 +53,10 @@ int main() {
                          "dINT8", "dCeil"});
   std::string csv = "training,acc,decode,resize,color,int8,ceil\n";
 
+  // One cache across every variant: retrained twins share a display name
+  // but ClassifierTask folds the training tag into the cache identity.
+  core::SweepCache cache;
+
   // (a) augmentation strategies.
   int n_strategies = core::kNumAugStrategies;
   if (bench::fast_mode()) n_strategies = 2;
@@ -48,7 +68,7 @@ int main() {
     std::fflush(stdout);
     const auto prep = core::augmented_preprocessor(spec, strategy);
     auto tc = models::get_classifier(model, std::string("f4_") + label, &prep);
-    add_row(table, csv, label, tc);
+    add_row(table, csv, label, tc, cache);
   }
 
   // (b) adversarial training on two families (paper: ResNet-50, RegNetX).
@@ -56,11 +76,11 @@ int main() {
     std::printf("[fig4] baseline %s...\n", base.c_str());
     std::fflush(stdout);
     auto clean = models::get_classifier(base);
-    add_row(table, csv, base, clean);
+    add_row(table, csv, base, clean, cache);
     std::printf("[fig4] adversarially training %s...\n", base.c_str());
     std::fflush(stdout);
     auto adv = core::adversarial_train_classifier(base);
-    add_row(table, csv, base + "-Adv", adv);
+    add_row(table, csv, base + "-Adv", adv, cache);
     if (bench::fast_mode()) break;
   }
 

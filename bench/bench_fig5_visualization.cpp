@@ -7,9 +7,9 @@
 
 #include "bench/bench_util.h"
 #include "core/report.h"
-#include "core/runner.h"
 #include "image/metrics.h"
 #include "image/ppm_io.h"
+#include "models/zoo.h"
 
 using namespace sysnoise;
 

@@ -1,9 +1,14 @@
 // Library micro-benchmarks (google-benchmark): throughput of the
 // substrates the harness exercises on every sample — JPEG decode per
-// vendor, the resize kernels, color round trips, and conv inference.
+// vendor, the resize kernels, color round trips, conv inference, and the
+// full-table sweep engine (serial baseline vs memoized/parallel).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "color/yuv.h"
+#include "core/synthetic_task.h"
 #include "image/synthetic.h"
 #include "jpeg/codec.h"
 #include "models/classifiers.h"
@@ -67,6 +72,45 @@ void BM_ClassifierForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClassifierForward);
+
+// A detection-shaped SyntheticTask with enough per-eval busywork to stand
+// in for a model evaluation, so sweep-engine scheduling can be measured.
+core::SyntheticTask make_sweep_task() {
+  return {core::TaskKind::kDetection, /*has_maxpool=*/true,
+          /*work_rounds=*/4000};
+}
+
+// Old-runner behavior: sweep and stepwise each serial, unmemoized, and each
+// re-evaluating the trained baseline.
+void BM_FullTableSweepSerial(benchmark::State& state) {
+  const core::SyntheticTask task = make_sweep_task();
+  core::SweepOptions opts;
+  opts.threads = 1;
+  opts.memoize = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sweep(task, opts));
+    benchmark::DoNotOptimize(core::stepwise(task, opts));
+  }
+}
+BENCHMARK(BM_FullTableSweepSerial)->Unit(benchmark::kMillisecond);
+
+// New engine: thread-pool fan-out plus a shared cache seeded with the
+// trained metric (as the zoo provides it), reused across sweep + stepwise.
+void BM_FullTableSweepMemoParallel(benchmark::State& state) {
+  const core::SyntheticTask task = make_sweep_task();
+  const double trained = task.evaluate(SysNoiseConfig::training_default());
+  for (auto _ : state) {
+    core::SweepCache cache;
+    cache.seed(task, SysNoiseConfig::training_default(), trained);
+    core::SweepOptions opts;
+    opts.threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    opts.cache = &cache;
+    benchmark::DoNotOptimize(core::sweep(task, opts));
+    benchmark::DoNotOptimize(core::stepwise(task, opts));
+  }
+}
+BENCHMARK(BM_FullTableSweepMemoParallel)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,9 +1,10 @@
 // Table 1: the SysNoise taxonomy — noise types, affected tasks, input
-// dependence, effect level and option counts. Counts are derived from the
-// implemented option sets so the table cannot drift from the code.
+// dependence, effect level and option counts, rendered straight from the
+// NoiseAxis registry so the table cannot drift from the code (registering
+// a new axis adds a row here automatically).
 #include "bench/bench_util.h"
+#include "core/axis.h"
 #include "core/report.h"
-#include "data/noise_config.h"
 
 using namespace sysnoise;
 
@@ -12,18 +13,11 @@ int main() {
 
   core::TextTable table({"Stage", "Type", "Task", "Input Dep.", "Effect Level",
                          "#Categories"});
-  table.add_row({"Pre-processing", "Decoder", "Cls/Det/Seg", "no", "High",
-                 std::to_string(jpeg::kNumDecoderVendors)});
-  table.add_row({"Pre-processing", "Resize", "Cls/Det/Seg", "no", "Very High",
-                 std::to_string(kNumResizeMethods)});
-  table.add_row({"Pre-processing", "Color Space", "Cls/Det/Seg", "yes", "Middle",
-                 std::to_string(static_cast<int>(color_noise_options().size()) + 1)});
-  table.add_row({"Model inference", "Ceil Mode", "Cls/Det/Seg", "no", "High", "2"});
-  table.add_row({"Model inference", "Upsample", "Det/Seg", "no", "Very High", "2"});
-  table.add_row(
-      {"Model inference", "Data Prec.", "Cls/Det/Seg/NLP", "yes", "High",
-       std::to_string(static_cast<int>(precision_noise_options().size()) + 1)});
-  table.add_row({"Post-processing", "Detection Proposal", "Det", "no", "Middle", "2"});
+  for (const core::NoiseAxis& axis : core::AxisRegistry::global().axes()) {
+    table.add_row({axis.stage, axis.name, axis.tasks_label,
+                   axis.input_dependent ? "yes" : "no", axis.effect_level,
+                   std::to_string(axis.taxonomy_categories())});
+  }
 
   const std::string out = table.str();
   std::fputs(out.c_str(), stdout);

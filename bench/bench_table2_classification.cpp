@@ -8,7 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "core/report.h"
-#include "core/runner.h"
+#include "models/eval_tasks.h"
 
 using namespace sysnoise;
 
@@ -16,7 +16,8 @@ int main() {
   bench::banner("Table 2 — ImageNet-substitute classification",
                 "Sec. 4.2, Table 2");
 
-  std::vector<core::NoiseRow> rows;
+  core::SweepCache cache;
+  std::vector<core::AxisReport> reports;
   auto specs = models::classifier_zoo();
   if (bench::fast_mode()) specs.resize(3);
   for (const auto& spec : specs) {
@@ -26,12 +27,13 @@ int main() {
     std::printf("[table2] %s: trained ACC %.2f%%, sweeping noise axes...\n",
                 spec.name.c_str(), tc.trained_acc);
     std::fflush(stdout);
-    rows.push_back(core::measure_classifier(tc));
+    models::ClassifierTask task(tc);
+    reports.push_back(models::sweep_seeded(task, task.trained_metric(), cache));
   }
 
-  const std::string table = core::render_noise_table(rows, "ACC", false, false);
+  const std::string table = core::render_axis_table(reports, "ACC");
   std::fputs(table.c_str(), stdout);
   bench::write_file("table2_classification.txt", table);
-  bench::write_file("table2_classification.csv", core::noise_rows_csv(rows));
+  bench::write_file("table2_classification.csv", core::axis_report_csv(reports));
   return 0;
 }

@@ -8,7 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "core/report.h"
-#include "core/runner.h"
+#include "models/eval_tasks.h"
 
 using namespace sysnoise;
 
@@ -19,7 +19,8 @@ int main() {
                                     "RetinaNet-ResNet", "RetinaNet-MobileNet"};
   if (bench::fast_mode()) names.resize(1);
 
-  std::vector<core::NoiseRow> rows;
+  core::SweepCache cache;
+  std::vector<core::AxisReport> reports;
   for (const auto& name : names) {
     std::printf("[table3] %s: training/loading...\n", name.c_str());
     std::fflush(stdout);
@@ -27,12 +28,13 @@ int main() {
     std::printf("[table3] %s: trained mAP %.2f, sweeping noise axes...\n",
                 name.c_str(), td.trained_map);
     std::fflush(stdout);
-    rows.push_back(core::measure_detector(td));
+    models::DetectorTask task(td);
+    reports.push_back(models::sweep_seeded(task, task.trained_metric(), cache));
   }
 
-  const std::string table = core::render_noise_table(rows, "mAP", true, true);
+  const std::string table = core::render_axis_table(reports, "mAP");
   std::fputs(table.c_str(), stdout);
   bench::write_file("table3_detection.txt", table);
-  bench::write_file("table3_detection.csv", core::noise_rows_csv(rows));
+  bench::write_file("table3_detection.csv", core::axis_report_csv(reports));
   return 0;
 }

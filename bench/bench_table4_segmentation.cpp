@@ -6,7 +6,7 @@
 
 #include "bench/bench_util.h"
 #include "core/report.h"
-#include "core/runner.h"
+#include "models/eval_tasks.h"
 
 using namespace sysnoise;
 
@@ -17,7 +17,8 @@ int main() {
   std::vector<std::string> names = {"DeepLab-S", "DeepLab-M", "UNet"};
   if (bench::fast_mode()) names.resize(1);
 
-  std::vector<core::NoiseRow> rows;
+  core::SweepCache cache;
+  std::vector<core::AxisReport> reports;
   for (const auto& name : names) {
     std::printf("[table4] %s: training/loading...\n", name.c_str());
     std::fflush(stdout);
@@ -25,12 +26,13 @@ int main() {
     std::printf("[table4] %s: trained mIoU %.2f, sweeping noise axes...\n",
                 name.c_str(), ts.trained_miou);
     std::fflush(stdout);
-    rows.push_back(core::measure_segmenter(ts));
+    models::SegmenterTask task(ts);
+    reports.push_back(models::sweep_seeded(task, task.trained_metric(), cache));
   }
 
-  const std::string table = core::render_noise_table(rows, "mIoU", true, false);
+  const std::string table = core::render_axis_table(reports, "mIoU");
   std::fputs(table.c_str(), stdout);
   bench::write_file("table4_segmentation.txt", table);
-  bench::write_file("table4_segmentation.csv", core::noise_rows_csv(rows));
+  bench::write_file("table4_segmentation.csv", core::axis_report_csv(reports));
   return 0;
 }

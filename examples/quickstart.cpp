@@ -6,7 +6,7 @@
 // accuracy gap plus one image whose prediction flips.
 #include <cstdio>
 
-#include "core/runner.h"
+#include "core/axis.h"
 #include "models/zoo.h"
 
 using namespace sysnoise;
@@ -19,8 +19,8 @@ int main() {
   const PipelineSpec spec = models::cls_pipeline_spec();
 
   const SysNoiseConfig train_cfg = SysNoiseConfig::training_default();
-  const SysNoiseConfig deploy_cfg =
-      core::combined_config(tc.model->has_maxpool(), false, false);
+  const SysNoiseConfig deploy_cfg = core::combined_config(
+      {core::TaskKind::kClassification, tc.model->has_maxpool()});
 
   std::printf("training pipeline  : %s\n", train_cfg.describe().c_str());
   std::printf("deployment pipeline: %s\n\n", deploy_cfg.describe().c_str());

@@ -1,0 +1,191 @@
+#include "core/axis.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sysnoise::core {
+
+const char* task_kind_name(TaskKind k) {
+  switch (k) {
+    case TaskKind::kClassification: return "classification";
+    case TaskKind::kDetection: return "detection";
+    case TaskKind::kSegmentation: return "segmentation";
+  }
+  return "?";
+}
+
+void AxisRegistry::add(NoiseAxis axis) {
+  if (axis.name.empty() || axis.option_labels.empty() || !axis.apply)
+    throw std::invalid_argument("AxisRegistry::add: axis needs a name, at "
+                                "least one option and an apply function");
+  if (find(axis.name) != nullptr)
+    throw std::invalid_argument("AxisRegistry::add: duplicate axis " + axis.name);
+  if (axis.step_label.empty()) axis.step_label = axis.name;
+  if (axis.key.empty()) axis.key = axis.name;
+  axes_.push_back(std::move(axis));
+}
+
+const NoiseAxis* AxisRegistry::find(const std::string& name) const {
+  for (const NoiseAxis& a : axes_)
+    if (a.name == name) return &a;
+  return nullptr;
+}
+
+std::vector<const NoiseAxis*> AxisRegistry::applicable(
+    const TaskTraits& traits) const {
+  std::vector<const NoiseAxis*> out;
+  for (const NoiseAxis& a : axes_)
+    if (a.applies_to(traits)) out.push_back(&a);
+  return out;
+}
+
+AxisRegistry& AxisRegistry::global() {
+  static AxisRegistry reg = [] {
+    AxisRegistry r;
+    for (NoiseAxis& a : builtin_axes()) r.add(std::move(a));
+    return r;
+  }();
+  return reg;
+}
+
+std::vector<NoiseAxis> builtin_axes() {
+  std::vector<NoiseAxis> axes;
+
+  {
+    NoiseAxis a;
+    a.name = "Decode";
+    a.key = "decode";
+    const auto vendors = decoder_noise_options();
+    for (auto v : vendors) a.option_labels.push_back(jpeg::vendor_name(v));
+    a.apply = [vendors](SysNoiseConfig& cfg, int i) { cfg.decoder = vendors[i]; };
+    // Worst common vendor (the DALI-class decoder) drives Combined/Fig. 3.
+    a.combined_option = static_cast<int>(
+        std::find(vendors.begin(), vendors.end(), jpeg::DecoderVendor::kDALI) -
+        vendors.begin());
+    a.stage = "Pre-processing";
+    a.tasks_label = "Cls/Det/Seg";
+    a.effect_level = "High";
+    axes.push_back(std::move(a));
+  }
+  {
+    NoiseAxis a;
+    a.name = "Resize";
+    a.key = "resize";
+    const auto methods = resize_noise_options();
+    for (auto m : methods) a.option_labels.push_back(resize_method_name(m));
+    a.apply = [methods](SysNoiseConfig& cfg, int i) { cfg.resize = methods[i]; };
+    a.combined_option = static_cast<int>(
+        std::find(methods.begin(), methods.end(), ResizeMethod::kOpenCVNearest) -
+        methods.begin());
+    a.stage = "Pre-processing";
+    a.tasks_label = "Cls/Det/Seg";
+    a.effect_level = "Very High";
+    axes.push_back(std::move(a));
+  }
+  {
+    NoiseAxis a;
+    a.name = "Color Mode";
+    a.key = "color";
+    const auto modes = color_noise_options();
+    for (auto m : modes) a.option_labels.push_back(color_mode_name(m));
+    a.apply = [modes](SysNoiseConfig& cfg, int i) { cfg.color = modes[i]; };
+    a.stage = "Pre-processing";
+    a.tasks_label = "Cls/Det/Seg";
+    a.input_dependent = true;
+    a.effect_level = "Middle";
+    axes.push_back(std::move(a));
+  }
+  {
+    NoiseAxis a;
+    a.name = "Precision";
+    a.key = "precision";
+    const auto precisions = precision_noise_options();
+    for (auto p : precisions) a.option_labels.push_back(nn::precision_name(p));
+    a.apply = [precisions](SysNoiseConfig& cfg, int i) {
+      cfg.precision = precisions[i];
+    };
+    a.per_option = true;  // report FP16 and INT8 as separate columns
+    a.combined_option = static_cast<int>(
+        std::find(precisions.begin(), precisions.end(), nn::Precision::kINT8) -
+        precisions.begin());
+    a.step_label = "INT8";
+    a.stage = "Model inference";
+    a.tasks_label = "Cls/Det/Seg/NLP";
+    a.input_dependent = true;
+    a.effect_level = "High";
+    axes.push_back(std::move(a));
+  }
+  {
+    NoiseAxis a;
+    a.name = "Ceil Mode";
+    a.key = "ceil";
+    a.option_labels = {"ceil"};
+    a.applies = [](const TaskTraits& t) { return t.has_maxpool; };
+    a.apply = [](SysNoiseConfig& cfg, int) { cfg.ceil_mode = true; };
+    a.stage = "Model inference";
+    a.tasks_label = "Cls/Det/Seg";
+    a.effect_level = "High";
+    axes.push_back(std::move(a));
+  }
+  {
+    NoiseAxis a;
+    a.name = "Upsample";
+    a.key = "upsample";
+    a.option_labels = {"bilinear"};
+    a.applies = [](const TaskTraits& t) {
+      return t.kind != TaskKind::kClassification;
+    };
+    a.apply = [](SysNoiseConfig& cfg, int) {
+      cfg.upsample = nn::UpsampleMode::kBilinear;
+    };
+    a.stage = "Model inference";
+    a.tasks_label = "Det/Seg";
+    a.effect_level = "Very High";
+    axes.push_back(std::move(a));
+  }
+  {
+    NoiseAxis a;
+    a.name = "Post-proc";
+    a.key = "postproc";
+    a.step_label = "Post processing";
+    a.option_labels = {"offset-1"};
+    a.applies = [](const TaskTraits& t) { return t.kind == TaskKind::kDetection; };
+    a.apply = [](SysNoiseConfig& cfg, int) { cfg.proposal_offset = 1.0f; };
+    a.stage = "Post-processing";
+    a.tasks_label = "Det";
+    a.effect_level = "Middle";
+    axes.push_back(std::move(a));
+  }
+
+  return axes;
+}
+
+SysNoiseConfig combined_config(const TaskTraits& traits,
+                               const AxisRegistry& registry) {
+  SysNoiseConfig cfg = SysNoiseConfig::training_default();
+  for (const NoiseAxis* axis : registry.applicable(traits))
+    axis->apply(cfg, axis->combined_option);
+  return cfg;
+}
+
+SysNoiseConfig combined_config(const TaskTraits& traits) {
+  return combined_config(traits, AxisRegistry::global());
+}
+
+SysNoiseConfig combined_config(bool has_maxpool, bool with_upsample,
+                               bool with_postproc) {
+  // Legacy-faithful: each flag gates its axis independently (the traits
+  // form would also enable Upsample whenever Post-proc applies), over the
+  // built-in axes only.
+  SysNoiseConfig cfg = SysNoiseConfig::training_default();
+  for (const NoiseAxis& axis : builtin_axes()) {
+    if ((axis.name == "Ceil Mode" && !has_maxpool) ||
+        (axis.name == "Upsample" && !with_upsample) ||
+        (axis.name == "Post-proc" && !with_postproc))
+      continue;
+    axis.apply(cfg, axis.combined_option);
+  }
+  return cfg;
+}
+
+}  // namespace sysnoise::core

@@ -8,8 +8,8 @@
 //    normalization affine parameters during evaluation.
 #pragma once
 
-#include "core/runner.h"
 #include "models/train.h"
+#include "models/zoo.h"
 
 namespace sysnoise::core {
 

@@ -1,12 +1,15 @@
-// Plain-text table / CSV rendering for the bench binaries. Row format
-// mirrors the paper: "mean (max)" cells for decode/resize, "-" for
-// non-applicable axes.
+// Plain-text table / CSV rendering for the bench binaries. Columns are
+// derived from whatever axes the AxisReports carry (registry order), so a
+// newly registered NoiseAxis shows up in every table and CSV without
+// touching this module. Cell format mirrors the paper: "mean (max)" for
+// multi-option axes, one column per option for per-option axes (FP16/INT8),
+// "-" where an axis does not apply.
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "core/runner.h"
+#include "core/sweep.h"
 
 namespace sysnoise::core {
 
@@ -26,12 +29,20 @@ std::string fmt(double v, int precision = 2);
 // "mean (max)" cell.
 std::string fmt_mm(double mean, double mx, int precision = 2);
 
-// Render Table 2/3/4-style reports from NoiseRows.
-std::string render_noise_table(const std::vector<NoiseRow>& rows,
-                               const std::string& metric_name,
-                               bool with_upsample, bool with_postproc);
+// Render a Table 2/3/4-style report: one row per AxisReport, one column
+// group per axis present in any report.
+std::string render_axis_table(const std::vector<AxisReport>& reports,
+                              const std::string& metric_name);
 
-// CSV dump of the same rows (for downstream plotting).
-std::string noise_rows_csv(const std::vector<NoiseRow>& rows);
+// CSV dump of the same reports (for downstream plotting). Multi-option
+// axes emit "<key>_mean,<key>_max" columns, per-option axes one column per
+// option label, single-option axes just "<key>".
+std::string axis_report_csv(const std::vector<AxisReport>& reports);
+
+// Fig. 3 stepwise table / CSV helpers.
+std::string render_step_table(const std::vector<StepPoint>& points,
+                              const std::string& metric_name);
+std::string step_points_csv(const std::vector<StepPoint>& points,
+                            const std::string& task_label);
 
 }  // namespace sysnoise::core

@@ -1,0 +1,51 @@
+// Model-free reference EvalTask for engine tests and micro-benchmarks: the
+// metric is a pure FNV-1a hash of the config string (deterministic, config-
+// sensitive, thread-safe), every evaluation is counted, and `work_rounds`
+// scales the per-eval cost so scheduling overhead can be measured against a
+// stand-in for a real model evaluation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/sweep.h"
+
+namespace sysnoise::core {
+
+class SyntheticTask : public EvalTask {
+ public:
+  SyntheticTask(TaskKind kind, bool has_maxpool, int work_rounds = 1)
+      : traits_{kind, has_maxpool}, work_rounds_(work_rounds) {}
+
+  const std::string& name() const override {
+    static const std::string n = "synthetic";
+    return n;
+  }
+  TaskTraits traits() const override { return traits_; }
+  double evaluate(const SysNoiseConfig& cfg) const override {
+    evals_.fetch_add(1);
+    const std::string desc = cfg.describe();
+    std::uint64_t h = 1469598103934665603ull;
+    for (int round = 0; round < work_rounds_; ++round)
+      for (const char c : desc) {
+        h ^= static_cast<std::uint64_t>(c);
+        h *= 1099511628211ull;
+      }
+    return 40.0 + static_cast<double>(h % 4000) / 100.0;
+  }
+  // The metric depends on work_rounds, so tasks with different costs must
+  // not share cache entries.
+  std::string cache_identity() const override {
+    return name() + "#r" + std::to_string(work_rounds_);
+  }
+  int evals() const { return evals_.load(); }
+  void reset() const { evals_.store(0); }
+
+ private:
+  TaskTraits traits_;
+  int work_rounds_;
+  mutable std::atomic<int> evals_{0};
+};
+
+}  // namespace sysnoise::core

@@ -1,0 +1,39 @@
+#include "models/eval_tasks.h"
+
+namespace sysnoise::models {
+
+core::TaskTraits ClassifierTask::traits() const {
+  return {core::TaskKind::kClassification, tc_.model->has_maxpool()};
+}
+
+double ClassifierTask::evaluate(const SysNoiseConfig& cfg) const {
+  return eval_classifier(*tc_.model, benchmark_cls_dataset().eval, cfg,
+                         cls_pipeline_spec(), &tc_.ranges);
+}
+
+core::TaskTraits DetectorTask::traits() const {
+  return {core::TaskKind::kDetection, td_.model->has_maxpool()};
+}
+
+double DetectorTask::evaluate(const SysNoiseConfig& cfg) const {
+  return eval_detector(*td_.model, benchmark_det_dataset(), cfg,
+                       det_pipeline_spec(), &td_.ranges);
+}
+
+core::TaskTraits SegmenterTask::traits() const {
+  return {core::TaskKind::kSegmentation, ts_.model->has_maxpool()};
+}
+
+double SegmenterTask::evaluate(const SysNoiseConfig& cfg) const {
+  return eval_segmenter(*ts_.model, benchmark_seg_dataset(), cfg,
+                        seg_pipeline_spec(), &ts_.ranges);
+}
+
+core::AxisReport sweep_seeded(const core::EvalTask& task, double trained_metric,
+                              core::SweepCache& cache, core::SweepOptions opts) {
+  cache.seed(task, SysNoiseConfig::training_default(), trained_metric);
+  opts.cache = &cache;
+  return core::sweep(task, opts);
+}
+
+}  // namespace sysnoise::models

@@ -1,0 +1,61 @@
+// EvalTask adapters binding the trained model families to the generic
+// sweep engine: each wraps a zoo model plus the shared benchmark dataset
+// and pipeline spec behind core::EvalTask.
+#pragma once
+
+#include "core/sweep.h"
+#include "models/zoo.h"
+
+namespace sysnoise::models {
+
+class ClassifierTask : public core::EvalTask {
+ public:
+  explicit ClassifierTask(TrainedClassifier& tc) : tc_(tc) {}
+  const std::string& name() const override { return tc_.name; }
+  core::TaskTraits traits() const override;
+  double evaluate(const SysNoiseConfig& cfg) const override;
+  // Retrained variants (mitigation tags) share a display name but not
+  // weights — fold the tag in so a shared SweepCache keeps them apart.
+  std::string cache_identity() const override {
+    return tc_.tag.empty() ? tc_.name : tc_.name + "#" + tc_.tag;
+  }
+  // Clean-pipeline metric already computed by the zoo at load time; seed a
+  // SweepCache with it to skip re-evaluating the trained baseline.
+  double trained_metric() const { return tc_.trained_acc; }
+
+ private:
+  TrainedClassifier& tc_;
+};
+
+class DetectorTask : public core::EvalTask {
+ public:
+  explicit DetectorTask(TrainedDetector& td) : td_(td) {}
+  const std::string& name() const override { return td_.name; }
+  core::TaskTraits traits() const override;
+  double evaluate(const SysNoiseConfig& cfg) const override;
+  double trained_metric() const { return td_.trained_map; }
+
+ private:
+  TrainedDetector& td_;
+};
+
+class SegmenterTask : public core::EvalTask {
+ public:
+  explicit SegmenterTask(TrainedSegmenter& ts) : ts_(ts) {}
+  const std::string& name() const override { return ts_.name; }
+  core::TaskTraits traits() const override;
+  double evaluate(const SysNoiseConfig& cfg) const override;
+  double trained_metric() const { return ts_.trained_miou; }
+
+ private:
+  TrainedSegmenter& ts_;
+};
+
+// Seed `cache` with `trained_metric` (the clean-pipeline number the zoo
+// already computed at load time) for the training-default config, then run
+// the sweep through the cache — the baseline eval is never recomputed.
+core::AxisReport sweep_seeded(const core::EvalTask& task, double trained_metric,
+                              core::SweepCache& cache,
+                              core::SweepOptions opts = {});
+
+}  // namespace sysnoise::models

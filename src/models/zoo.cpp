@@ -39,6 +39,8 @@ PipelineSpec cls_pipeline_spec() { return PipelineSpec{.out_h = 32, .out_w = 32}
 
 PipelineSpec det_pipeline_spec() { return PipelineSpec{.out_h = 64, .out_w = 64}; }
 
+PipelineSpec seg_pipeline_spec() { return PipelineSpec{.out_h = 64, .out_w = 64}; }
+
 TrainedClassifier get_classifier(const std::string& name, const std::string& tag,
                                  const ClsPreprocessor* prep,
                                  const TrainConfig* train_override) {
@@ -47,6 +49,7 @@ TrainedClassifier get_classifier(const std::string& name, const std::string& tag
 
   TrainedClassifier out;
   out.name = name;
+  out.tag = tag;
   Rng rng(kInitSeed);
   out.model = make_classifier(name, ds.num_classes, rng);
 
@@ -141,7 +144,7 @@ TrainedDetector get_detector(const std::string& name) {
 
 TrainedSegmenter get_segmenter(const std::string& name) {
   const auto& ds = benchmark_seg_dataset();
-  const PipelineSpec spec = det_pipeline_spec();
+  const PipelineSpec spec = seg_pipeline_spec();
 
   TrainedSegmenter out;
   out.name = name;

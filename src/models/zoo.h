@@ -18,13 +18,16 @@ const data::ClsDataset& benchmark_cls_dataset();
 const data::DetDataset& benchmark_det_dataset();
 const data::SegDataset& benchmark_seg_dataset();
 
-// The pipeline spec all vision benchmarks share (decode->32x32 for
-// classification; detection/segmentation use 64x64).
+// Per-task pipeline specs (decode->32x32 for classification; detection and
+// segmentation use 64x64 but own their spec so either can diverge without
+// touching the other).
 PipelineSpec cls_pipeline_spec();
 PipelineSpec det_pipeline_spec();
+PipelineSpec seg_pipeline_spec();
 
 struct TrainedClassifier {
   std::string name;
+  std::string tag;  // retrained-variant tag ("" for the default recipe)
   std::unique_ptr<Classifier> model;
   nn::ActRanges ranges;  // INT8 calibration
   double trained_acc = 0.0;

@@ -8,8 +8,9 @@
 #include "core/learned_codec.h"
 #include "core/mitigation.h"
 #include "core/report.h"
-#include "core/runner.h"
+#include "core/sweep.h"
 #include "image/metrics.h"
+#include "models/eval_tasks.h"
 
 namespace sysnoise::core {
 namespace {
@@ -29,31 +30,60 @@ TEST(Report, FmtHelpers) {
   EXPECT_EQ(fmt_mm(0.5, 1.25), "0.50 (1.25)");
 }
 
-TEST(Report, NoiseTableRendersOptionalColumns) {
-  NoiseRow r;
-  r.model = "M";
+// Build a small synthetic AxisReport for the rendering tests.
+AxisReport demo_report(const std::string& model, bool with_det_axes) {
+  AxisReport r;
+  r.model = model;
   r.trained = 75.0;
-  r.ceil = std::nullopt;
-  std::vector<NoiseRow> rows = {r};
-  const std::string cls = render_noise_table(rows, "ACC", false, false);
-  EXPECT_NE(cls.find("| -"), std::string::npos);  // missing ceil renders "-"
-  r.ceil = 1.5;
-  r.upsample = 2.0;
-  r.postproc = 2.5;
-  rows[0] = r;
-  const std::string det = render_noise_table(rows, "mAP", true, true);
+  AxisResult decode;
+  decode.axis = "Decode";
+  decode.key = "decode";
+  decode.options = {{"a", 0.4}, {"b", 0.6}};
+  decode.mean = 0.5;
+  decode.max = 0.6;
+  r.axes.push_back(decode);
+  AxisResult prec;
+  prec.axis = "Precision";
+  prec.key = "precision";
+  prec.per_option = true;
+  prec.options = {{"FP16", 0.1}, {"INT8", 1.2}};
+  prec.mean = 0.65;
+  prec.max = 1.2;
+  r.axes.push_back(prec);
+  if (with_det_axes) {
+    AxisResult up;
+    up.axis = "Upsample";
+    up.key = "upsample";
+    up.options = {{"bilinear", 2.5}};
+    up.mean = up.max = 2.5;
+    r.axes.push_back(up);
+  }
+  r.combined = 9.0;
+  return r;
+}
+
+TEST(Report, AxisTableRendersDynamicColumns) {
+  const std::string cls = render_axis_table({demo_report("M", false)}, "ACC");
+  EXPECT_NE(cls.find("Trained ACC"), std::string::npos);
+  EXPECT_NE(cls.find("0.50 (0.60)"), std::string::npos);  // multi-option axis
+  EXPECT_NE(cls.find("FP16"), std::string::npos);  // per-option columns
+  EXPECT_NE(cls.find("INT8"), std::string::npos);
+  EXPECT_EQ(cls.find("Upsample"), std::string::npos);
+
+  // A report carrying an extra axis adds the column; the other row gets "-".
+  const std::string det = render_axis_table(
+      {demo_report("M", false), demo_report("D", true)}, "mAP");
   EXPECT_NE(det.find("Upsample"), std::string::npos);
-  EXPECT_NE(det.find("Post-proc"), std::string::npos);
   EXPECT_NE(det.find("2.50"), std::string::npos);
+  EXPECT_NE(det.find("| -"), std::string::npos);
 }
 
 TEST(Report, CsvHasHeaderAndRow) {
-  NoiseRow r;
-  r.model = "M";
-  r.trained = 70.0;
-  const std::string csv = noise_rows_csv({r});
-  EXPECT_NE(csv.find("model,trained"), std::string::npos);
-  EXPECT_NE(csv.find("M,70.00"), std::string::npos);
+  const std::string csv = axis_report_csv({demo_report("M", false)});
+  EXPECT_NE(csv.find("model,trained,decode_mean,decode_max,fp16,int8,combined"),
+            std::string::npos);
+  EXPECT_NE(csv.find("M,75.00"), std::string::npos);
+  EXPECT_NE(csv.find(",9.00"), std::string::npos);
 }
 
 TEST(Runner, CombinedConfigFlipsEverything) {
@@ -74,25 +104,36 @@ TEST(Runner, CombinedConfigFlipsEverything) {
 
 TEST(Runner, ClassifierSweepProducesFiniteDeltas) {
   auto tc = models::get_classifier("MCUNet");
-  const NoiseRow row = measure_classifier(tc);
-  EXPECT_EQ(row.model, "MCUNet");
-  EXPECT_GT(row.trained, 40.0);  // far above 10% chance
+  models::ClassifierTask task(tc);
+  const AxisReport report = sweep(task);
+  EXPECT_EQ(report.model, "MCUNet");
+  EXPECT_GT(report.trained, 40.0);  // far above 10% chance
   // Deltas are bounded by the accuracy itself.
-  for (double d : {row.decode_mean, row.resize_mean, row.color, row.fp16, row.int8,
-                   row.combined}) {
-    EXPECT_GE(d, -row.trained);
-    EXPECT_LE(d, row.trained);
+  for (const AxisResult& axis : report.axes) {
+    EXPECT_GE(axis.max, axis.mean) << axis.axis;
+    for (const OptionDelta& o : axis.options) {
+      EXPECT_GE(o.delta, -report.trained) << axis.axis << "/" << o.label;
+      EXPECT_LE(o.delta, report.trained) << axis.axis << "/" << o.label;
+    }
   }
-  EXPECT_GE(row.decode_max, row.decode_mean);
-  EXPECT_GE(row.resize_max, row.resize_mean);
-  EXPECT_FALSE(row.ceil.has_value());  // MCUNet has no max-pool
+  EXPECT_GE(report.combined, -report.trained);
+  EXPECT_LE(report.combined, report.trained);
+  // MCUNet has no max-pool and no upsample/post-proc path.
+  EXPECT_EQ(report.find("Ceil Mode"), nullptr);
+  EXPECT_EQ(report.find("Upsample"), nullptr);
+  EXPECT_EQ(report.find("Post-proc"), nullptr);
+  ASSERT_NE(report.find("Decode"), nullptr);
+  EXPECT_EQ(report.find("Decode")->options.size(), 3u);
 }
 
 TEST(Runner, StepwiseUsesCumulativeConfigs) {
   auto tc = models::get_classifier("MCUNet");
-  const auto steps = stepwise_classifier(tc);
+  models::ClassifierTask task(tc);
+  const auto steps = stepwise(task);
   ASSERT_EQ(steps.size(), 4u);  // no ceil step for MCUNet
   EXPECT_EQ(steps[0].step, "Decode");
+  EXPECT_EQ(steps[1].step, "+Resize");
+  EXPECT_EQ(steps[2].step, "+Color Mode");
   EXPECT_EQ(steps[3].step, "+INT8");
 }
 

@@ -4,7 +4,7 @@
 // must be bit-identical (the framework itself adds no noise).
 #include <gtest/gtest.h>
 
-#include "core/runner.h"
+#include "core/axis.h"
 #include "image/metrics.h"
 #include "models/zoo.h"
 
