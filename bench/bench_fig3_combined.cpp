@@ -23,7 +23,7 @@ int main() {
   auto tc = models::get_classifier("ResNet-M");
   models::ClassifierTask cls_task(tc);
   cache.seed(cls_task, SysNoiseConfig::training_default(), tc.trained_acc);
-  const auto cls_steps = core::stepwise(cls_task, opts);
+  const auto cls_steps = core::staged_stepwise(cls_task, opts);
   std::printf("(a) ResNet-M classification — trained ACC %.2f%%\n", tc.trained_acc);
   const std::string cls_table = core::render_step_table(cls_steps, "ACC");
   std::fputs(cls_table.c_str(), stdout);
@@ -33,7 +33,7 @@ int main() {
   auto td = models::get_detector("FasterRCNN-ResNet");
   models::DetectorTask det_task(td);
   cache.seed(det_task, SysNoiseConfig::training_default(), td.trained_map);
-  const auto det_steps = core::stepwise(det_task, opts);
+  const auto det_steps = core::staged_stepwise(det_task, opts);
   std::printf("(b) FasterRCNN-ResNet detection — trained mAP %.2f\n",
               td.trained_map);
   const std::string det_table = core::render_step_table(det_steps, "mAP");

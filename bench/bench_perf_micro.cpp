@@ -1,13 +1,27 @@
 // Library micro-benchmarks (google-benchmark): throughput of the
 // substrates the harness exercises on every sample — JPEG decode per
 // vendor, the resize kernels, color round trips, conv inference, and the
-// full-table sweep engine (serial baseline vs memoized/parallel).
+// full-table sweep engine (serial baseline vs memoized/parallel vs staged).
+//
+// Besides the google-benchmark tables, the binary emits a machine-readable
+// BENCH_perf.json (serial vs memoized vs staged sweep timings plus stage-
+// cache accounting and a bit-identity check) so the perf trajectory is
+// tracked across PRs. Set SYSNOISE_PERF_JSON to override the output path
+// (default: $SYSNOISE_RESULTS_DIR/BENCH_perf.json).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
 #include <thread>
 
+#include "bench/bench_util.h"
 #include "color/yuv.h"
+#include "core/staged_eval.h"
 #include "core/synthetic_task.h"
 #include "image/synthetic.h"
 #include "jpeg/codec.h"
@@ -73,17 +87,24 @@ void BM_ClassifierForward(benchmark::State& state) {
 }
 BENCHMARK(BM_ClassifierForward);
 
-// A detection-shaped SyntheticTask with enough per-eval busywork to stand
-// in for a model evaluation, so sweep-engine scheduling can be measured.
-core::SyntheticTask make_sweep_task() {
-  return {core::TaskKind::kDetection, /*has_maxpool=*/true,
-          /*work_rounds=*/4000};
+// Detection-shaped staged SyntheticTasks with per-stage busywork mirroring
+// where real evaluations spend time (pre-processing dominates, the forward
+// pass is substantial, post-processing is cheap), so sweep-engine
+// scheduling and stage sharing can be measured without training a zoo.
+core::SyntheticStagedTask make_sweep_task(core::TaskKind kind) {
+  return {kind, /*has_maxpool=*/true, /*pre_rounds=*/4000,
+          /*fwd_rounds=*/1000, /*post_rounds=*/50};
 }
 
-// Old-runner behavior: sweep and stepwise each serial, unmemoized, and each
-// re-evaluating the trained baseline.
+int pool_threads() {
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+// Old-runner behavior: sweep and stepwise each serial, unmemoized, each
+// config re-running the full preprocess -> forward -> metric chain, and
+// each call re-evaluating the trained baseline.
 void BM_FullTableSweepSerial(benchmark::State& state) {
-  const core::SyntheticTask task = make_sweep_task();
+  const auto task = make_sweep_task(core::TaskKind::kDetection);
   core::SweepOptions opts;
   opts.threads = 1;
   opts.memoize = false;
@@ -94,17 +115,17 @@ void BM_FullTableSweepSerial(benchmark::State& state) {
 }
 BENCHMARK(BM_FullTableSweepSerial)->Unit(benchmark::kMillisecond);
 
-// New engine: thread-pool fan-out plus a shared cache seeded with the
-// trained metric (as the zoo provides it), reused across sweep + stepwise.
+// PR 1 engine: thread-pool fan-out plus a shared cache seeded with the
+// trained metric (as the zoo provides it), reused across sweep + stepwise —
+// but every non-memoized config still runs the full monolithic chain.
 void BM_FullTableSweepMemoParallel(benchmark::State& state) {
-  const core::SyntheticTask task = make_sweep_task();
+  const auto task = make_sweep_task(core::TaskKind::kDetection);
   const double trained = task.evaluate(SysNoiseConfig::training_default());
   for (auto _ : state) {
     core::SweepCache cache;
     cache.seed(task, SysNoiseConfig::training_default(), trained);
     core::SweepOptions opts;
-    opts.threads = static_cast<int>(
-        std::max(1u, std::thread::hardware_concurrency()));
+    opts.threads = pool_threads();
     opts.cache = &cache;
     benchmark::DoNotOptimize(core::sweep(task, opts));
     benchmark::DoNotOptimize(core::stepwise(task, opts));
@@ -112,6 +133,131 @@ void BM_FullTableSweepMemoParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_FullTableSweepMemoParallel)->Unit(benchmark::kMillisecond);
 
+// Staged engine: same memo + pool, plus stage-keyed intermediate sharing —
+// pre-processing runs once per preprocess key and the detection post-proc
+// axis reuses cached forward outputs.
+void BM_FullTableSweepStaged(benchmark::State& state) {
+  const auto task = make_sweep_task(core::TaskKind::kDetection);
+  const double trained = task.evaluate(SysNoiseConfig::training_default());
+  for (auto _ : state) {
+    core::SweepCache cache;
+    cache.seed(task, SysNoiseConfig::training_default(), trained);
+    core::SweepOptions opts;
+    opts.threads = pool_threads();
+    opts.cache = &cache;
+    benchmark::DoNotOptimize(core::staged_sweep(task, opts));
+    benchmark::DoNotOptimize(core::staged_stepwise(task, opts));
+  }
+}
+BENCHMARK(BM_FullTableSweepStaged)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// BENCH_perf.json: the cross-PR perf trajectory record
+// ---------------------------------------------------------------------------
+
+double time_ms(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+bool reports_identical(const core::AxisReport& a, const core::AxisReport& b) {
+  if (a.trained != b.trained || a.combined != b.combined ||
+      a.axes.size() != b.axes.size())
+    return false;
+  for (std::size_t i = 0; i < a.axes.size(); ++i) {
+    if (a.axes[i].options.size() != b.axes[i].options.size()) return false;
+    for (std::size_t j = 0; j < a.axes[i].options.size(); ++j)
+      if (a.axes[i].options[j].delta != b.axes[i].options[j].delta) return false;
+  }
+  return true;
+}
+
+std::string perf_json_workload(const char* name, core::TaskKind kind) {
+  const auto task = make_sweep_task(kind);
+
+  core::SweepOptions serial;
+  serial.threads = 1;
+  serial.memoize = false;
+  core::AxisReport serial_report;
+  const double serial_ms =
+      time_ms([&] { serial_report = core::sweep(task, serial); });
+
+  const double memo_ms = time_ms([&] {
+    core::SweepCache cache;
+    core::SweepOptions opts;
+    opts.threads = pool_threads();
+    opts.cache = &cache;
+    core::sweep(task, opts);
+  });
+
+  core::AxisReport staged_report;
+  core::StageStats stats;
+  const double staged_ms = time_ms([&] {
+    core::SweepCache cache;
+    core::SweepOptions opts;
+    opts.threads = pool_threads();
+    opts.cache = &cache;
+    stats = {};
+    staged_report = core::staged_sweep(task, opts, &stats);
+  });
+
+  std::ostringstream os;
+  os << "    {\"task\": \"" << name << "\",\n"
+     << "     \"serial_sweep_ms\": " << serial_ms << ",\n"
+     << "     \"memo_parallel_sweep_ms\": " << memo_ms << ",\n"
+     << "     \"staged_sweep_ms\": " << staged_ms << ",\n"
+     << "     \"staged_speedup_vs_serial\": " << serial_ms / staged_ms << ",\n"
+     << "     \"staged_strictly_faster_than_serial\": "
+     << (staged_ms < serial_ms ? "true" : "false") << ",\n"
+     << "     \"bit_identical_to_serial\": "
+     << (reports_identical(serial_report, staged_report) ? "true" : "false")
+     << ",\n"
+     << "     \"stage_stats\": {\"evaluations\": " << stats.evaluations
+     << ", \"preprocess_misses\": " << stats.preprocess_misses
+     << ", \"preprocess_hits\": " << stats.preprocess_hits
+     << ", \"forward_misses\": " << stats.forward_misses
+     << ", \"forward_hits\": " << stats.forward_hits << "}}";
+  return os.str();
+}
+
+bool write_perf_json() {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"sweep_engine\",\n"
+     << "  \"hardware_threads\": " << pool_threads() << ",\n"
+     << "  \"workloads\": [\n"
+     << perf_json_workload("classification", core::TaskKind::kClassification)
+     << ",\n"
+     << perf_json_workload("detection", core::TaskKind::kDetection) << "\n"
+     << "  ]\n}\n";
+
+  const char* override_path = std::getenv("SYSNOISE_PERF_JSON");
+  const std::string path = override_path != nullptr
+                               ? std::string(override_path)
+                               : bench::results_dir() + "/BENCH_perf.json";
+  std::ofstream f(path);
+  f << os.str();
+  f.flush();
+  if (!f) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return write_perf_json() ? 0 : 1;
+}

@@ -17,6 +17,7 @@ int main() {
                 "Sec. 4.2, Table 2");
 
   core::SweepCache cache;
+  core::StageStats stages;
   std::vector<core::AxisReport> reports;
   auto specs = models::classifier_zoo();
   if (bench::fast_mode()) specs.resize(3);
@@ -28,8 +29,13 @@ int main() {
                 spec.name.c_str(), tc.trained_acc);
     std::fflush(stdout);
     models::ClassifierTask task(tc);
-    reports.push_back(models::sweep_seeded(task, task.trained_metric(), cache));
+    reports.push_back(models::staged_sweep_seeded(task, task.trained_metric(),
+                                                  cache, {}, &stages));
   }
+  std::printf("[table2] stage cache: %zu/%zu preprocess evals reused, "
+              "%zu/%zu forwards reused; metric memo %zu hits\n",
+              stages.preprocess_hits, stages.evaluations, stages.forward_hits,
+              stages.evaluations, cache.hits());
 
   const std::string table = core::render_axis_table(reports, "ACC");
   std::fputs(table.c_str(), stdout);

@@ -20,6 +20,7 @@ int main() {
   if (bench::fast_mode()) names.resize(1);
 
   core::SweepCache cache;
+  core::StageStats stages;
   std::vector<core::AxisReport> reports;
   for (const auto& name : names) {
     std::printf("[table3] %s: training/loading...\n", name.c_str());
@@ -29,8 +30,14 @@ int main() {
                 name.c_str(), td.trained_map);
     std::fflush(stdout);
     models::DetectorTask task(td);
-    reports.push_back(models::sweep_seeded(task, task.trained_metric(), cache));
+    reports.push_back(models::staged_sweep_seeded(task, task.trained_metric(),
+                                                  cache, {}, &stages));
   }
+  std::printf("[table3] stage cache: %zu/%zu preprocess evals reused, "
+              "%zu/%zu forwards reused (post-proc axis rides on cached "
+              "forward outputs); metric memo %zu hits\n",
+              stages.preprocess_hits, stages.evaluations, stages.forward_hits,
+              stages.evaluations, cache.hits());
 
   const std::string table = core::render_axis_table(reports, "mAP");
   std::fputs(table.c_str(), stdout);

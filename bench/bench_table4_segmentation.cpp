@@ -18,6 +18,7 @@ int main() {
   if (bench::fast_mode()) names.resize(1);
 
   core::SweepCache cache;
+  core::StageStats stages;
   std::vector<core::AxisReport> reports;
   for (const auto& name : names) {
     std::printf("[table4] %s: training/loading...\n", name.c_str());
@@ -27,8 +28,13 @@ int main() {
                 name.c_str(), ts.trained_miou);
     std::fflush(stdout);
     models::SegmenterTask task(ts);
-    reports.push_back(models::sweep_seeded(task, task.trained_metric(), cache));
+    reports.push_back(models::staged_sweep_seeded(task, task.trained_metric(),
+                                                  cache, {}, &stages));
   }
+  std::printf("[table4] stage cache: %zu/%zu preprocess evals reused, "
+              "%zu/%zu forwards reused; metric memo %zu hits\n",
+              stages.preprocess_hits, stages.evaluations, stages.forward_hits,
+              stages.evaluations, cache.hits());
 
   const std::string table = core::render_axis_table(reports, "mIoU");
   std::fputs(table.c_str(), stdout);

@@ -97,6 +97,23 @@ std::vector<NoiseAxis> builtin_axes() {
   }
   {
     NoiseAxis a;
+    a.name = "Normalize";
+    a.key = "normalize";
+    const auto stats = norm_noise_options();
+    for (auto s : stats) a.option_labels.push_back(norm_stats_name(s));
+    a.apply = [stats](SysNoiseConfig& cfg, int i) { cfg.norm = stats[i]; };
+    // Integer-quantized means are the mismatch real converter stacks ship
+    // (Caffe/TFLite bake round(mean*255)); that option drives Combined and
+    // the Fig. 3 accumulation. The 0.5/0.5 option models generic mobile
+    // runtime defaults and is far more destructive.
+    a.combined_option = 0;
+    a.stage = "Pre-processing";
+    a.tasks_label = "Cls/Det/Seg";
+    a.effect_level = "Middle";
+    axes.push_back(std::move(a));
+  }
+  {
+    NoiseAxis a;
     a.name = "Precision";
     a.key = "precision";
     const auto precisions = precision_noise_options();

@@ -1,0 +1,169 @@
+#include "core/staged_eval.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "core/sweep_detail.h"
+
+namespace sysnoise::core {
+
+std::string forward_key_suffix(const SysNoiseConfig& cfg) {
+  std::ostringstream os;
+  os << "|prec=" << nn::precision_name(cfg.precision)
+     << "|ceil=" << (cfg.ceil_mode ? 1 : 0)
+     << "|up=" << nn::upsample_mode_name(cfg.upsample);
+  return os.str();
+}
+
+StageProduct StageCache::get_or_compute(
+    const std::string& key, const std::function<StageProduct()>& compute) {
+  std::promise<StageProduct> promise;
+  std::shared_future<StageProduct> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      future = it->second;
+    } else {
+      ++misses_;
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+      owner = true;
+    }
+  }
+  // The inserting thread computes; concurrent readers block on the future.
+  if (owner) {
+    try {
+      promise.set_value(compute());
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+std::size_t StageCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t StageCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t StageCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+StageStats& StageStats::operator+=(const StageStats& o) {
+  preprocess_hits += o.preprocess_hits;
+  preprocess_misses += o.preprocess_misses;
+  forward_hits += o.forward_hits;
+  forward_misses += o.forward_misses;
+  evaluations += o.evaluations;
+  return *this;
+}
+
+namespace {
+
+using detail::Request;
+
+// One forward pass shared by every config with the same forward key; the
+// group members differ only in post-processing knobs.
+struct ForwardGroup {
+  std::string pre_key;
+  std::string fwd_key;
+  std::vector<std::size_t> members;  // indices into the pending list
+};
+
+// Staged evaluator: group the pending configs by (preprocess, forward)
+// keys, then evaluate forward groups concurrently. Each group computes its
+// pre-processed batches through a compute-once StageCache (shared across
+// groups with equal preprocess keys), runs one forward pass, and
+// post-processes every member from those outputs.
+std::map<std::string, double> staged_evaluate_all(
+    const StagedEvalTask& task, const std::vector<Request>& requests,
+    const SweepOptions& opts, StageStats* stats) {
+  return detail::evaluate_requests(
+      requests, opts, [&](const std::vector<const Request*>& pending) {
+        // Plan: group by forward key, keeping groups with a common
+        // preprocess key adjacent so their stage-1 product stays hot.
+        std::vector<ForwardGroup> groups;
+        std::map<std::string, std::size_t> group_of;
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+          const std::string fwd_key = task.forward_key(pending[i]->cfg);
+          const auto it = group_of.find(fwd_key);
+          if (it == group_of.end()) {
+            group_of.emplace(fwd_key, groups.size());
+            groups.push_back({task.preprocess_key(pending[i]->cfg), fwd_key,
+                              {i}});
+          } else {
+            groups[it->second].members.push_back(i);
+          }
+        }
+        std::stable_sort(groups.begin(), groups.end(),
+                         [](const ForwardGroup& a, const ForwardGroup& b) {
+                           return a.pre_key < b.pre_key;
+                         });
+
+        StageCache pre_cache;
+        std::vector<double> values(pending.size(), 0.0);
+        detail::parallel_for_n(
+            opts.threads, groups.size(), [&](std::size_t g) {
+              const ForwardGroup& group = groups[g];
+              const SysNoiseConfig& lead_cfg =
+                  pending[group.members.front()]->cfg;
+              const StageProduct pre = pre_cache.get_or_compute(
+                  group.pre_key,
+                  [&] { return task.run_preprocess(lead_cfg); });
+              const StageProduct fwd = task.run_forward(lead_cfg, pre);
+              for (const std::size_t i : group.members)
+                values[i] = task.run_postprocess(pending[i]->cfg, fwd);
+            });
+
+        if (stats != nullptr) {
+          StageStats s;
+          // Per planned evaluation: the first arrival at a stage key is the
+          // miss that computes it; every other member reuses the product.
+          s.preprocess_misses = pre_cache.misses();
+          s.preprocess_hits = pending.size() - pre_cache.misses();
+          s.forward_misses = groups.size();
+          s.forward_hits = pending.size() - groups.size();
+          s.evaluations = pending.size();
+          *stats += s;
+        }
+        return values;
+      });
+}
+
+}  // namespace
+
+AxisReport staged_sweep(const StagedEvalTask& task, const SweepOptions& opts,
+                        StageStats* stats) {
+  const AxisRegistry& registry = detail::registry_of(opts);
+  const auto requests = detail::plan_sweep_requests(task, registry);
+  const auto results = staged_evaluate_all(task, requests, opts, stats);
+  return detail::assemble_axis_report(task, registry, results);
+}
+
+std::vector<StepPoint> staged_stepwise(const StagedEvalTask& task,
+                                       const SweepOptions& opts,
+                                       StageStats* stats) {
+  const AxisRegistry& registry = detail::registry_of(opts);
+  std::vector<std::string> labels;
+  const auto requests = detail::plan_stepwise_requests(task, registry, &labels);
+  const auto results = staged_evaluate_all(task, requests, opts, stats);
+
+  const double trained = results.at(requests.front().key);
+  std::vector<StepPoint> points;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    points.push_back({labels[i], trained - results.at(requests[i + 1].key)});
+  return points;
+}
+
+}  // namespace sysnoise::core

@@ -1,10 +1,8 @@
 #include "core/sweep.h"
 
-#include <algorithm>
-#include <atomic>
-#include <exception>
-#include <thread>
 #include <utility>
+
+#include "core/sweep_detail.h"
 
 namespace sysnoise::core {
 
@@ -63,150 +61,36 @@ const AxisResult* AxisReport::find(const std::string& axis) const {
 
 namespace {
 
-struct Request {
-  std::string key;
-  SysNoiseConfig cfg;
-};
+using detail::Request;
 
-// Evaluate every request, deduplicating identical configs (and consulting
-// the cross-call cache) when memoization is on, and fanning the remaining
-// evaluations out over a thread pool. Returns key -> metric; deterministic
-// regardless of thread count because each evaluation is independent and the
-// task contract requires deterministic metrics.
+// Monolithic evaluator: fan the pending requests out over a thread pool,
+// each one running the task's full evaluate() chain.
 std::map<std::string, double> evaluate_all(const EvalTask& task,
                                            const std::vector<Request>& requests,
                                            const SweepOptions& opts) {
-  std::map<std::string, double> results;
-
-  std::vector<const Request*> pending;
-  for (const Request& r : requests) {
-    if (opts.memoize) {
-      if (results.count(r.key) != 0) continue;
-      double cached = 0.0;
-      if (opts.cache != nullptr && opts.cache->lookup(r.key, &cached)) {
-        results.emplace(r.key, cached);
-        continue;
-      }
-      results.emplace(r.key, 0.0);  // reserve so duplicates dedup
-    }
-    pending.push_back(&r);
-  }
-
-  std::vector<double> values(pending.size(), 0.0);
-  int threads = opts.threads > 0
-                    ? opts.threads
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  threads = std::max(1, std::min(threads, static_cast<int>(pending.size())));
-
-  if (threads <= 1 || pending.size() <= 1) {
-    for (std::size_t i = 0; i < pending.size(); ++i)
-      values[i] = task.evaluate(pending[i]->cfg);
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mu;
-    auto worker = [&] {
-      for (std::size_t i = next.fetch_add(1); i < pending.size();
-           i = next.fetch_add(1)) {
-        try {
+  return detail::evaluate_requests(
+      requests, opts, [&](const std::vector<const Request*>& pending) {
+        std::vector<double> values(pending.size(), 0.0);
+        detail::parallel_for_n(opts.threads, pending.size(), [&](std::size_t i) {
           values[i] = task.evaluate(pending[i]->cfg);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    const int n = std::min<int>(threads, static_cast<int>(pending.size()));
-    pool.reserve(static_cast<std::size_t>(n));
-    for (int t = 0; t < n; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-    if (first_error) std::rethrow_exception(first_error);
-  }
-
-  for (std::size_t i = 0; i < pending.size(); ++i) {
-    results[pending[i]->key] = values[i];
-    if (opts.memoize && opts.cache != nullptr)
-      opts.cache->store(pending[i]->key, values[i]);
-  }
-  return results;
-}
-
-Request make_request(const EvalTask& task, SysNoiseConfig cfg) {
-  Request r;
-  r.key = SweepCache::key_for(task, cfg);
-  r.cfg = std::move(cfg);
-  return r;
-}
-
-const AxisRegistry& registry_of(const SweepOptions& opts) {
-  return opts.registry != nullptr ? *opts.registry : AxisRegistry::global();
+        });
+        return values;
+      });
 }
 
 }  // namespace
 
 AxisReport sweep(const EvalTask& task, const SweepOptions& opts) {
-  const AxisRegistry& registry = registry_of(opts);
-  const TaskTraits traits = task.traits();
-  const auto axes = registry.applicable(traits);
-  const SysNoiseConfig base = SysNoiseConfig::training_default();
-
-  std::vector<Request> requests;
-  requests.push_back(make_request(task, base));
-  for (const NoiseAxis* axis : axes) {
-    for (int i = 0; i < axis->num_options(); ++i) {
-      SysNoiseConfig cfg = base;
-      axis->apply(cfg, i);
-      requests.push_back(make_request(task, cfg));
-    }
-  }
-  const SysNoiseConfig combined = combined_config(traits, registry);
-  requests.push_back(make_request(task, combined));
-
+  const AxisRegistry& registry = detail::registry_of(opts);
+  const auto requests = detail::plan_sweep_requests(task, registry);
   const auto results = evaluate_all(task, requests, opts);
-
-  AxisReport report;
-  report.model = task.name();
-  report.trained = results.at(SweepCache::key_for(task, base));
-  for (const NoiseAxis* axis : axes) {
-    AxisResult res;
-    res.axis = axis->name;
-    res.key = axis->key;
-    res.per_option = axis->per_option;
-    double sum = 0.0, worst = -1e300;
-    for (int i = 0; i < axis->num_options(); ++i) {
-      SysNoiseConfig cfg = base;
-      axis->apply(cfg, i);
-      const double d =
-          report.trained - results.at(SweepCache::key_for(task, cfg));
-      res.options.push_back({axis->option_labels[static_cast<std::size_t>(i)], d});
-      sum += d;
-      worst = std::max(worst, d);
-    }
-    res.mean = sum / static_cast<double>(axis->num_options());
-    res.max = worst;
-    report.axes.push_back(std::move(res));
-  }
-  report.combined =
-      report.trained - results.at(SweepCache::key_for(task, combined));
-  return report;
+  return detail::assemble_axis_report(task, registry, results);
 }
 
 std::vector<StepPoint> stepwise(const EvalTask& task, const SweepOptions& opts) {
-  const AxisRegistry& registry = registry_of(opts);
-  const auto axes = registry.applicable(task.traits());
-  const SysNoiseConfig base = SysNoiseConfig::training_default();
-
-  std::vector<Request> requests;
-  requests.push_back(make_request(task, base));
+  const AxisRegistry& registry = detail::registry_of(opts);
   std::vector<std::string> labels;
-  SysNoiseConfig cfg = base;
-  for (const NoiseAxis* axis : axes) {
-    axis->apply(cfg, axis->combined_option);
-    labels.push_back(labels.empty() ? axis->step_label : "+" + axis->step_label);
-    requests.push_back(make_request(task, cfg));
-  }
-
+  const auto requests = detail::plan_stepwise_requests(task, registry, &labels);
   const auto results = evaluate_all(task, requests, opts);
 
   const double trained = results.at(requests.front().key);

@@ -4,11 +4,21 @@
 
 namespace sysnoise {
 
+const char* norm_stats_name(NormStats s) {
+  switch (s) {
+    case NormStats::kTorchvision: return "torchvision";
+    case NormStats::kRoundedU8: return "rounded-u8";
+    case NormStats::kHalfHalf: return "0.5/0.5";
+  }
+  return "?";
+}
+
 std::string SysNoiseConfig::describe() const {
   std::ostringstream os;
   os << "decoder=" << jpeg::vendor_name(decoder)
      << " resize=" << resize_method_name(resize)
      << " color=" << color_mode_name(color)
+     << " norm=" << norm_stats_name(norm)
      << " prec=" << nn::precision_name(precision)
      << " ceil=" << (ceil_mode ? "1" : "0")
      << " upsample=" << nn::upsample_mode_name(upsample)
@@ -34,6 +44,10 @@ std::vector<ColorMode> color_noise_options() {
 
 std::vector<nn::Precision> precision_noise_options() {
   return {nn::Precision::kFP16, nn::Precision::kINT8};
+}
+
+std::vector<NormStats> norm_noise_options() {
+  return {NormStats::kRoundedU8, NormStats::kHalfHalf};
 }
 
 }  // namespace sysnoise

@@ -15,11 +15,25 @@
 
 namespace sysnoise {
 
+// Normalization-statistics profile: which per-channel mean/std the deployed
+// pipeline divides by. Training uses the float torchvision constants; real
+// deployment stacks frequently substitute integer-quantized means (Caffe,
+// TFLite converters bake round(mean*255)) or the generic 0.5/0.5 stats many
+// mobile runtimes default to.
+enum class NormStats {
+  kTorchvision = 0,  // training default: the PipelineSpec floats, verbatim
+  kRoundedU8 = 1,    // round(mean*255)/255, round(std*255)/255
+  kHalfHalf = 2,     // mean = std = 0.5 for every channel
+};
+constexpr int kNumNormStats = 3;
+const char* norm_stats_name(NormStats s);
+
 struct SysNoiseConfig {
   // Pre-processing.
   jpeg::DecoderVendor decoder = jpeg::DecoderVendor::kPillow;
   ResizeMethod resize = ResizeMethod::kPillowBilinear;
   ColorMode color = ColorMode::kDirectRGB;
+  NormStats norm = NormStats::kTorchvision;
   // Model inference.
   nn::Precision precision = nn::Precision::kFP32;
   bool ceil_mode = false;
@@ -50,5 +64,6 @@ std::vector<jpeg::DecoderVendor> decoder_noise_options();   // 3 alternates
 std::vector<ResizeMethod> resize_noise_options();           // 10 alternates
 std::vector<ColorMode> color_noise_options();               // 1 alternate (NV12)
 std::vector<nn::Precision> precision_noise_options();       // FP16, INT8
+std::vector<NormStats> norm_noise_options();                // rounded-u8, 0.5/0.5
 
 }  // namespace sysnoise

@@ -1,6 +1,48 @@
 #include "data/pipeline.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
 namespace sysnoise {
+
+std::pair<std::vector<float>, std::vector<float>> effective_norm_stats(
+    const SysNoiseConfig& cfg, const PipelineSpec& spec) {
+  switch (cfg.norm) {
+    case NormStats::kTorchvision:
+      return {spec.mean, spec.stddev};
+    case NormStats::kRoundedU8: {
+      auto snap = [](const std::vector<float>& v) {
+        std::vector<float> out;
+        out.reserve(v.size());
+        for (float x : v) out.push_back(std::round(x * 255.0f) / 255.0f);
+        return out;
+      };
+      return {snap(spec.mean), snap(spec.stddev)};
+    }
+    case NormStats::kHalfHalf:
+      return {std::vector<float>(spec.mean.size(), 0.5f),
+              std::vector<float>(spec.stddev.size(), 0.5f)};
+  }
+  return {spec.mean, spec.stddev};
+}
+
+std::string preprocess_key(const SysNoiseConfig& cfg, const PipelineSpec& spec) {
+  const auto [mean, stddev] = effective_norm_stats(cfg, spec);
+  std::ostringstream os;
+  // Round-trip-exact float formatting: stats differing in any bit must not
+  // collide into one key (the sharing contract is injectivity).
+  os.precision(std::numeric_limits<float>::max_digits10);
+  os << "dec=" << jpeg::vendor_name(cfg.decoder)
+     << "|res=" << resize_method_name(cfg.resize)
+     << "|col=" << color_mode_name(cfg.color) << "|out=" << spec.out_h << "x"
+     << spec.out_w << "|m=";
+  for (float v : mean) os << v << ",";
+  os << "|s=";
+  for (float v : stddev) os << v << ",";
+  return os.str();
+}
 
 ImageU8 preprocess_image(const std::vector<std::uint8_t>& jpeg_bytes,
                          const SysNoiseConfig& cfg, const PipelineSpec& spec) {
@@ -11,8 +53,27 @@ ImageU8 preprocess_image(const std::vector<std::uint8_t>& jpeg_bytes,
 
 Tensor preprocess(const std::vector<std::uint8_t>& jpeg_bytes,
                   const SysNoiseConfig& cfg, const PipelineSpec& spec) {
-  return image_to_tensor(preprocess_image(jpeg_bytes, cfg, spec), spec.mean,
-                         spec.stddev);
+  const auto [mean, stddev] = effective_norm_stats(cfg, spec);
+  return image_to_tensor(preprocess_image(jpeg_bytes, cfg, spec), mean, stddev);
+}
+
+PreprocessedBatches preprocess_batches(
+    const std::vector<const std::vector<std::uint8_t>*>& jpegs,
+    const SysNoiseConfig& cfg, const PipelineSpec& spec, int batch_size) {
+  PreprocessedBatches out;
+  out.batch_size = batch_size;
+  out.num_samples = static_cast<int>(jpegs.size());
+  const int n = out.num_samples;
+  for (int b = 0; b < n; b += batch_size) {
+    const int bs = std::min(batch_size, n - b);
+    std::vector<Tensor> items;
+    items.reserve(static_cast<std::size_t>(bs));
+    for (int i = 0; i < bs; ++i)
+      items.push_back(
+          preprocess(*jpegs[static_cast<std::size_t>(b + i)], cfg, spec));
+    out.inputs.push_back(stack_front(items));
+  }
+  return out;
 }
 
 }  // namespace sysnoise

@@ -1,10 +1,19 @@
 // Pre-processing pipeline: JPEG bytes -> decode -> resize -> color-mode
-// round trip -> normalized CHW tensor. The three pre-processing SysNoise
-// knobs act here; samples are stored as real JPEG bitstreams so the decode
-// path is exercised end to end.
+// round trip -> normalized CHW tensor. The pre-processing SysNoise knobs
+// (decoder vendor, resize kernel, color path, normalization stats) act
+// here; samples are stored as real JPEG bitstreams so the decode path is
+// exercised end to end.
+//
+// The pipeline is the first stage of the staged evaluation split
+// (preprocess -> forward -> postprocess): `preprocess_key()` names exactly
+// the knobs this stage reads, and `preprocess_batches()` materializes the
+// stage's product — stacked input batches — once per distinct key so sweeps
+// over inference-side knobs never re-decode or re-resize a JPEG.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "data/noise_config.h"
@@ -16,10 +25,23 @@ namespace sysnoise {
 struct PipelineSpec {
   int out_h = 32;
   int out_w = 32;
-  // ImageNet-style channel statistics in [0,1] units.
+  // ImageNet-style channel statistics in [0,1] units (the training-side
+  // stats; the NormStats knob derives the deployed stats from these).
   std::vector<float> mean = {0.485f, 0.456f, 0.406f};
   std::vector<float> stddev = {0.229f, 0.224f, 0.225f};
 };
+
+// The per-channel mean/std the deployed pipeline actually divides by:
+// spec's floats under kTorchvision, their u8-grid rounding under
+// kRoundedU8, or 0.5 everywhere under kHalfHalf.
+std::pair<std::vector<float>, std::vector<float>> effective_norm_stats(
+    const SysNoiseConfig& cfg, const PipelineSpec& spec);
+
+// Stage-1 cache key: a stable encoding of every knob preprocess() reads
+// (decoder, resize, color, effective normalization stats, output size).
+// Configs that differ only in inference/post-processing knobs share a key;
+// configs whose pre-processing products differ get distinct keys.
+std::string preprocess_key(const SysNoiseConfig& cfg, const PipelineSpec& spec);
 
 // Run the full pre-processing chain under `cfg` and return a [1,3,H,W]
 // tensor ready for the network.
@@ -30,5 +52,20 @@ Tensor preprocess(const std::vector<std::uint8_t>& jpeg_bytes,
 // and image-space diff metrics, Fig. 5).
 ImageU8 preprocess_image(const std::vector<std::uint8_t>& jpeg_bytes,
                          const SysNoiseConfig& cfg, const PipelineSpec& spec);
+
+// Stage-1 product: every evaluation sample pre-processed and stacked into
+// the exact batch tensors the evaluation loops forward, in dataset order.
+struct PreprocessedBatches {
+  std::vector<Tensor> inputs;  // stacked [b,3,H,W]; last batch may be short
+  int batch_size = 0;
+  int num_samples = 0;
+};
+
+// Materialize the stage-1 product for a sample list. Batch boundaries match
+// the monolithic evaluation loops (`bs = min(batch_size, n - b)`), so a
+// forward pass over these tensors is bit-identical to the unstaged path.
+PreprocessedBatches preprocess_batches(
+    const std::vector<const std::vector<std::uint8_t>*>& jpegs,
+    const SysNoiseConfig& cfg, const PipelineSpec& spec, int batch_size);
 
 }  // namespace sysnoise

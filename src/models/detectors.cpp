@@ -331,28 +331,34 @@ Node* detection_loss(Tape& t, Detector& det, const DetectorOutput& out,
   return total;
 }
 
-std::vector<std::vector<Detection>> detection_postprocess(
-    const Detector& det, const DetectorOutput& out, const SysNoiseConfig& cfg,
+namespace {
+
+// Shared decode core: both the tape-backed and the detached overloads view
+// their per-level outputs as plain tensors.
+std::vector<std::vector<Detection>> postprocess_tensors(
+    const Detector& det, const std::vector<const Tensor*>& cls,
+    const std::vector<const Tensor*>& reg,
+    const std::vector<std::pair<int, int>>& shapes, const SysNoiseConfig& cfg,
     int image_size, float score_threshold, float nms_iou, int max_dets) {
-  const int batch = out.cls[0]->value.dim(0);
+  const int batch = cls[0]->dim(0);
   const int num_classes = det.num_classes();
   const bool softmax = det.softmax_head();
   const int cls_ch = softmax ? num_classes + 1 : num_classes;
   const BoxCoder coder{cfg.proposal_offset};  // deployment knob
   const AnchorGrid grid =
-      detect::make_anchors(out.shapes, det.strides(), det.anchor_sizes());
+      detect::make_anchors(shapes, det.strides(), det.anchor_sizes());
 
-  std::vector<std::size_t> level_begin(out.shapes.size() + 1, 0);
-  for (std::size_t lvl = 0; lvl < out.shapes.size(); ++lvl)
+  std::vector<std::size_t> level_begin(shapes.size() + 1, 0);
+  for (std::size_t lvl = 0; lvl < shapes.size(); ++lvl)
     level_begin[lvl + 1] =
         level_begin[lvl] +
-        static_cast<std::size_t>(out.shapes[lvl].first) * out.shapes[lvl].second;
+        static_cast<std::size_t>(shapes[lvl].first) * shapes[lvl].second;
 
   std::vector<std::vector<Detection>> results(static_cast<std::size_t>(batch));
   for (int b = 0; b < batch; ++b) {
     std::vector<Detection> cands;
-    for (std::size_t lvl = 0; lvl < out.cls.size(); ++lvl) {
-      const int h = out.shapes[lvl].first, w = out.shapes[lvl].second;
+    for (std::size_t lvl = 0; lvl < cls.size(); ++lvl) {
+      const int h = shapes[lvl].first, w = shapes[lvl].second;
       for (int cidx = 0; cidx < h * w; ++cidx) {
         const int cy = cidx / w, cx = cidx % w;
         // Per-anchor scores.
@@ -362,13 +368,13 @@ std::vector<std::vector<Detection>> detection_postprocess(
           // Softmax over classes+background.
           float mx = -1e30f;
           for (int c = 0; c < cls_ch; ++c)
-            mx = std::max(mx, out.cls[lvl]->value.at4(b, c, cy, cx));
+            mx = std::max(mx, cls[lvl]->at4(b, c, cy, cx));
           double denom = 0.0;
           for (int c = 0; c < cls_ch; ++c)
-            denom += std::exp(out.cls[lvl]->value.at4(b, c, cy, cx) - mx);
+            denom += std::exp(cls[lvl]->at4(b, c, cy, cx) - mx);
           for (int c = 0; c < num_classes; ++c) {
             const float p = static_cast<float>(
-                std::exp(out.cls[lvl]->value.at4(b, c, cy, cx) - mx) / denom);
+                std::exp(cls[lvl]->at4(b, c, cy, cx) - mx) / denom);
             if (p > best_score) {
               best_score = p;
               best_label = c;
@@ -376,7 +382,7 @@ std::vector<std::vector<Detection>> detection_postprocess(
           }
         } else {
           for (int c = 0; c < num_classes; ++c) {
-            const float z = out.cls[lvl]->value.at4(b, c, cy, cx);
+            const float z = cls[lvl]->at4(b, c, cy, cx);
             const float p = 1.0f / (1.0f + std::exp(-z));
             if (p > best_score) {
               best_score = p;
@@ -386,7 +392,7 @@ std::vector<std::vector<Detection>> detection_postprocess(
         }
         if (best_score < score_threshold || best_label < 0) continue;
         float delta[4];
-        for (int d = 0; d < 4; ++d) delta[d] = out.reg[lvl]->value.at4(b, d, cy, cx);
+        for (int d = 0; d < 4; ++d) delta[d] = reg[lvl]->at4(b, d, cy, cx);
         Box box = coder.decode(grid.anchors[level_begin[lvl] + static_cast<std::size_t>(cidx)],
                                delta);
         box.x1 = std::clamp(box.x1, 0.0f, static_cast<float>(image_size));
@@ -402,6 +408,38 @@ std::vector<std::vector<Detection>> detection_postprocess(
       results[static_cast<std::size_t>(b)].push_back(cands[static_cast<std::size_t>(keep[i])]);
   }
   return results;
+}
+
+}  // namespace
+
+RawDetectorOutput detach_detector_output(const DetectorOutput& out) {
+  RawDetectorOutput raw;
+  raw.shapes = out.shapes;
+  raw.cls.reserve(out.cls.size());
+  raw.reg.reserve(out.reg.size());
+  for (const nn::Node* n : out.cls) raw.cls.push_back(n->value);
+  for (const nn::Node* n : out.reg) raw.reg.push_back(n->value);
+  return raw;
+}
+
+std::vector<std::vector<Detection>> detection_postprocess(
+    const Detector& det, const DetectorOutput& out, const SysNoiseConfig& cfg,
+    int image_size, float score_threshold, float nms_iou, int max_dets) {
+  std::vector<const Tensor*> cls, reg;
+  for (const nn::Node* n : out.cls) cls.push_back(&n->value);
+  for (const nn::Node* n : out.reg) reg.push_back(&n->value);
+  return postprocess_tensors(det, cls, reg, out.shapes, cfg, image_size,
+                             score_threshold, nms_iou, max_dets);
+}
+
+std::vector<std::vector<Detection>> detection_postprocess(
+    const Detector& det, const RawDetectorOutput& out, const SysNoiseConfig& cfg,
+    int image_size, float score_threshold, float nms_iou, int max_dets) {
+  std::vector<const Tensor*> cls, reg;
+  for (const Tensor& t : out.cls) cls.push_back(&t);
+  for (const Tensor& t : out.reg) reg.push_back(&t);
+  return postprocess_tensors(det, cls, reg, out.shapes, cfg, image_size,
+                             score_threshold, nms_iou, max_dets);
 }
 
 }  // namespace sysnoise::models

@@ -59,10 +59,28 @@ nn::Node* detection_loss(nn::Tape& t, Detector& det, const DetectorOutput& out,
                          const std::vector<std::vector<detect::GtBox>>& gts,
                          Rng& sample_rng);
 
+// Tape-free forward outputs: the stage-2 intermediate of the staged
+// evaluation split. Holds plain tensors so post-processing (the stage that
+// reads proposal_offset) can re-run without re-running the forward pass.
+struct RawDetectorOutput {
+  std::vector<Tensor> cls;                  // per level [N, C', H, W]
+  std::vector<Tensor> reg;                  // per level [N, 4, H, W]
+  std::vector<std::pair<int, int>> shapes;  // feature map sizes per level
+};
+
+// Materialize a DetectorOutput's values off the tape.
+RawDetectorOutput detach_detector_output(const DetectorOutput& out);
+
 // Decode predictions into final detections under the given deployment
 // config (proposal_offset is the post-processing SysNoise knob).
 std::vector<std::vector<detect::Detection>> detection_postprocess(
     const Detector& det, const DetectorOutput& out, const SysNoiseConfig& cfg,
+    int image_size, float score_threshold = 0.05f, float nms_iou = 0.5f,
+    int max_dets = 20);
+
+// Same decode over detached forward outputs (staged path).
+std::vector<std::vector<detect::Detection>> detection_postprocess(
+    const Detector& det, const RawDetectorOutput& out, const SysNoiseConfig& cfg,
     int image_size, float score_threshold = 0.05f, float nms_iou = 0.5f,
     int max_dets = 20);
 

@@ -1,39 +1,129 @@
 #include "models/eval_tasks.h"
 
+#include <memory>
+#include <utility>
+
 namespace sysnoise::models {
+
+// ---------------------------------------------------------------------------
+// Classification
+// ---------------------------------------------------------------------------
 
 core::TaskTraits ClassifierTask::traits() const {
   return {core::TaskKind::kClassification, tc_.model->has_maxpool()};
 }
 
-double ClassifierTask::evaluate(const SysNoiseConfig& cfg) const {
-  return eval_classifier(*tc_.model, benchmark_cls_dataset().eval, cfg,
-                         cls_pipeline_spec(), &tc_.ranges);
+std::string ClassifierTask::preprocess_key(const SysNoiseConfig& cfg) const {
+  return sysnoise::preprocess_key(cfg, cls_pipeline_spec());
 }
+
+std::string ClassifierTask::forward_key(const SysNoiseConfig& cfg) const {
+  return preprocess_key(cfg) + core::forward_key_suffix(cfg);
+}
+
+core::StageProduct ClassifierTask::run_preprocess(const SysNoiseConfig& cfg) const {
+  return std::make_shared<const PreprocessedBatches>(preprocess_cls_batches(
+      benchmark_cls_dataset().eval, cfg, cls_pipeline_spec()));
+}
+
+core::StageProduct ClassifierTask::run_forward(
+    const SysNoiseConfig& cfg, const core::StageProduct& pre) const {
+  const auto& batches = *static_cast<const PreprocessedBatches*>(pre.get());
+  return std::make_shared<const double>(eval_classifier_batches(
+      *tc_.model, batches, benchmark_cls_dataset().eval, cfg, &tc_.ranges));
+}
+
+double ClassifierTask::run_postprocess(const SysNoiseConfig&,
+                                       const core::StageProduct& fwd) const {
+  return *static_cast<const double*>(fwd.get());
+}
+
+// ---------------------------------------------------------------------------
+// Detection
+// ---------------------------------------------------------------------------
 
 core::TaskTraits DetectorTask::traits() const {
   return {core::TaskKind::kDetection, td_.model->has_maxpool()};
 }
 
-double DetectorTask::evaluate(const SysNoiseConfig& cfg) const {
-  return eval_detector(*td_.model, benchmark_det_dataset(), cfg,
-                       det_pipeline_spec(), &td_.ranges);
+std::string DetectorTask::preprocess_key(const SysNoiseConfig& cfg) const {
+  return sysnoise::preprocess_key(cfg, det_pipeline_spec());
 }
+
+std::string DetectorTask::forward_key(const SysNoiseConfig& cfg) const {
+  return preprocess_key(cfg) + core::forward_key_suffix(cfg);
+}
+
+core::StageProduct DetectorTask::run_preprocess(const SysNoiseConfig& cfg) const {
+  return std::make_shared<const PreprocessedBatches>(
+      preprocess_det_batches(benchmark_det_dataset(), cfg, det_pipeline_spec()));
+}
+
+core::StageProduct DetectorTask::run_forward(
+    const SysNoiseConfig& cfg, const core::StageProduct& pre) const {
+  const auto& batches = *static_cast<const PreprocessedBatches*>(pre.get());
+  return std::make_shared<const RawDetections>(
+      detector_forward_batches(*td_.model, batches, cfg, &td_.ranges));
+}
+
+double DetectorTask::run_postprocess(const SysNoiseConfig& cfg,
+                                     const core::StageProduct& fwd) const {
+  const auto& raw = *static_cast<const RawDetections*>(fwd.get());
+  return detector_map_from_raw(*td_.model, raw, benchmark_det_dataset(), cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Segmentation
+// ---------------------------------------------------------------------------
 
 core::TaskTraits SegmenterTask::traits() const {
   return {core::TaskKind::kSegmentation, ts_.model->has_maxpool()};
 }
 
-double SegmenterTask::evaluate(const SysNoiseConfig& cfg) const {
-  return eval_segmenter(*ts_.model, benchmark_seg_dataset(), cfg,
-                        seg_pipeline_spec(), &ts_.ranges);
+std::string SegmenterTask::preprocess_key(const SysNoiseConfig& cfg) const {
+  return sysnoise::preprocess_key(cfg, seg_pipeline_spec());
 }
+
+std::string SegmenterTask::forward_key(const SysNoiseConfig& cfg) const {
+  return preprocess_key(cfg) + core::forward_key_suffix(cfg);
+}
+
+core::StageProduct SegmenterTask::run_preprocess(const SysNoiseConfig& cfg) const {
+  return std::make_shared<const PreprocessedBatches>(
+      preprocess_seg_batches(benchmark_seg_dataset(), cfg, seg_pipeline_spec()));
+}
+
+core::StageProduct SegmenterTask::run_forward(
+    const SysNoiseConfig& cfg, const core::StageProduct& pre) const {
+  const auto& batches = *static_cast<const PreprocessedBatches*>(pre.get());
+  return std::make_shared<const double>(eval_segmenter_batches(
+      *ts_.model, batches, benchmark_seg_dataset(), cfg, &ts_.ranges));
+}
+
+double SegmenterTask::run_postprocess(const SysNoiseConfig&,
+                                      const core::StageProduct& fwd) const {
+  return *static_cast<const double*>(fwd.get());
+}
+
+// ---------------------------------------------------------------------------
+// Seeded sweeps
+// ---------------------------------------------------------------------------
 
 core::AxisReport sweep_seeded(const core::EvalTask& task, double trained_metric,
                               core::SweepCache& cache, core::SweepOptions opts) {
   cache.seed(task, SysNoiseConfig::training_default(), trained_metric);
   opts.cache = &cache;
   return core::sweep(task, opts);
+}
+
+core::AxisReport staged_sweep_seeded(const core::StagedEvalTask& task,
+                                     double trained_metric,
+                                     core::SweepCache& cache,
+                                     core::SweepOptions opts,
+                                     core::StageStats* stats) {
+  cache.seed(task, SysNoiseConfig::training_default(), trained_metric);
+  opts.cache = &cache;
+  return core::staged_sweep(task, opts, stats);
 }
 
 }  // namespace sysnoise::models

@@ -1,19 +1,23 @@
 // EvalTask adapters binding the trained model families to the generic
 // sweep engine: each wraps a zoo model plus the shared benchmark dataset
-// and pipeline spec behind core::EvalTask.
+// and pipeline spec behind core::StagedEvalTask, exposing the three-stage
+// split (preprocess -> forward -> postprocess) with per-stage cache keys so
+// core::staged_sweep() can share pre-processed batches across inference-
+// side configs and (for detection) forward outputs across post-processing
+// configs. Every adapter still works with the monolithic core::sweep().
 #pragma once
 
+#include "core/staged_eval.h"
 #include "core/sweep.h"
 #include "models/zoo.h"
 
 namespace sysnoise::models {
 
-class ClassifierTask : public core::EvalTask {
+class ClassifierTask : public core::StagedEvalTask {
  public:
   explicit ClassifierTask(TrainedClassifier& tc) : tc_(tc) {}
   const std::string& name() const override { return tc_.name; }
   core::TaskTraits traits() const override;
-  double evaluate(const SysNoiseConfig& cfg) const override;
   // Retrained variants (mitigation tags) share a display name but not
   // weights — fold the tag in so a shared SweepCache keeps them apart.
   std::string cache_identity() const override {
@@ -23,29 +27,56 @@ class ClassifierTask : public core::EvalTask {
   // SweepCache with it to skip re-evaluating the trained baseline.
   double trained_metric() const { return tc_.trained_acc; }
 
+  // Staged split: classification has no post-processing knobs, so the
+  // forward stage carries the metric and stage 3 just unwraps it.
+  std::string preprocess_key(const SysNoiseConfig& cfg) const override;
+  std::string forward_key(const SysNoiseConfig& cfg) const override;
+  core::StageProduct run_preprocess(const SysNoiseConfig& cfg) const override;
+  core::StageProduct run_forward(const SysNoiseConfig& cfg,
+                                 const core::StageProduct& pre) const override;
+  double run_postprocess(const SysNoiseConfig& cfg,
+                         const core::StageProduct& fwd) const override;
+
  private:
   TrainedClassifier& tc_;
 };
 
-class DetectorTask : public core::EvalTask {
+class DetectorTask : public core::StagedEvalTask {
  public:
   explicit DetectorTask(TrainedDetector& td) : td_(td) {}
   const std::string& name() const override { return td_.name; }
   core::TaskTraits traits() const override;
-  double evaluate(const SysNoiseConfig& cfg) const override;
   double trained_metric() const { return td_.trained_map; }
+
+  // Staged split: stage 2 materializes RawDetections, stage 3 applies the
+  // box-decode offset + NMS + mAP — the post-processing axis re-runs only
+  // stage 3.
+  std::string preprocess_key(const SysNoiseConfig& cfg) const override;
+  std::string forward_key(const SysNoiseConfig& cfg) const override;
+  core::StageProduct run_preprocess(const SysNoiseConfig& cfg) const override;
+  core::StageProduct run_forward(const SysNoiseConfig& cfg,
+                                 const core::StageProduct& pre) const override;
+  double run_postprocess(const SysNoiseConfig& cfg,
+                         const core::StageProduct& fwd) const override;
 
  private:
   TrainedDetector& td_;
 };
 
-class SegmenterTask : public core::EvalTask {
+class SegmenterTask : public core::StagedEvalTask {
  public:
   explicit SegmenterTask(TrainedSegmenter& ts) : ts_(ts) {}
   const std::string& name() const override { return ts_.name; }
   core::TaskTraits traits() const override;
-  double evaluate(const SysNoiseConfig& cfg) const override;
   double trained_metric() const { return ts_.trained_miou; }
+
+  std::string preprocess_key(const SysNoiseConfig& cfg) const override;
+  std::string forward_key(const SysNoiseConfig& cfg) const override;
+  core::StageProduct run_preprocess(const SysNoiseConfig& cfg) const override;
+  core::StageProduct run_forward(const SysNoiseConfig& cfg,
+                                 const core::StageProduct& pre) const override;
+  double run_postprocess(const SysNoiseConfig& cfg,
+                         const core::StageProduct& fwd) const override;
 
  private:
   TrainedSegmenter& ts_;
@@ -57,5 +88,15 @@ class SegmenterTask : public core::EvalTask {
 core::AxisReport sweep_seeded(const core::EvalTask& task, double trained_metric,
                               core::SweepCache& cache,
                               core::SweepOptions opts = {});
+
+// Staged counterpart: same seeding, but evaluated through
+// core::staged_sweep so stage intermediates are shared too. This is what
+// the table benches drive; `stats` (optional) surfaces stage-cache
+// accounting next to the SweepCache stats.
+core::AxisReport staged_sweep_seeded(const core::StagedEvalTask& task,
+                                     double trained_metric,
+                                     core::SweepCache& cache,
+                                     core::SweepOptions opts = {},
+                                     core::StageStats* stats = nullptr);
 
 }  // namespace sysnoise::models

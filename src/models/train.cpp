@@ -9,15 +9,7 @@ namespace sysnoise::models {
 
 using namespace sysnoise::nn;
 
-Tensor stack_batch(const std::vector<Tensor>& items) {
-  if (items.empty()) return {};
-  std::vector<int> shape = items[0].shape();
-  shape[0] = static_cast<int>(items.size());
-  Tensor out(shape);
-  for (std::size_t i = 0; i < items.size(); ++i)
-    out.set_front(static_cast<int>(i), items[i].slice_front(0));
-  return out;
-}
+Tensor stack_batch(const std::vector<Tensor>& items) { return stack_front(items); }
 
 ClsPreprocessor default_cls_preprocessor(const PipelineSpec& spec) {
   const SysNoiseConfig train_cfg = SysNoiseConfig::training_default();
@@ -76,28 +68,44 @@ float train_classifier(Classifier& model, const std::vector<data::ClsSample>& tr
   return last_loss;
 }
 
-double eval_classifier(Classifier& model, const std::vector<data::ClsSample>& eval,
-                       const SysNoiseConfig& cfg, const PipelineSpec& spec,
-                       ActRanges* ranges, int batch_size) {
-  const int n = static_cast<int>(eval.size());
-  int correct = 0;
-  for (int b = 0; b < n; b += batch_size) {
-    const int bs = std::min(batch_size, n - b);
-    std::vector<Tensor> inputs;
-    inputs.reserve(static_cast<std::size_t>(bs));
-    for (int i = 0; i < bs; ++i)
-      inputs.push_back(preprocess(eval[static_cast<std::size_t>(b + i)].jpeg, cfg, spec));
+PreprocessedBatches preprocess_cls_batches(const std::vector<data::ClsSample>& eval,
+                                           const SysNoiseConfig& cfg,
+                                           const PipelineSpec& spec,
+                                           int batch_size) {
+  std::vector<const std::vector<std::uint8_t>*> jpegs;
+  jpegs.reserve(eval.size());
+  for (const auto& s : eval) jpegs.push_back(&s.jpeg);
+  return preprocess_batches(jpegs, cfg, spec, batch_size);
+}
+
+double eval_classifier_batches(Classifier& model,
+                               const PreprocessedBatches& batches,
+                               const std::vector<data::ClsSample>& eval,
+                               const SysNoiseConfig& cfg, ActRanges* ranges) {
+  const int n = batches.num_samples;
+  int correct = 0, b = 0;
+  for (const Tensor& input : batches.inputs) {
+    const int bs = input.dim(0);
     Tape t;
     t.ctx = cfg.inference_ctx(ranges);
-    Node* logits = model.forward(t, t.input(stack_batch(inputs)), BnMode::kEval);
+    Node* logits = model.forward(t, t.input(input), BnMode::kEval);
     for (int i = 0; i < bs; ++i) {
       int best = 0;
       for (int c = 1; c < logits->value.dim(1); ++c)
         if (logits->value.at2(i, c) > logits->value.at2(i, best)) best = c;
       if (best == eval[static_cast<std::size_t>(b + i)].label) ++correct;
     }
+    b += bs;
   }
   return 100.0 * correct / std::max(1, n);
+}
+
+double eval_classifier(Classifier& model, const std::vector<data::ClsSample>& eval,
+                       const SysNoiseConfig& cfg, const PipelineSpec& spec,
+                       ActRanges* ranges, int batch_size) {
+  return eval_classifier_batches(
+      model, preprocess_cls_batches(eval, cfg, spec, batch_size), eval, cfg,
+      ranges);
 }
 
 void calibrate_classifier(Classifier& model,
@@ -163,28 +171,52 @@ float train_detector(Detector& model, const data::DetDataset& ds,
   return last_loss;
 }
 
-double eval_detector(Detector& model, const data::DetDataset& ds,
-                     const SysNoiseConfig& cfg, const PipelineSpec& spec,
-                     ActRanges* ranges) {
-  std::vector<std::vector<detect::Detection>> all_dets;
-  std::vector<std::vector<detect::GtBox>> all_gts;
-  const int batch = 8;
-  const int n = static_cast<int>(ds.eval.size());
-  for (int b = 0; b < n; b += batch) {
-    const int bs = std::min(batch, n - b);
-    std::vector<Tensor> inputs;
-    for (int i = 0; i < bs; ++i)
-      inputs.push_back(preprocess(ds.eval[static_cast<std::size_t>(b + i)].jpeg, cfg, spec));
+PreprocessedBatches preprocess_det_batches(const data::DetDataset& ds,
+                                           const SysNoiseConfig& cfg,
+                                           const PipelineSpec& spec) {
+  std::vector<const std::vector<std::uint8_t>*> jpegs;
+  jpegs.reserve(ds.eval.size());
+  for (const auto& s : ds.eval) jpegs.push_back(&s.jpeg);
+  return preprocess_batches(jpegs, cfg, spec, /*batch_size=*/8);
+}
+
+RawDetections detector_forward_batches(Detector& model,
+                                       const PreprocessedBatches& batches,
+                                       const SysNoiseConfig& cfg,
+                                       ActRanges* ranges) {
+  RawDetections raw;
+  raw.batches.reserve(batches.inputs.size());
+  for (const Tensor& input : batches.inputs) {
     Tape t;
     t.ctx = cfg.inference_ctx(ranges);
-    DetectorOutput out = model.forward(t, t.input(stack_batch(inputs)), BnMode::kEval);
+    DetectorOutput out = model.forward(t, t.input(input), BnMode::kEval);
+    raw.batches.push_back(detach_detector_output(out));
+  }
+  return raw;
+}
+
+double detector_map_from_raw(const Detector& model, const RawDetections& raw,
+                             const data::DetDataset& ds,
+                             const SysNoiseConfig& cfg) {
+  std::vector<std::vector<detect::Detection>> all_dets;
+  std::vector<std::vector<detect::GtBox>> all_gts;
+  std::size_t sample = 0;
+  for (const RawDetectorOutput& out : raw.batches) {
     auto dets = detection_postprocess(model, out, cfg, ds.input_size);
-    for (int i = 0; i < bs; ++i) {
-      all_dets.push_back(std::move(dets[static_cast<std::size_t>(i)]));
-      all_gts.push_back(ds.eval[static_cast<std::size_t>(b + i)].boxes);
+    for (auto& d : dets) {
+      all_dets.push_back(std::move(d));
+      all_gts.push_back(ds.eval[sample++].boxes);
     }
   }
   return 100.0 * detect::mean_average_precision(all_dets, all_gts, ds.num_classes);
+}
+
+double eval_detector(Detector& model, const data::DetDataset& ds,
+                     const SysNoiseConfig& cfg, const PipelineSpec& spec,
+                     ActRanges* ranges) {
+  const RawDetections raw = detector_forward_batches(
+      model, preprocess_det_batches(ds, cfg, spec), cfg, ranges);
+  return detector_map_from_raw(model, raw, ds, cfg);
 }
 
 void calibrate_detector(Detector& model, const data::DetDataset& ds,
@@ -253,20 +285,26 @@ float train_segmenter(Segmenter& model, const data::SegDataset& ds,
   return last_loss;
 }
 
-double eval_segmenter(Segmenter& model, const data::SegDataset& ds,
-                      const SysNoiseConfig& cfg, const PipelineSpec& spec,
-                      ActRanges* ranges) {
+PreprocessedBatches preprocess_seg_batches(const data::SegDataset& ds,
+                                           const SysNoiseConfig& cfg,
+                                           const PipelineSpec& spec) {
+  std::vector<const std::vector<std::uint8_t>*> jpegs;
+  jpegs.reserve(ds.eval.size());
+  for (const auto& s : ds.eval) jpegs.push_back(&s.jpeg);
+  return preprocess_batches(jpegs, cfg, spec, /*batch_size=*/4);
+}
+
+double eval_segmenter_batches(Segmenter& model,
+                              const PreprocessedBatches& batches,
+                              const data::SegDataset& ds,
+                              const SysNoiseConfig& cfg, ActRanges* ranges) {
   std::vector<int> all_pred, all_gt;
-  const int batch = 4;
-  const int n = static_cast<int>(ds.eval.size());
-  for (int b = 0; b < n; b += batch) {
-    const int bs = std::min(batch, n - b);
-    std::vector<Tensor> inputs;
-    for (int i = 0; i < bs; ++i)
-      inputs.push_back(preprocess(ds.eval[static_cast<std::size_t>(b + i)].jpeg, cfg, spec));
+  std::size_t sample = 0;
+  for (const Tensor& input : batches.inputs) {
+    const int bs = input.dim(0);
     Tape t;
     t.ctx = cfg.inference_ctx(ranges);
-    Node* logits = model.forward(t, t.input(stack_batch(inputs)), BnMode::kEval);
+    Node* logits = model.forward(t, t.input(input), BnMode::kEval);
     const int c = logits->value.dim(1), h = logits->value.dim(2),
               w = logits->value.dim(3);
     for (int i = 0; i < bs; ++i) {
@@ -278,11 +316,18 @@ double eval_segmenter(Segmenter& model, const data::SegDataset& ds,
               best = cc;
           all_pred.push_back(best);
         }
-      const auto& mask = ds.eval[static_cast<std::size_t>(b + i)].mask;
+      const auto& mask = ds.eval[sample++].mask;
       all_gt.insert(all_gt.end(), mask.begin(), mask.end());
     }
   }
   return 100.0 * seg::mean_iou(all_pred, all_gt, ds.num_classes);
+}
+
+double eval_segmenter(Segmenter& model, const data::SegDataset& ds,
+                      const SysNoiseConfig& cfg, const PipelineSpec& spec,
+                      ActRanges* ranges) {
+  return eval_segmenter_batches(model, preprocess_seg_batches(ds, cfg, spec),
+                                ds, cfg, ranges);
 }
 
 void calibrate_segmenter(Segmenter& model, const data::SegDataset& ds,

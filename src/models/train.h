@@ -42,6 +42,27 @@ double eval_classifier(Classifier& model, const std::vector<data::ClsSample>& ev
                        const SysNoiseConfig& cfg, const PipelineSpec& spec,
                        nn::ActRanges* ranges, int batch_size = 16);
 
+// Staged form: forward+metric over already-materialized stage-1 batches
+// (`cfg` supplies only the inference-side knobs here). eval_classifier() is
+// exactly preprocess_cls_batches + this, so the two paths are bit-identical.
+double eval_classifier_batches(Classifier& model,
+                               const PreprocessedBatches& batches,
+                               const std::vector<data::ClsSample>& eval,
+                               const SysNoiseConfig& cfg, nn::ActRanges* ranges);
+
+// Stage-1 materialization for each task family, with the same batch sizes
+// the monolithic eval loops use (cls 16, det 8, seg 4).
+PreprocessedBatches preprocess_cls_batches(const std::vector<data::ClsSample>& eval,
+                                           const SysNoiseConfig& cfg,
+                                           const PipelineSpec& spec,
+                                           int batch_size = 16);
+PreprocessedBatches preprocess_det_batches(const data::DetDataset& ds,
+                                           const SysNoiseConfig& cfg,
+                                           const PipelineSpec& spec);
+PreprocessedBatches preprocess_seg_batches(const data::SegDataset& ds,
+                                           const SysNoiseConfig& cfg,
+                                           const PipelineSpec& spec);
+
 // Record activation ranges for INT8 (run on a calibration subset with the
 // training-default pipeline).
 void calibrate_classifier(Classifier& model,
@@ -59,6 +80,23 @@ double eval_detector(Detector& model, const data::DetDataset& ds,
                      const SysNoiseConfig& cfg, const PipelineSpec& spec,
                      nn::ActRanges* ranges);
 
+// Staged detection split: forward -> RawDetections -> postprocess(offset)
+// -> mAP. The post-processing SysNoise axis (proposal_offset) only touches
+// the last step, so sweeps re-decode boxes from cached forward outputs
+// instead of re-running the network.
+struct RawDetections {
+  std::vector<RawDetectorOutput> batches;  // forward outputs per eval batch
+};
+
+RawDetections detector_forward_batches(Detector& model,
+                                       const PreprocessedBatches& batches,
+                                       const SysNoiseConfig& cfg,
+                                       nn::ActRanges* ranges);
+
+double detector_map_from_raw(const Detector& model, const RawDetections& raw,
+                             const data::DetDataset& ds,
+                             const SysNoiseConfig& cfg);
+
 void calibrate_detector(Detector& model, const data::DetDataset& ds,
                         const PipelineSpec& spec, nn::ActRanges& ranges,
                         int max_samples = 16);
@@ -72,6 +110,12 @@ float train_segmenter(Segmenter& model, const data::SegDataset& ds,
 double eval_segmenter(Segmenter& model, const data::SegDataset& ds,
                       const SysNoiseConfig& cfg, const PipelineSpec& spec,
                       nn::ActRanges* ranges);
+
+// Staged form over materialized stage-1 batches.
+double eval_segmenter_batches(Segmenter& model,
+                              const PreprocessedBatches& batches,
+                              const data::SegDataset& ds,
+                              const SysNoiseConfig& cfg, nn::ActRanges* ranges);
 
 void calibrate_segmenter(Segmenter& model, const data::SegDataset& ds,
                          const PipelineSpec& spec, nn::ActRanges& ranges,

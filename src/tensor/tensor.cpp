@@ -177,6 +177,16 @@ Tensor operator*(const Tensor& a, float s) {
   return out;
 }
 
+Tensor stack_front(const std::vector<Tensor>& items) {
+  if (items.empty()) return {};
+  std::vector<int> shape = items[0].shape();
+  shape[0] = static_cast<int>(items.size());
+  Tensor out(shape);
+  for (std::size_t i = 0; i < items.size(); ++i)
+    out.set_front(static_cast<int>(i), items[i].slice_front(0));
+  return out;
+}
+
 float max_abs_diff(const Tensor& a, const Tensor& b) {
   assert(a.size() == b.size());
   float m = 0.0f;

@@ -89,6 +89,10 @@ Tensor operator+(const Tensor& a, const Tensor& b);
 Tensor operator-(const Tensor& a, const Tensor& b);
 Tensor operator*(const Tensor& a, float s);
 
+// Stack per-item tensors (each [1, ...]) into one batch tensor along the
+// leading axis: k items of shape [1, d1, ...] -> [k, d1, ...].
+Tensor stack_front(const std::vector<Tensor>& items);
+
 // Maximum absolute difference between two same-shape tensors.
 float max_abs_diff(const Tensor& a, const Tensor& b);
 

@@ -35,10 +35,11 @@ void expect_reports_identical(const AxisReport& a, const AxisReport& b) {
 
 TEST(AxisRegistry, MatchesTable1Taxonomy) {
   const auto& axes = AxisRegistry::global().axes();
-  ASSERT_EQ(axes.size(), 7u);
-  const std::vector<std::string> names = {"Decode",   "Resize",   "Color Mode",
-                                          "Precision", "Ceil Mode", "Upsample",
-                                          "Post-proc"};
+  ASSERT_EQ(axes.size(), 8u);
+  const std::vector<std::string> names = {"Decode",    "Resize",
+                                          "Color Mode", "Normalize",
+                                          "Precision",  "Ceil Mode",
+                                          "Upsample",   "Post-proc"};
   for (std::size_t i = 0; i < names.size(); ++i) EXPECT_EQ(axes[i].name, names[i]);
 
   // Option counts mirror the implemented option sets (Table 1 categories
@@ -50,6 +51,11 @@ TEST(AxisRegistry, MatchesTable1Taxonomy) {
   EXPECT_EQ(AxisRegistry::global().find("Precision")->num_options(), 2);
   EXPECT_EQ(AxisRegistry::global().find("Precision")->option_labels,
             (std::vector<std::string>{"FP16", "INT8"}));
+  EXPECT_EQ(AxisRegistry::global().find("Normalize")->taxonomy_categories(),
+            kNumNormStats);
+  EXPECT_EQ(AxisRegistry::global().find("Normalize")->option_labels,
+            (std::vector<std::string>{"rounded-u8", "0.5/0.5"}));
+  EXPECT_EQ(AxisRegistry::global().find("Normalize")->stage, "Pre-processing");
   for (const char* single : {"Color Mode", "Ceil Mode", "Upsample", "Post-proc"})
     EXPECT_EQ(AxisRegistry::global().find(single)->taxonomy_categories(), 2)
         << single;
@@ -70,14 +76,14 @@ TEST(AxisRegistry, ApplicabilityFollowsTaskTraits) {
   const auto& reg = AxisRegistry::global();
   EXPECT_EQ(names(reg.applicable({TaskKind::kClassification, false})),
             (std::vector<std::string>{"Decode", "Resize", "Color Mode",
-                                      "Precision"}));
+                                      "Normalize", "Precision"}));
   EXPECT_EQ(names(reg.applicable({TaskKind::kDetection, true})),
             (std::vector<std::string>{"Decode", "Resize", "Color Mode",
-                                      "Precision", "Ceil Mode", "Upsample",
-                                      "Post-proc"}));
+                                      "Normalize", "Precision", "Ceil Mode",
+                                      "Upsample", "Post-proc"}));
   EXPECT_EQ(names(reg.applicable({TaskKind::kSegmentation, false})),
             (std::vector<std::string>{"Decode", "Resize", "Color Mode",
-                                      "Precision", "Upsample"}));
+                                      "Normalize", "Precision", "Upsample"}));
 }
 
 TEST(AxisRegistry, CombinedConfigMatchesLegacyFlags) {
@@ -156,9 +162,9 @@ TEST(SweepEngine, SeededCacheSkipsTrainedBaselineEval) {
 
   SweepCache cache;
   const AxisReport report = models::sweep_seeded(task, trained, cache);
-  // Options: 3 decode + 10 resize + 1 color + 2 precision + combined = 17;
-  // the baseline itself came from the seed.
-  EXPECT_EQ(task.evals() - base_evals, 17);
+  // Options: 3 decode + 10 resize + 1 color + 2 norm + 2 precision +
+  // combined = 19; the baseline itself came from the seed.
+  EXPECT_EQ(task.evals() - base_evals, 19);
   EXPECT_EQ(report.trained, trained);
 }
 
@@ -182,8 +188,8 @@ TEST(SweepEngine, StepwiseAccumulatesInRegistryOrder) {
   const SyntheticTask task(TaskKind::kDetection, true);
   const auto steps = stepwise(task);
   const std::vector<std::string> expected = {
-      "Decode",     "+Resize",   "+Color Mode",     "+INT8",
-      "+Ceil Mode", "+Upsample", "+Post processing"};
+      "Decode",    "+Resize",    "+Color Mode", "+Normalize",
+      "+INT8",     "+Ceil Mode", "+Upsample",   "+Post processing"};
   ASSERT_EQ(steps.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i)
     EXPECT_EQ(steps[i].step, expected[i]);

@@ -21,6 +21,7 @@ TEST(NoiseConfig, TrainingDefaultIsPyTorchLike) {
   EXPECT_EQ(cfg.decoder, jpeg::DecoderVendor::kPillow);
   EXPECT_EQ(cfg.resize, ResizeMethod::kPillowBilinear);
   EXPECT_EQ(cfg.color, ColorMode::kDirectRGB);
+  EXPECT_EQ(cfg.norm, NormStats::kTorchvision);
   EXPECT_EQ(cfg.precision, nn::Precision::kFP32);
   EXPECT_FALSE(cfg.ceil_mode);
   EXPECT_EQ(cfg.upsample, nn::UpsampleMode::kNearest);
@@ -33,13 +34,55 @@ TEST(NoiseConfig, OptionCountsMatchTable1) {
   EXPECT_EQ(resize_noise_options().size(), 10u);   // 11 incl. default
   EXPECT_EQ(color_noise_options().size(), 1u);     // 2 incl. direct RGB
   EXPECT_EQ(precision_noise_options().size(), 2u); // 3 incl. FP32
+  EXPECT_EQ(norm_noise_options().size(), 2u);      // 3 incl. torchvision
 }
 
 TEST(NoiseConfig, DescribeMentionsEveryKnob) {
   const std::string d = SysNoiseConfig::training_default().describe();
-  for (const char* key :
-       {"decoder=", "resize=", "color=", "prec=", "ceil=", "upsample=", "offset="})
+  for (const char* key : {"decoder=", "resize=", "color=", "norm=", "prec=",
+                          "ceil=", "upsample=", "offset="})
     EXPECT_NE(d.find(key), std::string::npos) << key;
+}
+
+TEST(NoiseConfig, EffectiveNormStatsFollowTheKnob) {
+  const PipelineSpec spec;
+  SysNoiseConfig cfg;
+  auto [m0, s0] = effective_norm_stats(cfg, spec);
+  EXPECT_EQ(m0, spec.mean);
+  EXPECT_EQ(s0, spec.stddev);
+
+  cfg.norm = NormStats::kRoundedU8;
+  auto [m1, s1] = effective_norm_stats(cfg, spec);
+  // 0.485 * 255 = 123.675 -> 124/255: off the training stats by < 1/255.
+  EXPECT_NE(m1, spec.mean);
+  for (std::size_t c = 0; c < m1.size(); ++c) {
+    EXPECT_NEAR(m1[c], spec.mean[c], 0.5f / 255.0f);
+    EXPECT_NEAR(s1[c], spec.stddev[c], 0.5f / 255.0f);
+  }
+
+  cfg.norm = NormStats::kHalfHalf;
+  auto [m2, s2] = effective_norm_stats(cfg, spec);
+  for (std::size_t c = 0; c < m2.size(); ++c) {
+    EXPECT_FLOAT_EQ(m2[c], 0.5f);
+    EXPECT_FLOAT_EQ(s2[c], 0.5f);
+  }
+}
+
+TEST(Pipeline, NormKnobChangesTensorNotImage) {
+  const auto ds = data::make_classification_dataset(small_cls_spec());
+  const PipelineSpec spec;
+  SysNoiseConfig deploy;
+  deploy.norm = NormStats::kHalfHalf;
+  const SysNoiseConfig train_cfg = SysNoiseConfig::training_default();
+  const auto& jpeg = ds.eval.front().jpeg;
+  // Normalization acts after the image-space pipeline...
+  const ImageU8 a = preprocess_image(jpeg, train_cfg, spec);
+  const ImageU8 b = preprocess_image(jpeg, deploy, spec);
+  EXPECT_EQ(a.vec(), b.vec());
+  // ...but shifts the network input tensor.
+  const Tensor ta = preprocess(jpeg, train_cfg, spec);
+  const Tensor tb = preprocess(jpeg, deploy, spec);
+  EXPECT_GT(max_abs_diff(ta, tb), 0.01f);
 }
 
 TEST(ClsDataset, DeterministicAndBalanced) {
