@@ -3,46 +3,102 @@
 // (FasterRCNN-ResNet). Expected shape vs the paper: the delta grows
 // monotonically-ish as noises stack, detection degrades far more than
 // classification, and the ceil+upsample combination is super-additive.
+//
+// Supports the plan/execute/merge lifecycle (bench_util.h) over stepwise
+// SweepPlans: --emit-plan, --shard i/N and --merge, bit-identical to the
+// unsharded run.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "core/disk_stage_cache.h"
 #include "core/report.h"
 #include "models/eval_tasks.h"
 
 using namespace sysnoise;
 
-int main() {
+namespace {
+
+void render_and_write(const core::StepReport& cls, const core::StepReport& det) {
+  std::printf("(a) %s classification\n", cls.model.c_str());
+  const std::string cls_table = core::render_step_table(cls.points, "ACC");
+  std::fputs(cls_table.c_str(), stdout);
+  std::printf("(b) %s detection\n", det.model.c_str());
+  const std::string det_table = core::render_step_table(det.points, "mAP");
+  std::fputs(det_table.c_str(), stdout);
+
+  std::string csv = core::step_points_csv(cls.points, "cls");
+  const std::string det_csv = core::step_points_csv(det.points, "det");
+  csv += det_csv.substr(det_csv.find('\n') + 1);  // drop repeated header
+  bench::write_file("fig3_combined.txt", cls_table + "\n" + det_table);
+  bench::write_file("fig3_combined.csv", csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv, "fig3_combined");
   bench::banner("Fig. 3 — stepwise combined SysNoise", "Sec. 4.2, Fig. 3");
 
+  if (cli.merging()) {
+    const auto merged = bench::merge_shard_files(cli, cli.merge_files);
+    if (merged.size() != 2) {
+      std::fprintf(stderr, "fig3 shard files must hold 2 runs, got %zu\n",
+                   merged.size());
+      return 2;
+    }
+    render_and_write(
+        {merged[0].plan.task, core::assemble_steps(merged[0].plan,
+                                                   merged[0].metrics)},
+        {merged[1].plan.task, core::assemble_steps(merged[1].plan,
+                                                   merged[1].metrics)});
+    return 0;
+  }
+
   core::SweepCache cache;
-  core::SweepOptions opts;
-  opts.cache = &cache;
+  core::StageStats stages;
+  core::DiskStageCache disk;
+  core::DiskStageCache* disk_ptr =
+      bench::disk_stage_cache_enabled() ? &disk : nullptr;
+  const core::StagedExecutor staged(&stages, disk_ptr);
 
   std::printf("[fig3] classifier (ResNet-M)...\n");
   std::fflush(stdout);
   auto tc = models::get_classifier("ResNet-M");
   models::ClassifierTask cls_task(tc);
-  cache.seed(cls_task, SysNoiseConfig::training_default(), tc.trained_acc);
-  const auto cls_steps = core::staged_stepwise(cls_task, opts);
-  std::printf("(a) ResNet-M classification — trained ACC %.2f%%\n", tc.trained_acc);
-  const std::string cls_table = core::render_step_table(cls_steps, "ACC");
-  std::fputs(cls_table.c_str(), stdout);
+  const core::SweepPlan cls_plan =
+      core::plan_stepwise(cls_task, core::AxisRegistry::global());
 
   std::printf("[fig3] detector (FasterRCNN-ResNet)...\n");
   std::fflush(stdout);
   auto td = models::get_detector("FasterRCNN-ResNet");
   models::DetectorTask det_task(td);
-  cache.seed(det_task, SysNoiseConfig::training_default(), td.trained_map);
-  const auto det_steps = core::staged_stepwise(det_task, opts);
-  std::printf("(b) FasterRCNN-ResNet detection — trained mAP %.2f\n",
-              td.trained_map);
-  const std::string det_table = core::render_step_table(det_steps, "mAP");
-  std::fputs(det_table.c_str(), stdout);
+  const core::SweepPlan det_plan =
+      core::plan_stepwise(det_task, core::AxisRegistry::global());
 
-  std::string csv = core::step_points_csv(cls_steps, "cls");
-  const std::string det_csv = core::step_points_csv(det_steps, "det");
-  csv += det_csv.substr(det_csv.find('\n') + 1);  // drop repeated header
-  bench::write_file("fig3_combined.txt", cls_table + "\n" + det_table);
-  bench::write_file("fig3_combined.csv", csv);
+  if (cli.emit_plan) {
+    bench::write_plan_file(cli, {cls_plan, det_plan});
+    return 0;
+  }
+
+  cache.seed(cls_task, SysNoiseConfig::training_default(), tc.trained_acc);
+  cache.seed(det_task, SysNoiseConfig::training_default(), td.trained_map);
+  core::SweepOptions opts;
+  opts.cache = &cache;
+
+  if (cli.sharded()) {
+    const core::ShardExecutor shard(staged, cli.shard_index, cli.shard_count);
+    bench::write_shard_file(
+        cli, {{cls_plan, shard.execute(cls_task, cls_plan, opts)},
+              {det_plan, shard.execute(det_task, det_plan, opts)}});
+    return 0;
+  }
+
+  const auto cls_metrics = staged.execute(cls_task, cls_plan, opts);
+  std::printf("[fig3] ResNet-M trained ACC %.2f%%\n", tc.trained_acc);
+  const auto det_metrics = staged.execute(det_task, det_plan, opts);
+  std::printf("[fig3] FasterRCNN-ResNet trained mAP %.2f\n", td.trained_map);
+  render_and_write({cls_plan.task, core::assemble_steps(cls_plan, cls_metrics)},
+                   {det_plan.task, core::assemble_steps(det_plan, det_metrics)});
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -21,6 +22,9 @@
 
 #include "bench/bench_util.h"
 #include "color/yuv.h"
+#include "core/disk_stage_cache.h"
+#include "core/executor.h"
+#include "core/plan.h"
 #include "core/staged_eval.h"
 #include "core/synthetic_task.h"
 #include "image/synthetic.h"
@@ -227,6 +231,52 @@ std::string perf_json_workload(const char* name, core::TaskKind kind) {
   return os.str();
 }
 
+// Cold-vs-warm disk StageCache: the same staged sweep run against an empty
+// stage directory (cold: every preprocess product computed and persisted)
+// and again in a fresh executor/memo against the populated directory
+// (warm: every product loaded, zero preprocess computations).
+std::string perf_json_disk_cache() {
+  const auto task = make_sweep_task(core::TaskKind::kDetection);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sysnoise_perf_stage_cache")
+          .string();
+  std::filesystem::remove_all(dir);
+  const auto plan = core::plan_sweep(task, core::AxisRegistry::global());
+
+  auto timed_run = [&](core::StageStats* stats) {
+    core::DiskStageCache disk(dir);
+    core::StagedExecutor ex(stats, &disk);
+    core::SweepCache cache;
+    core::SweepOptions opts;
+    opts.threads = pool_threads();
+    opts.cache = &cache;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto metrics = ex.execute(task, plan, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    (void)core::assemble_report(plan, metrics);
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+
+  core::StageStats cold_stats, warm_stats;
+  const double cold_ms = timed_run(&cold_stats);
+  const double warm_ms = timed_run(&warm_stats);
+  std::filesystem::remove_all(dir);
+
+  std::ostringstream os;
+  os << "  \"disk_stage_cache\": {\n"
+     << "    \"cold_ms\": " << cold_ms << ",\n"
+     << "    \"warm_ms\": " << warm_ms << ",\n"
+     << "    \"cold_preprocess_computed\": " << cold_stats.preprocess_computed
+     << ",\n"
+     << "    \"cold_persisted\": " << cold_stats.preprocess_persisted << ",\n"
+     << "    \"warm_disk_hits\": " << warm_stats.preprocess_disk_hits << ",\n"
+     << "    \"warm_preprocess_computed\": " << warm_stats.preprocess_computed
+     << ",\n"
+     << "    \"warm_skips_all_preprocessing\": "
+     << (warm_stats.preprocess_computed == 0 ? "true" : "false") << "\n  }";
+  return os.str();
+}
+
 bool write_perf_json() {
   std::ostringstream os;
   os << "{\n  \"bench\": \"sweep_engine\",\n"
@@ -235,7 +285,8 @@ bool write_perf_json() {
      << perf_json_workload("classification", core::TaskKind::kClassification)
      << ",\n"
      << perf_json_workload("detection", core::TaskKind::kDetection) << "\n"
-     << "  ]\n}\n";
+     << "  ],\n"
+     << perf_json_disk_cache() << "\n}\n";
 
   const char* override_path = std::getenv("SYSNOISE_PERF_JSON");
   const std::string path = override_path != nullptr

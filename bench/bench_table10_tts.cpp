@@ -12,14 +12,18 @@
 using namespace sysnoise;
 using namespace sysnoise::audio;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv, "table10_tts");
   bench::banner("Table 10 — text-to-speech SysNoise", "Appendix C, Table 10");
+
+  const std::vector<std::string> model_names = {"FastSpeech-mini", "Tacotron-mini"};
+  if (bench::handle_row_cli(cli, model_names, "table10_tts.csv")) return 0;
 
   const TtsDataset ds = make_tts_dataset();
   core::TextTable table({"Method", "Clean", "FP16", "INT8", "STFT", "Combined"});
   std::string csv = "model,clean,fp16,int8,stft,combined\n";
 
-  for (const std::string name : {"FastSpeech-mini", "Tacotron-mini"}) {
+  for (const std::string& name : bench::shard_slice(model_names, cli)) {
     std::printf("[table10] training %s...\n", name.c_str());
     std::fflush(stdout);
     Rng rng(name == "FastSpeech-mini" ? 21u : 22u);
@@ -47,7 +51,7 @@ int main() {
 
   const std::string out = table.str();
   std::fputs(out.c_str(), stdout);
-  bench::write_file("table10_tts.txt", out);
-  bench::write_file("table10_tts.csv", csv);
+  bench::write_file("table10_tts.txt" + cli.shard_suffix(), out);
+  bench::write_file("table10_tts.csv" + cli.shard_suffix(), csv);
   return 0;
 }

@@ -1,26 +1,42 @@
 // Table 1: the SysNoise taxonomy — noise types, affected tasks, input
 // dependence, effect level and option counts, rendered straight from the
 // NoiseAxis registry so the table cannot drift from the code (registering
-// a new axis adds a row here automatically).
+// a new axis adds a row here automatically). Shares the --shard/--merge/
+// --emit-plan row lifecycle with the other table benches.
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "core/axis.h"
 #include "core/report.h"
 
 using namespace sysnoise;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv, "table1_taxonomy");
   bench::banner("Table 1 — SysNoise taxonomy", "Sec. 3.4, Table 1");
+
+  std::vector<std::string> labels;
+  for (const core::NoiseAxis& axis : core::AxisRegistry::global().axes())
+    labels.push_back(axis.name);
+  if (bench::handle_row_cli(cli, labels, "table1_taxonomy.csv")) return 0;
 
   core::TextTable table({"Stage", "Type", "Task", "Input Dep.", "Effect Level",
                          "#Categories"});
-  for (const core::NoiseAxis& axis : core::AxisRegistry::global().axes()) {
+  std::string csv = "stage,type,task,input_dependent,effect_level,categories\n";
+  for (const std::string& name : bench::shard_slice(labels, cli)) {
+    const core::NoiseAxis& axis = *core::AxisRegistry::global().find(name);
     table.add_row({axis.stage, axis.name, axis.tasks_label,
                    axis.input_dependent ? "yes" : "no", axis.effect_level,
                    std::to_string(axis.taxonomy_categories())});
+    csv += axis.stage + "," + axis.name + "," + axis.tasks_label + "," +
+           (axis.input_dependent ? "yes" : "no") + "," + axis.effect_level +
+           "," + std::to_string(axis.taxonomy_categories()) + "\n";
   }
 
   const std::string out = table.str();
   std::fputs(out.c_str(), stdout);
-  bench::write_file("table1_taxonomy.txt", out);
+  bench::write_file("table1_taxonomy.txt" + cli.shard_suffix(), out);
+  bench::write_file("table1_taxonomy.csv" + cli.shard_suffix(), csv);
   return 0;
 }

@@ -3,21 +3,55 @@
 // shape vs the paper: resize & decode dominate pre-processing noise,
 // FP16 ≈ 0, INT8 small alone, ceil-mode substantial on max-pool models,
 // larger family members degrade less, Combined >> any single axis.
+//
+// Supports the plan/execute/merge lifecycle (bench_util.h): --emit-plan,
+// --shard i/N (partial run through a ShardExecutor) and --merge of the
+// shard-result files, bit-identical to the unsharded run.
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/disk_stage_cache.h"
 #include "core/report.h"
 #include "models/eval_tasks.h"
 
 using namespace sysnoise;
 
-int main() {
+namespace {
+
+void render_and_write(const std::vector<core::AxisReport>& reports) {
+  const std::string table = core::render_axis_table(reports, "ACC");
+  std::fputs(table.c_str(), stdout);
+  bench::write_file("table2_classification.txt", table);
+  bench::write_file("table2_classification.csv", core::axis_report_csv(reports));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchCli cli =
+      bench::parse_cli(argc, argv, "table2_classification");
   bench::banner("Table 2 — ImageNet-substitute classification",
                 "Sec. 4.2, Table 2");
 
+  if (cli.merging()) {
+    std::vector<core::AxisReport> reports;
+    for (const bench::PlanRun& run :
+         bench::merge_shard_files(cli, cli.merge_files))
+      reports.push_back(core::assemble_report(run.plan, run.metrics));
+    render_and_write(reports);
+    return 0;
+  }
+
   core::SweepCache cache;
   core::StageStats stages;
+  core::DiskStageCache disk;
+  core::DiskStageCache* disk_ptr =
+      bench::disk_stage_cache_enabled() ? &disk : nullptr;
+  const core::StagedExecutor staged(&stages, disk_ptr);
+
+  std::vector<core::SweepPlan> plans;
+  std::vector<bench::PlanRun> shard_runs;
   std::vector<core::AxisReport> reports;
   auto specs = models::classifier_zoo();
   if (bench::fast_mode()) specs.resize(3);
@@ -25,21 +59,43 @@ int main() {
     std::printf("[table2] %s: training/loading...\n", spec.name.c_str());
     std::fflush(stdout);
     auto tc = models::get_classifier(spec.name);
+    models::ClassifierTask task(tc);
+    const core::SweepPlan plan =
+        core::plan_sweep(task, core::AxisRegistry::global());
+    if (cli.emit_plan) {
+      plans.push_back(plan);
+      continue;
+    }
     std::printf("[table2] %s: trained ACC %.2f%%, sweeping noise axes...\n",
                 spec.name.c_str(), tc.trained_acc);
     std::fflush(stdout);
-    models::ClassifierTask task(tc);
-    reports.push_back(models::staged_sweep_seeded(task, task.trained_metric(),
-                                                  cache, {}, &stages));
+    cache.seed(task, SysNoiseConfig::training_default(), tc.trained_acc);
+    core::SweepOptions opts;
+    opts.cache = &cache;
+    if (cli.sharded()) {
+      const core::ShardExecutor shard(staged, cli.shard_index, cli.shard_count);
+      shard_runs.push_back({plan, shard.execute(task, plan, opts)});
+    } else {
+      reports.push_back(
+          core::assemble_report(plan, staged.execute(task, plan, opts)));
+    }
+  }
+
+  if (cli.emit_plan) {
+    bench::write_plan_file(cli, plans);
+    return 0;
   }
   std::printf("[table2] stage cache: %zu/%zu preprocess evals reused, "
-              "%zu/%zu forwards reused; metric memo %zu hits\n",
+              "%zu/%zu forwards reused; %zu loaded from disk, %zu computed "
+              "(%zu persisted); metric memo %zu hits\n",
               stages.preprocess_hits, stages.evaluations, stages.forward_hits,
-              stages.evaluations, cache.hits());
-
-  const std::string table = core::render_axis_table(reports, "ACC");
-  std::fputs(table.c_str(), stdout);
-  bench::write_file("table2_classification.txt", table);
-  bench::write_file("table2_classification.csv", core::axis_report_csv(reports));
+              stages.evaluations, stages.preprocess_disk_hits,
+              stages.preprocess_computed, stages.preprocess_persisted,
+              cache.hits());
+  if (cli.sharded()) {
+    bench::write_shard_file(cli, shard_runs);
+    return 0;
+  }
+  render_and_write(reports);
   return 0;
 }

@@ -3,17 +3,43 @@
 // post-processing (box-decode offset) axes. Expected shape vs the paper:
 // decode ≈ 0 for detection, resize/ceil/upsample/post-processing are the
 // big hits, Combined approaches an order-of-magnitude mAP drop.
+//
+// Supports the plan/execute/merge lifecycle (bench_util.h): --emit-plan,
+// --shard i/N and --merge, bit-identical to the unsharded run.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/disk_stage_cache.h"
 #include "core/report.h"
 #include "models/eval_tasks.h"
 
 using namespace sysnoise;
 
-int main() {
+namespace {
+
+void render_and_write(const std::vector<core::AxisReport>& reports) {
+  const std::string table = core::render_axis_table(reports, "mAP");
+  std::fputs(table.c_str(), stdout);
+  bench::write_file("table3_detection.txt", table);
+  bench::write_file("table3_detection.csv", core::axis_report_csv(reports));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv, "table3_detection");
   bench::banner("Table 3 — COCO-substitute detection", "Sec. 4.2, Table 3");
+
+  if (cli.merging()) {
+    std::vector<core::AxisReport> reports;
+    for (const bench::PlanRun& run :
+         bench::merge_shard_files(cli, cli.merge_files))
+      reports.push_back(core::assemble_report(run.plan, run.metrics));
+    render_and_write(reports);
+    return 0;
+  }
 
   std::vector<std::string> names = {"FasterRCNN-ResNet", "FasterRCNN-MobileNet",
                                     "RetinaNet-ResNet", "RetinaNet-MobileNet"};
@@ -21,27 +47,56 @@ int main() {
 
   core::SweepCache cache;
   core::StageStats stages;
+  core::DiskStageCache disk;
+  core::DiskStageCache* disk_ptr =
+      bench::disk_stage_cache_enabled() ? &disk : nullptr;
+  const core::StagedExecutor staged(&stages, disk_ptr);
+
+  std::vector<core::SweepPlan> plans;
+  std::vector<bench::PlanRun> shard_runs;
   std::vector<core::AxisReport> reports;
   for (const auto& name : names) {
     std::printf("[table3] %s: training/loading...\n", name.c_str());
     std::fflush(stdout);
     auto td = models::get_detector(name);
+    models::DetectorTask task(td);
+    const core::SweepPlan plan =
+        core::plan_sweep(task, core::AxisRegistry::global());
+    if (cli.emit_plan) {
+      plans.push_back(plan);
+      continue;
+    }
     std::printf("[table3] %s: trained mAP %.2f, sweeping noise axes...\n",
                 name.c_str(), td.trained_map);
     std::fflush(stdout);
-    models::DetectorTask task(td);
-    reports.push_back(models::staged_sweep_seeded(task, task.trained_metric(),
-                                                  cache, {}, &stages));
+    cache.seed(task, SysNoiseConfig::training_default(), td.trained_map);
+    core::SweepOptions opts;
+    opts.cache = &cache;
+    if (cli.sharded()) {
+      const core::ShardExecutor shard(staged, cli.shard_index, cli.shard_count);
+      shard_runs.push_back({plan, shard.execute(task, plan, opts)});
+    } else {
+      reports.push_back(
+          core::assemble_report(plan, staged.execute(task, plan, opts)));
+    }
+  }
+
+  if (cli.emit_plan) {
+    bench::write_plan_file(cli, plans);
+    return 0;
   }
   std::printf("[table3] stage cache: %zu/%zu preprocess evals reused, "
               "%zu/%zu forwards reused (post-proc axis rides on cached "
-              "forward outputs); metric memo %zu hits\n",
+              "forward outputs); %zu loaded from disk, %zu computed "
+              "(%zu persisted); metric memo %zu hits\n",
               stages.preprocess_hits, stages.evaluations, stages.forward_hits,
-              stages.evaluations, cache.hits());
-
-  const std::string table = core::render_axis_table(reports, "mAP");
-  std::fputs(table.c_str(), stdout);
-  bench::write_file("table3_detection.txt", table);
-  bench::write_file("table3_detection.csv", core::axis_report_csv(reports));
+              stages.evaluations, stages.preprocess_disk_hits,
+              stages.preprocess_computed, stages.preprocess_persisted,
+              cache.hits());
+  if (cli.sharded()) {
+    bench::write_shard_file(cli, shard_runs);
+    return 0;
+  }
+  render_and_write(reports);
   return 0;
 }

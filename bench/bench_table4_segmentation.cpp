@@ -1,44 +1,100 @@
 // Table 4: SysNoise on the CityScapes-substitute segmentation benchmark —
 // ΔmIoU per axis. Expected shape vs the paper: decode/resize/color ≈ 0,
 // upsample and ceil-mode dominate, U-Net (no max-pool) has no ceil entry.
+//
+// Supports the plan/execute/merge lifecycle (bench_util.h): --emit-plan,
+// --shard i/N and --merge, bit-identical to the unsharded run.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/disk_stage_cache.h"
 #include "core/report.h"
 #include "models/eval_tasks.h"
 
 using namespace sysnoise;
 
-int main() {
+namespace {
+
+void render_and_write(const std::vector<core::AxisReport>& reports) {
+  const std::string table = core::render_axis_table(reports, "mIoU");
+  std::fputs(table.c_str(), stdout);
+  bench::write_file("table4_segmentation.txt", table);
+  bench::write_file("table4_segmentation.csv", core::axis_report_csv(reports));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchCli cli =
+      bench::parse_cli(argc, argv, "table4_segmentation");
   bench::banner("Table 4 — CityScapes-substitute segmentation",
                 "Sec. 4.2, Table 4");
+
+  if (cli.merging()) {
+    std::vector<core::AxisReport> reports;
+    for (const bench::PlanRun& run :
+         bench::merge_shard_files(cli, cli.merge_files))
+      reports.push_back(core::assemble_report(run.plan, run.metrics));
+    render_and_write(reports);
+    return 0;
+  }
 
   std::vector<std::string> names = {"DeepLab-S", "DeepLab-M", "UNet"};
   if (bench::fast_mode()) names.resize(1);
 
   core::SweepCache cache;
   core::StageStats stages;
+  core::DiskStageCache disk;
+  core::DiskStageCache* disk_ptr =
+      bench::disk_stage_cache_enabled() ? &disk : nullptr;
+  const core::StagedExecutor staged(&stages, disk_ptr);
+
+  std::vector<core::SweepPlan> plans;
+  std::vector<bench::PlanRun> shard_runs;
   std::vector<core::AxisReport> reports;
   for (const auto& name : names) {
     std::printf("[table4] %s: training/loading...\n", name.c_str());
     std::fflush(stdout);
     auto ts = models::get_segmenter(name);
+    models::SegmenterTask task(ts);
+    const core::SweepPlan plan =
+        core::plan_sweep(task, core::AxisRegistry::global());
+    if (cli.emit_plan) {
+      plans.push_back(plan);
+      continue;
+    }
     std::printf("[table4] %s: trained mIoU %.2f, sweeping noise axes...\n",
                 name.c_str(), ts.trained_miou);
     std::fflush(stdout);
-    models::SegmenterTask task(ts);
-    reports.push_back(models::staged_sweep_seeded(task, task.trained_metric(),
-                                                  cache, {}, &stages));
+    cache.seed(task, SysNoiseConfig::training_default(), ts.trained_miou);
+    core::SweepOptions opts;
+    opts.cache = &cache;
+    if (cli.sharded()) {
+      const core::ShardExecutor shard(staged, cli.shard_index, cli.shard_count);
+      shard_runs.push_back({plan, shard.execute(task, plan, opts)});
+    } else {
+      reports.push_back(
+          core::assemble_report(plan, staged.execute(task, plan, opts)));
+    }
+  }
+
+  if (cli.emit_plan) {
+    bench::write_plan_file(cli, plans);
+    return 0;
   }
   std::printf("[table4] stage cache: %zu/%zu preprocess evals reused, "
-              "%zu/%zu forwards reused; metric memo %zu hits\n",
+              "%zu/%zu forwards reused; %zu loaded from disk, %zu computed "
+              "(%zu persisted); metric memo %zu hits\n",
               stages.preprocess_hits, stages.evaluations, stages.forward_hits,
-              stages.evaluations, cache.hits());
-
-  const std::string table = core::render_axis_table(reports, "mIoU");
-  std::fputs(table.c_str(), stdout);
-  bench::write_file("table4_segmentation.txt", table);
-  bench::write_file("table4_segmentation.csv", core::axis_report_csv(reports));
+              stages.evaluations, stages.preprocess_disk_hits,
+              stages.preprocess_computed, stages.preprocess_persisted,
+              cache.hits());
+  if (cli.sharded()) {
+    bench::write_shard_file(cli, shard_runs);
+    return 0;
+  }
+  render_and_write(reports);
   return 0;
 }

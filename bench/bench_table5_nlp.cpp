@@ -29,7 +29,8 @@ double task_accuracy(CausalLm& lm, const std::vector<ChoiceItem>& items,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv, "table5_nlp");
   bench::banner("Table 5 — NLP data-precision noise (OPT-mini zoo)",
                 "Sec. 4.2, Table 5");
 
@@ -47,6 +48,10 @@ int main() {
 
   auto zoo = opt_mini_zoo();
   if (bench::fast_mode()) zoo.resize(1);
+  std::vector<std::string> labels;
+  for (const auto& spec : zoo) labels.push_back(spec.name);
+  if (bench::handle_row_cli(cli, labels, "table5_nlp.csv")) return 0;
+  zoo = bench::shard_slice(zoo, cli);
   std::string csv = "model,task,fp32,d_fp16,d_int8\n";
   for (const auto& spec : zoo) {
     std::printf("[table5] training %s...\n", spec.name.c_str());
@@ -74,7 +79,7 @@ int main() {
 
   const std::string out = table.str();
   std::fputs(out.c_str(), stdout);
-  bench::write_file("table5_nlp.txt", out);
-  bench::write_file("table5_nlp.csv", csv);
+  bench::write_file("table5_nlp.txt" + cli.shard_suffix(), out);
+  bench::write_file("table5_nlp.csv" + cli.shard_suffix(), csv);
   return 0;
 }

@@ -45,7 +45,8 @@ TentRow sweep(const std::string& name, double base, const EvalFn& eval) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv, "table6_tent");
   bench::banner("Table 6 — TENT test-time adaptation vs SysNoise",
                 "Sec. 4.3, Table 6");
 
@@ -54,6 +55,8 @@ int main() {
   // noise configuration, so heavyweight rows are disproportionately slow).
   std::vector<std::string> names = {"MCUNet", "ResNet-XS", "ViT-T", "Swin-T"};
   if (bench::fast_mode()) names.resize(2);
+  if (bench::handle_row_cli(cli, names, "table6_tent.csv")) return 0;
+  names = bench::shard_slice(names, cli);
 
   const auto& ds = models::benchmark_cls_dataset();
   const PipelineSpec spec = models::cls_pipeline_spec();
@@ -96,7 +99,7 @@ int main() {
 
   const std::string out = table.str();
   std::fputs(out.c_str(), stdout);
-  bench::write_file("table6_tent.txt", out);
-  bench::write_file("table6_tent.csv", csv);
+  bench::write_file("table6_tent.txt" + cli.shard_suffix(), out);
+  bench::write_file("table6_tent.csv" + cli.shard_suffix(), csv);
   return 0;
 }

@@ -12,7 +12,8 @@
 
 using namespace sysnoise;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv, "table7_mix_resize");
   bench::banner("Table 7 — mix training on resize", "Sec. 4.3, Table 7 / Algo. 1");
 
   // The six resize methods of the paper's Table 7 grid.
@@ -59,20 +60,27 @@ int main() {
 
   auto rows = grid;
   if (bench::fast_mode()) rows.resize(1);
-  for (auto train_m : rows) {
+  std::vector<std::string> labels;
+  for (auto train_m : rows) labels.push_back(resize_method_name(train_m));
+  labels.push_back("mix");
+  if (bench::handle_row_cli(cli, labels, "table7_mix_resize.csv")) return 0;
+
+  for (const std::string& label : bench::shard_slice(labels, cli)) {
+    if (label == "mix") {
+      const auto mix = core::mix_training_preprocessor(
+          spec, /*mix_decoder=*/false, /*mix_resize=*/true);
+      add_row("mix", mix, "t7_mix");
+      continue;
+    }
     SysNoiseConfig cfg = SysNoiseConfig::training_default();
-    cfg.resize = train_m;
+    cfg.resize = resize_method_from_name(label);
     const auto prep = core::fixed_config_preprocessor(spec, cfg);
-    add_row(resize_method_name(train_m), prep,
-            std::string("t7_") + resize_method_name(train_m));
+    add_row(label, prep, "t7_" + label);
   }
-  const auto mix = core::mix_training_preprocessor(spec, /*mix_decoder=*/false,
-                                                   /*mix_resize=*/true);
-  add_row("mix", mix, "t7_mix");
 
   const std::string out = table.str();
   std::fputs(out.c_str(), stdout);
-  bench::write_file("table7_mix_resize.txt", out);
-  bench::write_file("table7_mix_resize.csv", csv);
+  bench::write_file("table7_mix_resize.txt" + cli.shard_suffix(), out);
+  bench::write_file("table7_mix_resize.csv" + cli.shard_suffix(), csv);
   return 0;
 }

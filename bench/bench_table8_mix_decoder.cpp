@@ -10,7 +10,8 @@
 
 using namespace sysnoise;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv, "table8_mix_decoder");
   bench::banner("Table 8 — mix training on the decoder",
                 "Sec. 4.3, Table 8 / Algo. 1");
 
@@ -57,20 +58,27 @@ int main() {
 
   auto rows = grid;
   if (bench::fast_mode()) rows.resize(1);
-  for (auto train_v : rows) {
+  std::vector<std::string> labels;
+  for (auto train_v : rows) labels.push_back(jpeg::vendor_name(train_v));
+  labels.push_back("mix");
+  if (bench::handle_row_cli(cli, labels, "table8_mix_decoder.csv")) return 0;
+
+  for (const std::string& label : bench::shard_slice(labels, cli)) {
+    if (label == "mix") {
+      const auto mix = core::mix_training_preprocessor(
+          spec, /*mix_decoder=*/true, /*mix_resize=*/false);
+      add_row("mix", mix, "t8_mix");
+      continue;
+    }
     SysNoiseConfig cfg = SysNoiseConfig::training_default();
-    cfg.decoder = train_v;
+    cfg.decoder = decoder_vendor_from_name(label);
     const auto prep = core::fixed_config_preprocessor(spec, cfg);
-    add_row(jpeg::vendor_name(train_v), prep,
-            std::string("t8_") + jpeg::vendor_name(train_v));
+    add_row(label, prep, "t8_" + label);
   }
-  const auto mix = core::mix_training_preprocessor(spec, /*mix_decoder=*/true,
-                                                   /*mix_resize=*/false);
-  add_row("mix", mix, "t8_mix");
 
   const std::string out = table.str();
   std::fputs(out.c_str(), stdout);
-  bench::write_file("table8_mix_decoder.txt", out);
-  bench::write_file("table8_mix_decoder.csv", csv);
+  bench::write_file("table8_mix_decoder.txt" + cli.shard_suffix(), out);
+  bench::write_file("table8_mix_decoder.csv" + cli.shard_suffix(), csv);
   return 0;
 }

@@ -12,7 +12,9 @@
 
 using namespace sysnoise;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli =
+      bench::parse_cli(argc, argv, "table9_learned_decoder");
   bench::banner("Table 9 — learning-based decoder", "Appendix B, Table 9");
 
   const std::string model = "ResNet-S";
@@ -60,7 +62,10 @@ int main() {
   core::TextTable table(headers);
   std::string csv = "train,test,acc\n";
 
-  for (const auto& train_dec : decoders) {
+  if (bench::handle_row_cli(cli, decoders, "table9_learned_decoder.csv"))
+    return 0;
+
+  for (const auto& train_dec : bench::shard_slice(decoders, cli)) {
     std::printf("[table9] training %s with %s decode...\n", model.c_str(),
                 train_dec.c_str());
     std::fflush(stdout);
@@ -93,7 +98,7 @@ int main() {
 
   const std::string out = table.str();
   std::fputs(out.c_str(), stdout);
-  bench::write_file("table9_learned_decoder.txt", out);
-  bench::write_file("table9_learned_decoder.csv", csv);
+  bench::write_file("table9_learned_decoder.txt" + cli.shard_suffix(), out);
+  bench::write_file("table9_learned_decoder.csv" + cli.shard_suffix(), csv);
   return 0;
 }

@@ -1,12 +1,30 @@
-// Shared helpers for the bench binaries: output directory handling and
-// the banner each table prints.
+// Shared helpers for the bench binaries: output directory handling, the
+// banner each table prints, and the plan/shard/merge command line every
+// table and fig bench grows in the plan -> execute -> merge lifecycle:
+//
+//   --emit-plan            write the bench's SweepPlans as JSON and exit
+//   --shard i/N            evaluate only shard i of N (deterministic plan
+//                          partition), writing a partial shard-result file
+//   --merge f1 f2 ...      merge shard-result files from earlier --shard
+//                          runs into the final report (no models needed)
+//
+// Benches whose unit of work is a row/model list rather than a SweepPlan
+// (tables 1, 5-10) use the same flags with row-level semantics: --shard
+// runs every Nth row and suffixes its outputs, --merge concatenates the
+// per-shard CSVs.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/plan.h"
+#include "util/json.h"
 
 namespace sysnoise::bench {
 
@@ -22,6 +40,17 @@ inline void write_file(const std::string& name, const std::string& content) {
   f << content;
 }
 
+inline std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
 inline void banner(const char* experiment, const char* paper_ref) {
   std::printf("==============================================================\n");
   std::printf("SysNoise reproduction — %s\n", experiment);
@@ -33,6 +62,243 @@ inline void banner(const char* experiment, const char* paper_ref) {
 inline bool fast_mode() {
   const char* env = std::getenv("SYSNOISE_FAST");
   return env != nullptr && env[0] == '1';
+}
+
+// SYSNOISE_DISK_STAGE_CACHE=0 opts a bench out of persisting/loading stage
+// products (core/disk_stage_cache.h); default is on.
+inline bool disk_stage_cache_enabled() {
+  const char* env = std::getenv("SYSNOISE_DISK_STAGE_CACHE");
+  return env == nullptr || env[0] != '0';
+}
+
+// ---------------------------------------------------------------------------
+// Shared --shard/--emit-plan/--merge command line
+// ---------------------------------------------------------------------------
+
+struct BenchCli {
+  std::string bench;  // machine name, e.g. "table2_classification"
+  int shard_index = 0;
+  int shard_count = 1;
+  bool emit_plan = false;
+  std::vector<std::string> merge_files;
+
+  bool sharded() const { return shard_count > 1; }
+  bool merging() const { return !merge_files.empty(); }
+  // Suffix row-sharded benches append to their output names.
+  std::string shard_suffix() const {
+    return sharded() ? ".shard_" + std::to_string(shard_index) + "_of_" +
+                           std::to_string(shard_count)
+                     : "";
+  }
+  std::string shard_file() const {
+    return results_dir() + "/" + bench + "_shard_" +
+           std::to_string(shard_index) + "_of_" + std::to_string(shard_count) +
+           ".json";
+  }
+  std::string plan_file() const { return results_dir() + "/" + bench + "_plan.json"; }
+};
+
+[[noreturn]] inline void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--emit-plan] [--shard i/N] [--merge file...]\n",
+               argv0);
+  std::exit(2);
+}
+
+inline BenchCli parse_cli(int argc, char** argv, const char* bench_name) {
+  BenchCli cli;
+  cli.bench = bench_name;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--emit-plan") {
+      cli.emit_plan = true;
+    } else if (arg == "--shard") {
+      if (++i >= argc) usage(argv[0]);
+      int idx = -1, count = 0;
+      if (std::sscanf(argv[i], "%d/%d", &idx, &count) != 2 || count <= 0 ||
+          idx < 0 || idx >= count) {
+        std::fprintf(stderr, "bad --shard \"%s\" (want i/N with 0 <= i < N)\n",
+                     argv[i]);
+        std::exit(2);
+      }
+      cli.shard_index = idx;
+      cli.shard_count = count;
+    } else if (arg == "--merge") {
+      while (i + 1 < argc && argv[i + 1][0] != '-')
+        cli.merge_files.push_back(argv[++i]);
+      if (cli.merge_files.empty()) usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown argument \"%s\"\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (cli.merging() && (cli.sharded() || cli.emit_plan)) {
+    std::fprintf(stderr, "--merge excludes --shard/--emit-plan\n");
+    std::exit(2);
+  }
+  return cli;
+}
+
+// Row-level shard slice for benches whose unit of work is a model/row list.
+template <typename T>
+inline std::vector<T> shard_slice(const std::vector<T>& rows,
+                                  const BenchCli& cli) {
+  if (!cli.sharded()) return rows;
+  std::vector<T> out;
+  for (std::size_t i = static_cast<std::size_t>(cli.shard_index);
+       i < rows.size(); i += static_cast<std::size_t>(cli.shard_count))
+    out.push_back(rows[i]);
+  return out;
+}
+
+// Merge per-shard CSVs (from row-sharded benches) by concatenation,
+// keeping the first file's header only.
+inline std::string merge_csv_files(const std::vector<std::string>& paths) {
+  std::string out;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::string content = read_file(paths[i]);
+    if (i == 0) {
+      out += content;
+    } else {
+      const std::size_t nl = content.find('\n');
+      out += nl == std::string::npos ? content : content.substr(nl + 1);
+    }
+  }
+  return out;
+}
+
+// Handle --merge and --emit-plan for a row-sharded bench (unit of work =
+// one row of the final table; no SweepPlan). --merge concatenates the
+// per-shard CSVs into the final one; --emit-plan writes the row labels as
+// a JSON work list. Returns true when the invocation is complete and the
+// caller should exit.
+inline bool handle_row_cli(const BenchCli& cli,
+                           const std::vector<std::string>& row_labels,
+                           const std::string& csv_name) {
+  if (cli.merging()) {
+    write_file(csv_name, merge_csv_files(cli.merge_files));
+    std::printf("merged %zu shard CSVs into %s/%s\n", cli.merge_files.size(),
+                results_dir().c_str(), csv_name.c_str());
+    return true;
+  }
+  if (cli.emit_plan) {
+    util::Json j = util::Json::object();
+    j.set("bench", cli.bench);
+    j.set("kind", "rows");
+    util::Json rows = util::Json::array();
+    for (const std::string& label : row_labels) rows.push_back(label);
+    j.set("rows", std::move(rows));
+    std::ofstream f(cli.plan_file());
+    f << j.dump(2) << "\n";
+    std::printf("wrote %s (%zu rows)\n", cli.plan_file().c_str(),
+                row_labels.size());
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Shard-result files for plan-level sharded benches (tables 2-4, fig 3)
+// ---------------------------------------------------------------------------
+
+// One executed (plan, partial metrics) pair; a shard file holds one per
+// model the bench covers.
+struct PlanRun {
+  core::SweepPlan plan;
+  core::MetricMap metrics;
+};
+
+inline void write_plan_file(const BenchCli& cli,
+                            const std::vector<core::SweepPlan>& plans) {
+  util::Json j = util::Json::array();
+  for (const core::SweepPlan& plan : plans) j.push_back(plan.to_json());
+  std::ofstream f(cli.plan_file());
+  f << j.dump(2) << "\n";
+  std::printf("wrote %s (%zu plans)\n", cli.plan_file().c_str(), plans.size());
+}
+
+inline void write_shard_file(const BenchCli& cli,
+                             const std::vector<PlanRun>& runs) {
+  util::Json j = util::Json::object();
+  j.set("bench", cli.bench);
+  j.set("shard_index", cli.shard_index);
+  j.set("shard_count", cli.shard_count);
+  util::Json jruns = util::Json::array();
+  for (const PlanRun& run : runs) {
+    util::Json jr = util::Json::object();
+    jr.set("fingerprint", run.plan.fingerprint());
+    jr.set("plan", run.plan.to_json());
+    util::Json jm = util::Json::object();
+    for (const auto& [key, value] : run.metrics) jm.set(key, value);
+    jr.set("metrics", std::move(jm));
+    jruns.push_back(std::move(jr));
+  }
+  j.set("runs", std::move(jruns));
+  std::ofstream f(cli.shard_file());
+  f << j.dump(2) << "\n";
+  std::printf("wrote %s (%zu runs, shard %d/%d)\n", cli.shard_file().c_str(),
+              runs.size(), cli.shard_index, cli.shard_count);
+}
+
+// Read shard files from --shard runs of the same bench and merge them:
+// plans must agree run-for-run (verified by fingerprint), metrics union
+// through ShardExecutor::merge (which verifies completeness). Exits with a
+// diagnostic on any mismatch.
+inline std::vector<PlanRun> merge_shard_files(
+    const BenchCli& cli, const std::vector<std::string>& paths) {
+  struct Partial {
+    core::SweepPlan plan;
+    std::string fingerprint;
+    std::vector<core::MetricMap> parts;
+  };
+  std::vector<Partial> partials;
+  for (const std::string& path : paths) {
+    const util::Json j = util::Json::parse(read_file(path));
+    if (j.at("bench").as_string() != cli.bench) {
+      std::fprintf(stderr, "%s is a %s shard file, not %s\n", path.c_str(),
+                   j.at("bench").as_string().c_str(), cli.bench.c_str());
+      std::exit(2);
+    }
+    const util::Json& jruns = j.at("runs");
+    if (!partials.empty() && partials.size() != jruns.size()) {
+      std::fprintf(stderr, "%s holds %zu runs, earlier shards held %zu\n",
+                   path.c_str(), jruns.size(), partials.size());
+      std::exit(2);
+    }
+    for (std::size_t r = 0; r < jruns.size(); ++r) {
+      const util::Json& jr = jruns.at(r);
+      const std::string fingerprint = jr.at("fingerprint").as_string();
+      if (partials.size() <= r) {
+        Partial p;
+        p.plan = core::SweepPlan::from_json(jr.at("plan"));
+        p.fingerprint = p.plan.fingerprint();
+        if (p.fingerprint != fingerprint) {
+          std::fprintf(stderr, "%s run %zu: fingerprint mismatch after JSON "
+                       "round trip\n", path.c_str(), r);
+          std::exit(2);
+        }
+        partials.push_back(std::move(p));
+      } else if (partials[r].fingerprint != fingerprint) {
+        std::fprintf(stderr, "%s run %zu was planned differently than "
+                     "earlier shards (fingerprint mismatch)\n",
+                     path.c_str(), r);
+        std::exit(2);
+      }
+      core::MetricMap metrics;
+      for (const auto& [key, value] : jr.at("metrics").items())
+        metrics.emplace(key, value.as_number());
+      partials[r].parts.push_back(std::move(metrics));
+    }
+  }
+
+  std::vector<PlanRun> merged;
+  for (Partial& p : partials) {
+    PlanRun run;
+    run.metrics = core::ShardExecutor::merge(p.plan, p.parts);
+    run.plan = std::move(p.plan);
+    merged.push_back(std::move(run));
+  }
+  return merged;
 }
 
 }  // namespace sysnoise::bench

@@ -1,6 +1,7 @@
 #include "core/axis.h"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 namespace sysnoise::core {
@@ -22,12 +23,21 @@ void AxisRegistry::add(NoiseAxis axis) {
     throw std::invalid_argument("AxisRegistry::add: duplicate axis " + axis.name);
   if (axis.step_label.empty()) axis.step_label = axis.name;
   if (axis.key.empty()) axis.key = axis.name;
+  if (find_by_key(axis.key) != nullptr)
+    throw std::invalid_argument("AxisRegistry::add: duplicate axis key " +
+                                axis.key);
   axes_.push_back(std::move(axis));
 }
 
 const NoiseAxis* AxisRegistry::find(const std::string& name) const {
   for (const NoiseAxis& a : axes_)
     if (a.name == name) return &a;
+  return nullptr;
+}
+
+const NoiseAxis* AxisRegistry::find_by_key(const std::string& key) const {
+  for (const NoiseAxis& a : axes_)
+    if (a.key == key) return &a;
   return nullptr;
 }
 
@@ -80,6 +90,32 @@ std::vector<NoiseAxis> builtin_axes() {
     a.stage = "Pre-processing";
     a.tasks_label = "Cls/Det/Seg";
     a.effect_level = "Very High";
+    axes.push_back(std::move(a));
+  }
+  {
+    NoiseAxis a;
+    a.name = "Crop";
+    a.key = "crop";
+    const auto fractions = crop_noise_options();
+    for (auto f : fractions) {
+      std::ostringstream label;
+      label << "center-" << f;
+      a.option_labels.push_back(label.str());
+    }
+    a.apply = [fractions](SysNoiseConfig& cfg, int i) {
+      cfg.crop_fraction = fractions[static_cast<std::size_t>(i)];
+    };
+    // Crop-geometry mismatch is a classification-pipeline phenomenon (the
+    // torchvision resize-then-center-crop convention); detection and
+    // segmentation pipelines resize to the full input and would shift the
+    // image against its ground-truth geometry.
+    a.applies = [](const TaskTraits& t) {
+      return t.kind == TaskKind::kClassification;
+    };
+    a.stage = "Pre-processing";
+    a.tasks_label = "Cls";
+    a.input_dependent = true;
+    a.effect_level = "Middle";
     axes.push_back(std::move(a));
   }
   {
@@ -193,12 +229,18 @@ SysNoiseConfig combined_config(bool has_maxpool, bool with_upsample,
                                bool with_postproc) {
   // Legacy-faithful: each flag gates its axis independently (the traits
   // form would also enable Upsample whenever Post-proc applies), over the
-  // built-in axes only.
+  // built-in axes only. The old runner was detection-flavored, so kind-
+  // gated axes outside the three flags (e.g. the classification-only Crop)
+  // follow detection applicability.
   SysNoiseConfig cfg = SysNoiseConfig::training_default();
+  const TaskTraits legacy{TaskKind::kDetection, has_maxpool};
   for (const NoiseAxis& axis : builtin_axes()) {
     if ((axis.name == "Ceil Mode" && !has_maxpool) ||
         (axis.name == "Upsample" && !with_upsample) ||
         (axis.name == "Post-proc" && !with_postproc))
+      continue;
+    if (axis.name != "Upsample" && axis.name != "Post-proc" &&
+        !axis.applies_to(legacy))
       continue;
     axis.apply(cfg, axis.combined_option);
   }

@@ -60,7 +60,11 @@ class AxisRegistry {
 
   void add(NoiseAxis axis);
   const std::vector<NoiseAxis>& axes() const { return axes_; }
+  // Lookup by display name (table header, e.g. "Color Mode").
   const NoiseAxis* find(const std::string& name) const;
+  // Lookup by machine key (e.g. "color") — what CSV columns and serialized
+  // SweepPlans reference axes by.
+  const NoiseAxis* find_by_key(const std::string& key) const;
   std::vector<const NoiseAxis*> applicable(const TaskTraits& traits) const;
 
  private:

@@ -1,0 +1,104 @@
+#include "core/disk_stage_cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/json.h"
+
+namespace sysnoise::core {
+
+namespace {
+
+// Bump when the entry layout (or anything the encoded payloads depend on)
+// changes incompatibly.
+constexpr const char* kFormatTag = "SYSNOISE-STAGE-v1";
+
+std::string read_line(std::istream& in) {
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+}  // namespace
+
+std::string DiskStageCache::default_dir() {
+  if (const char* env = std::getenv("SYSNOISE_STAGE_CACHE_DIR")) return env;
+  if (const char* env = std::getenv("SYSNOISE_CACHE_DIR"))
+    return std::string(env) + "/stages";
+  return "/tmp/sysnoise_model_cache/stages";
+}
+
+DiskStageCache::DiskStageCache(std::string dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string DiskStageCache::entry_path(const std::string& scope,
+                                       const std::string& key) const {
+  return dir_ + "/" + util::fnv1a64_hex(scope) + "_" + util::fnv1a64_hex(key) +
+         ".stage";
+}
+
+bool DiskStageCache::load(const std::string& scope, const std::string& key,
+                          std::string* bytes) {
+  std::ifstream f(entry_path(scope, key), std::ios::binary);
+  bool ok = false;
+  if (f) {
+    // Header: format tag, scope, key (newline-terminated), then the raw
+    // payload until EOF. Scope/key are verified so an FNV collision (or a
+    // stale incompatible entry) reads as a miss, never as wrong data.
+    if (read_line(f) == kFormatTag && read_line(f) == scope &&
+        read_line(f) == key) {
+      std::ostringstream payload;
+      payload << f.rdbuf();
+      *bytes = payload.str();
+      ok = true;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ok ? ++hits_ : ++misses_;
+  return ok;
+}
+
+void DiskStageCache::store(const std::string& scope, const std::string& key,
+                           const std::string& bytes) {
+  const std::string path = entry_path(scope, key);
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << std::hash<std::thread::id>{}(
+      std::this_thread::get_id());
+  const std::string tmp = tmp_name.str();
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    f << kFormatTag << "\n" << scope << "\n" << key << "\n";
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!f) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;  // disk full / unwritable: persisting is best-effort
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stores_;
+}
+
+std::size_t DiskStageCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t DiskStageCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t DiskStageCache::stores() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stores_;
+}
+
+}  // namespace sysnoise::core

@@ -1,0 +1,56 @@
+// Disk-backed stage-product store: persists encoded stage products (the
+// pre-processed input batches of the staged evaluation split) under
+// $SYSNOISE_STAGE_CACHE_DIR so they survive the process. Separate bench
+// binaries — and separate shards of one sharded sweep — stop re-decoding
+// JPEG work for preprocess keys any earlier run has already materialized.
+//
+// Entries are keyed by (scope, stage key): the scope names what the key is
+// relative to (dataset + pipeline-spec identity for pre-processing
+// products, task identity for forward products) since preprocess_key alone
+// is deliberately dataset-agnostic. Files are content-addressed by FNV-1a
+// of scope and key, store both verbatim for collision rejection, and are
+// written via a temp-file rename so concurrent writers never expose a
+// half-written entry.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace sysnoise::core {
+
+class DiskStageCache {
+ public:
+  // Default directory: $SYSNOISE_STAGE_CACHE_DIR, else
+  // $SYSNOISE_CACHE_DIR/stages, else /tmp/sysnoise_model_cache/stages.
+  static std::string default_dir();
+
+  explicit DiskStageCache(std::string dir = default_dir());
+
+  const std::string& dir() const { return dir_; }
+
+  // Load the encoded product for (scope, key) into *bytes. Returns false on
+  // a missing entry, a hash collision (stored scope/key differ), or a
+  // format/version mismatch.
+  bool load(const std::string& scope, const std::string& key,
+            std::string* bytes);
+  // Persist an encoded product. Thread- and process-safe: the entry is
+  // written to a unique temp file and atomically renamed into place.
+  void store(const std::string& scope, const std::string& key,
+             const std::string& bytes);
+
+  std::size_t hits() const;    // successful load()s
+  std::size_t misses() const;  // load()s that found nothing usable
+  std::size_t stores() const;
+
+ private:
+  std::string entry_path(const std::string& scope, const std::string& key) const;
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t stores_ = 0;
+};
+
+}  // namespace sysnoise::core

@@ -1,0 +1,175 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/disk_stage_cache.h"
+#include "core/sweep_detail.h"
+
+namespace sysnoise::core {
+
+namespace {
+
+std::vector<double> monolithic_eval(
+    const EvalTask& task, const std::vector<const PlannedConfig*>& pending,
+    const SweepOptions& opts) {
+  std::vector<double> values(pending.size(), 0.0);
+  detail::parallel_for_n(opts.threads, pending.size(), [&](std::size_t i) {
+    values[i] = task.evaluate(pending[i]->cfg);
+  });
+  return values;
+}
+
+// One forward pass shared by every config with the same forward key; the
+// group members differ only in post-processing knobs.
+struct ForwardGroup {
+  std::string pre_key;
+  std::string fwd_key;
+  std::vector<std::size_t> members;  // indices into the pending list
+};
+
+// Stage keys come from the plan when present (a deserialized plan carries
+// them); otherwise they are recomputed from the task.
+std::string pre_key_of(const StagedEvalTask& task, const PlannedConfig& p) {
+  return p.preprocess_key.empty() ? task.preprocess_key(p.cfg)
+                                  : p.preprocess_key;
+}
+
+std::string fwd_key_of(const StagedEvalTask& task, const PlannedConfig& p) {
+  return p.forward_key.empty() ? task.forward_key(p.cfg) : p.forward_key;
+}
+
+std::vector<double> staged_eval(const StagedEvalTask& task,
+                                const std::vector<const PlannedConfig*>& pending,
+                                const SweepOptions& opts, StageStats* stats,
+                                DiskStageCache* disk) {
+  // Plan: group by forward key, keeping groups with a common preprocess key
+  // adjacent so their stage-1 product stays hot.
+  std::vector<ForwardGroup> groups;
+  std::map<std::string, std::size_t> group_of;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const std::string fwd_key = fwd_key_of(task, *pending[i]);
+    const auto it = group_of.find(fwd_key);
+    if (it == group_of.end()) {
+      group_of.emplace(fwd_key, groups.size());
+      groups.push_back({pre_key_of(task, *pending[i]), fwd_key, {i}});
+    } else {
+      groups[it->second].members.push_back(i);
+    }
+  }
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const ForwardGroup& a, const ForwardGroup& b) {
+                     return a.pre_key < b.pre_key;
+                   });
+
+  StageCache pre_cache;
+  std::atomic<std::size_t> disk_hits{0}, computed{0}, persisted{0};
+  std::vector<double> values(pending.size(), 0.0);
+  detail::parallel_for_n(opts.threads, groups.size(), [&](std::size_t g) {
+    const ForwardGroup& group = groups[g];
+    const SysNoiseConfig& lead_cfg = pending[group.members.front()]->cfg;
+    const StageProduct pre = pre_cache.get_or_compute(group.pre_key, [&] {
+      if (disk != nullptr) {
+        std::string bytes;
+        if (disk->load(task.preprocess_scope(), group.pre_key, &bytes)) {
+          if (StageProduct p = task.decode_preprocess(bytes)) {
+            disk_hits.fetch_add(1);
+            return p;
+          }
+        }
+      }
+      computed.fetch_add(1);
+      StageProduct p = task.run_preprocess(lead_cfg);
+      if (disk != nullptr) {
+        std::string bytes;
+        if (task.encode_preprocess(p, &bytes)) {
+          disk->store(task.preprocess_scope(), group.pre_key, bytes);
+          persisted.fetch_add(1);
+        }
+      }
+      return p;
+    });
+    const StageProduct fwd = task.run_forward(lead_cfg, pre);
+    for (const std::size_t i : group.members)
+      values[i] = task.run_postprocess(pending[i]->cfg, fwd);
+  });
+
+  if (stats != nullptr) {
+    StageStats s;
+    // Per planned evaluation: the first arrival at a stage key is the miss
+    // that materializes it; every other member reuses the product.
+    s.preprocess_misses = pre_cache.misses();
+    s.preprocess_hits = pending.size() - pre_cache.misses();
+    s.forward_misses = groups.size();
+    s.forward_hits = pending.size() - groups.size();
+    s.evaluations = pending.size();
+    s.preprocess_disk_hits = disk_hits.load();
+    s.preprocess_computed = computed.load();
+    s.preprocess_persisted = persisted.load();
+    *stats += s;
+  }
+  return values;
+}
+
+}  // namespace
+
+MetricMap ThreadPoolExecutor::execute(const EvalTask& task,
+                                      const SweepPlan& plan,
+                                      const SweepOptions& opts) const {
+  return detail::evaluate_plan(
+      plan, opts, [&](const std::vector<const PlannedConfig*>& pending) {
+        return monolithic_eval(task, pending, opts);
+      });
+}
+
+MetricMap StagedExecutor::execute(const EvalTask& task, const SweepPlan& plan,
+                                  const SweepOptions& opts) const {
+  const auto* staged = dynamic_cast<const StagedEvalTask*>(&task);
+  if (staged == nullptr) {
+    // Not a staged task: the monolithic chain is the only evaluation there
+    // is, so fall back rather than fail.
+    return ThreadPoolExecutor().execute(task, plan, opts);
+  }
+  return detail::evaluate_plan(
+      plan, opts, [&](const std::vector<const PlannedConfig*>& pending) {
+        return staged_eval(*staged, pending, opts, stats_, disk_);
+      });
+}
+
+ShardExecutor::ShardExecutor(const Executor& inner, int shard_index,
+                             int shard_count)
+    : inner_(inner), shard_index_(shard_index), shard_count_(shard_count) {
+  if (shard_count <= 0 || shard_index < 0 || shard_index >= shard_count)
+    throw std::invalid_argument("ShardExecutor: bad shard " +
+                                std::to_string(shard_index) + "/" +
+                                std::to_string(shard_count));
+}
+
+MetricMap ShardExecutor::execute(const EvalTask& task, const SweepPlan& plan,
+                                 const SweepOptions& opts) const {
+  return inner_.execute(
+      task, plan.slice(plan.shard_indices(shard_index_, shard_count_)), opts);
+}
+
+MetricMap ShardExecutor::merge(const SweepPlan& plan,
+                               const std::vector<MetricMap>& parts) {
+  MetricMap merged;
+  for (const MetricMap& part : parts)
+    for (const auto& [key, value] : part) {
+      const auto [it, inserted] = merged.emplace(key, value);
+      if (!inserted && it->second != value)
+        throw std::invalid_argument(
+            "ShardExecutor::merge: shards disagree on \"" + key + "\"");
+    }
+  for (const PlannedConfig& p : plan.configs)
+    if (merged.find(p.metric_key) == merged.end())
+      throw std::out_of_range(
+          "ShardExecutor::merge: no shard covered planned config \"" +
+          p.metric_key + "\"");
+  return merged;
+}
+
+}  // namespace sysnoise::core

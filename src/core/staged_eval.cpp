@@ -1,10 +1,10 @@
 #include "core/staged_eval.h"
 
-#include <algorithm>
 #include <sstream>
 #include <utility>
 
-#include "core/sweep_detail.h"
+#include "core/executor.h"
+#include "core/plan.h"
 
 namespace sysnoise::core {
 
@@ -66,104 +66,28 @@ StageStats& StageStats::operator+=(const StageStats& o) {
   forward_hits += o.forward_hits;
   forward_misses += o.forward_misses;
   evaluations += o.evaluations;
+  preprocess_disk_hits += o.preprocess_disk_hits;
+  preprocess_computed += o.preprocess_computed;
+  preprocess_persisted += o.preprocess_persisted;
   return *this;
 }
 
-namespace {
-
-using detail::Request;
-
-// One forward pass shared by every config with the same forward key; the
-// group members differ only in post-processing knobs.
-struct ForwardGroup {
-  std::string pre_key;
-  std::string fwd_key;
-  std::vector<std::size_t> members;  // indices into the pending list
-};
-
-// Staged evaluator: group the pending configs by (preprocess, forward)
-// keys, then evaluate forward groups concurrently. Each group computes its
-// pre-processed batches through a compute-once StageCache (shared across
-// groups with equal preprocess keys), runs one forward pass, and
-// post-processes every member from those outputs.
-std::map<std::string, double> staged_evaluate_all(
-    const StagedEvalTask& task, const std::vector<Request>& requests,
-    const SweepOptions& opts, StageStats* stats) {
-  return detail::evaluate_requests(
-      requests, opts, [&](const std::vector<const Request*>& pending) {
-        // Plan: group by forward key, keeping groups with a common
-        // preprocess key adjacent so their stage-1 product stays hot.
-        std::vector<ForwardGroup> groups;
-        std::map<std::string, std::size_t> group_of;
-        for (std::size_t i = 0; i < pending.size(); ++i) {
-          const std::string fwd_key = task.forward_key(pending[i]->cfg);
-          const auto it = group_of.find(fwd_key);
-          if (it == group_of.end()) {
-            group_of.emplace(fwd_key, groups.size());
-            groups.push_back({task.preprocess_key(pending[i]->cfg), fwd_key,
-                              {i}});
-          } else {
-            groups[it->second].members.push_back(i);
-          }
-        }
-        std::stable_sort(groups.begin(), groups.end(),
-                         [](const ForwardGroup& a, const ForwardGroup& b) {
-                           return a.pre_key < b.pre_key;
-                         });
-
-        StageCache pre_cache;
-        std::vector<double> values(pending.size(), 0.0);
-        detail::parallel_for_n(
-            opts.threads, groups.size(), [&](std::size_t g) {
-              const ForwardGroup& group = groups[g];
-              const SysNoiseConfig& lead_cfg =
-                  pending[group.members.front()]->cfg;
-              const StageProduct pre = pre_cache.get_or_compute(
-                  group.pre_key,
-                  [&] { return task.run_preprocess(lead_cfg); });
-              const StageProduct fwd = task.run_forward(lead_cfg, pre);
-              for (const std::size_t i : group.members)
-                values[i] = task.run_postprocess(pending[i]->cfg, fwd);
-            });
-
-        if (stats != nullptr) {
-          StageStats s;
-          // Per planned evaluation: the first arrival at a stage key is the
-          // miss that computes it; every other member reuses the product.
-          s.preprocess_misses = pre_cache.misses();
-          s.preprocess_hits = pending.size() - pre_cache.misses();
-          s.forward_misses = groups.size();
-          s.forward_hits = pending.size() - groups.size();
-          s.evaluations = pending.size();
-          *stats += s;
-        }
-        return values;
-      });
-}
-
-}  // namespace
+// Thin compositions of the explicit lifecycle, staged flavor: plan ->
+// StagedExecutor -> assemble. The stage-sharing machinery itself lives in
+// core/executor.cpp.
 
 AxisReport staged_sweep(const StagedEvalTask& task, const SweepOptions& opts,
                         StageStats* stats) {
-  const AxisRegistry& registry = detail::registry_of(opts);
-  const auto requests = detail::plan_sweep_requests(task, registry);
-  const auto results = staged_evaluate_all(task, requests, opts, stats);
-  return detail::assemble_axis_report(task, registry, results);
+  const SweepPlan plan = plan_sweep(task, registry_or_global(opts));
+  return assemble_report(plan,
+                         StagedExecutor(stats).execute(task, plan, opts));
 }
 
 std::vector<StepPoint> staged_stepwise(const StagedEvalTask& task,
                                        const SweepOptions& opts,
                                        StageStats* stats) {
-  const AxisRegistry& registry = detail::registry_of(opts);
-  std::vector<std::string> labels;
-  const auto requests = detail::plan_stepwise_requests(task, registry, &labels);
-  const auto results = staged_evaluate_all(task, requests, opts, stats);
-
-  const double trained = results.at(requests.front().key);
-  std::vector<StepPoint> points;
-  for (std::size_t i = 0; i < labels.size(); ++i)
-    points.push_back({labels[i], trained - results.at(requests[i + 1].key)});
-  return points;
+  const SweepPlan plan = plan_stepwise(task, registry_or_global(opts));
+  return assemble_steps(plan, StagedExecutor(stats).execute(task, plan, opts));
 }
 
 }  // namespace sysnoise::core

@@ -60,6 +60,26 @@ class StagedEvalTask : public EvalTask {
   virtual double run_postprocess(const SysNoiseConfig& cfg,
                                  const StageProduct& fwd) const = 0;
 
+  // --- optional disk persistence (core/disk_stage_cache.h) ---------------
+  // Scope the pre-processing products are keyed under. preprocess_key is
+  // deliberately dataset-agnostic (it encodes knobs + output geometry), so
+  // the scope must name the dataset/pipeline identity — tasks over the same
+  // samples and spec share products across processes AND across models.
+  virtual std::string preprocess_scope() const { return cache_identity(); }
+  // Encode/decode a stage-1 product for the disk cache. The default "not
+  // serializable" pair opts a task out; stage products then only ever live
+  // in process memory.
+  virtual bool encode_preprocess(const StageProduct& product,
+                                 std::string* bytes) const {
+    (void)product;
+    (void)bytes;
+    return false;
+  }
+  virtual StageProduct decode_preprocess(const std::string& bytes) const {
+    (void)bytes;
+    return nullptr;
+  }
+
   double evaluate(const SysNoiseConfig& cfg) const override {
     return run_postprocess(cfg, run_forward(cfg, run_preprocess(cfg)));
   }
@@ -89,10 +109,17 @@ class StageCache {
 // is a planned evaluation that reused another evaluation's stage product.
 struct StageStats {
   std::size_t preprocess_hits = 0;
-  std::size_t preprocess_misses = 0;  // distinct preprocess keys computed
+  std::size_t preprocess_misses = 0;  // distinct preprocess keys materialized
   std::size_t forward_hits = 0;
   std::size_t forward_misses = 0;  // distinct forward passes run
   std::size_t evaluations = 0;     // configs evaluated after metric memo
+  // Disk-backed StageCache accounting: of the preprocess_misses, how many
+  // products were loaded from disk vs computed (and how many fresh
+  // computations were persisted). A warm disk cache shows computed == 0 —
+  // i.e. zero JPEG decodes in the whole run.
+  std::size_t preprocess_disk_hits = 0;
+  std::size_t preprocess_computed = 0;
+  std::size_t preprocess_persisted = 0;
 
   StageStats& operator+=(const StageStats& o);
 };

@@ -2,7 +2,8 @@
 
 #include <utility>
 
-#include "core/sweep_detail.h"
+#include "core/executor.h"
+#include "core/plan.h"
 
 namespace sysnoise::core {
 
@@ -59,45 +60,17 @@ const AxisResult* AxisReport::find(const std::string& axis) const {
   return nullptr;
 }
 
-namespace {
-
-using detail::Request;
-
-// Monolithic evaluator: fan the pending requests out over a thread pool,
-// each one running the task's full evaluate() chain.
-std::map<std::string, double> evaluate_all(const EvalTask& task,
-                                           const std::vector<Request>& requests,
-                                           const SweepOptions& opts) {
-  return detail::evaluate_requests(
-      requests, opts, [&](const std::vector<const Request*>& pending) {
-        std::vector<double> values(pending.size(), 0.0);
-        detail::parallel_for_n(opts.threads, pending.size(), [&](std::size_t i) {
-          values[i] = task.evaluate(pending[i]->cfg);
-        });
-        return values;
-      });
-}
-
-}  // namespace
+// sweep()/stepwise() are now thin compositions of the explicit lifecycle:
+// plan (core/plan.h) -> execute (core/executor.h) -> assemble.
 
 AxisReport sweep(const EvalTask& task, const SweepOptions& opts) {
-  const AxisRegistry& registry = detail::registry_of(opts);
-  const auto requests = detail::plan_sweep_requests(task, registry);
-  const auto results = evaluate_all(task, requests, opts);
-  return detail::assemble_axis_report(task, registry, results);
+  const SweepPlan plan = plan_sweep(task, registry_or_global(opts));
+  return assemble_report(plan, ThreadPoolExecutor().execute(task, plan, opts));
 }
 
 std::vector<StepPoint> stepwise(const EvalTask& task, const SweepOptions& opts) {
-  const AxisRegistry& registry = detail::registry_of(opts);
-  std::vector<std::string> labels;
-  const auto requests = detail::plan_stepwise_requests(task, registry, &labels);
-  const auto results = evaluate_all(task, requests, opts);
-
-  const double trained = results.at(requests.front().key);
-  std::vector<StepPoint> points;
-  for (std::size_t i = 0; i < labels.size(); ++i)
-    points.push_back({labels[i], trained - results.at(requests[i + 1].key)});
-  return points;
+  const SweepPlan plan = plan_stepwise(task, registry_or_global(opts));
+  return assemble_steps(plan, ThreadPoolExecutor().execute(task, plan, opts));
 }
 
 }  // namespace sysnoise::core

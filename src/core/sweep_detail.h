@@ -1,7 +1,7 @@
-// Internal helpers shared by the monolithic sweep engine (core/sweep.cpp)
-// and the staged engine (core/staged_eval.cpp): request planning, the
-// memoization front-end, report assembly, and a small parallel-for. Not
-// part of the public API — include only from core/*.cpp and tests.
+// Internal helpers shared by the executors (core/executor.cpp) and the
+// sweep()/staged_sweep() wrappers: the metric-memoization front-end over a
+// SweepPlan and a small parallel-for. Not part of the public API — include
+// only from core/*.cpp and tests.
 #pragma once
 
 #include <atomic>
@@ -13,97 +13,9 @@
 #include <thread>
 #include <vector>
 
-#include "core/sweep.h"
+#include "core/plan.h"
 
 namespace sysnoise::core::detail {
-
-struct Request {
-  std::string key;  // SweepCache metric key (task identity + cfg.describe())
-  SysNoiseConfig cfg;
-};
-
-inline Request make_request(const EvalTask& task, SysNoiseConfig cfg) {
-  Request r;
-  r.key = SweepCache::key_for(task, cfg);
-  r.cfg = std::move(cfg);
-  return r;
-}
-
-inline const AxisRegistry& registry_of(const SweepOptions& opts) {
-  return opts.registry != nullptr ? *opts.registry : AxisRegistry::global();
-}
-
-// The full-table plan: training baseline, every applicable axis option, and
-// the all-noises Combined config (in that order).
-inline std::vector<Request> plan_sweep_requests(const EvalTask& task,
-                                                const AxisRegistry& registry) {
-  const TaskTraits traits = task.traits();
-  const SysNoiseConfig base = SysNoiseConfig::training_default();
-  std::vector<Request> requests;
-  requests.push_back(make_request(task, base));
-  for (const NoiseAxis* axis : registry.applicable(traits)) {
-    for (int i = 0; i < axis->num_options(); ++i) {
-      SysNoiseConfig cfg = base;
-      axis->apply(cfg, i);
-      requests.push_back(make_request(task, cfg));
-    }
-  }
-  requests.push_back(make_request(task, combined_config(traits, registry)));
-  return requests;
-}
-
-// The Fig. 3 plan: baseline plus one request per cumulative step. Fills
-// `labels` with the step labels in order.
-inline std::vector<Request> plan_stepwise_requests(
-    const EvalTask& task, const AxisRegistry& registry,
-    std::vector<std::string>* labels) {
-  const auto axes = registry.applicable(task.traits());
-  const SysNoiseConfig base = SysNoiseConfig::training_default();
-  std::vector<Request> requests;
-  requests.push_back(make_request(task, base));
-  SysNoiseConfig cfg = base;
-  for (const NoiseAxis* axis : axes) {
-    axis->apply(cfg, axis->combined_option);
-    labels->push_back(labels->empty() ? axis->step_label
-                                      : "+" + axis->step_label);
-    requests.push_back(make_request(task, cfg));
-  }
-  return requests;
-}
-
-// Build the AxisReport from the evaluated metric map (keyed like Requests).
-inline AxisReport assemble_axis_report(const EvalTask& task,
-                                       const AxisRegistry& registry,
-                                       const std::map<std::string, double>& results) {
-  const TaskTraits traits = task.traits();
-  const SysNoiseConfig base = SysNoiseConfig::training_default();
-  AxisReport report;
-  report.model = task.name();
-  report.trained = results.at(SweepCache::key_for(task, base));
-  for (const NoiseAxis* axis : registry.applicable(traits)) {
-    AxisResult res;
-    res.axis = axis->name;
-    res.key = axis->key;
-    res.per_option = axis->per_option;
-    double sum = 0.0, worst = -1e300;
-    for (int i = 0; i < axis->num_options(); ++i) {
-      SysNoiseConfig cfg = base;
-      axis->apply(cfg, i);
-      const double d =
-          report.trained - results.at(SweepCache::key_for(task, cfg));
-      res.options.push_back({axis->option_labels[static_cast<std::size_t>(i)], d});
-      sum += d;
-      worst = std::max(worst, d);
-    }
-    res.mean = sum / static_cast<double>(axis->num_options());
-    res.max = worst;
-    report.axes.push_back(std::move(res));
-  }
-  report.combined = report.trained -
-                    results.at(SweepCache::key_for(
-                        task, combined_config(traits, registry)));
-  return report;
-}
 
 // Run fn(0..count-1) on up to `threads` workers; rethrows the first worker
 // exception. Deterministic for independent iterations.
@@ -136,34 +48,35 @@ inline void parallel_for_n(int threads, std::size_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
-// Memoization front-end shared by both engines: dedup identical configs,
-// consult the cross-call cache, hand the still-pending requests to
-// `eval_pending` (which returns one metric per pending request, in order),
-// and write fresh results back through the cache.
-inline std::map<std::string, double> evaluate_requests(
-    const std::vector<Request>& requests, const SweepOptions& opts,
-    const std::function<std::vector<double>(const std::vector<const Request*>&)>&
+// Memoization front-end shared by every executor: dedup identical configs
+// within the plan, consult the cross-call cache, hand the still-pending
+// configs to `eval_pending` (which returns one metric per pending config,
+// in order), and write fresh results back through the cache.
+inline MetricMap evaluate_plan(
+    const SweepPlan& plan, const SweepOptions& opts,
+    const std::function<
+        std::vector<double>(const std::vector<const PlannedConfig*>&)>&
         eval_pending) {
-  std::map<std::string, double> results;
-  std::vector<const Request*> pending;
-  for (const Request& r : requests) {
+  MetricMap results;
+  std::vector<const PlannedConfig*> pending;
+  for (const PlannedConfig& p : plan.configs) {
     if (opts.memoize) {
-      if (results.count(r.key) != 0) continue;
+      if (results.count(p.metric_key) != 0) continue;
       double cached = 0.0;
-      if (opts.cache != nullptr && opts.cache->lookup(r.key, &cached)) {
-        results.emplace(r.key, cached);
+      if (opts.cache != nullptr && opts.cache->lookup(p.metric_key, &cached)) {
+        results.emplace(p.metric_key, cached);
         continue;
       }
-      results.emplace(r.key, 0.0);  // reserve so duplicates dedup
+      results.emplace(p.metric_key, 0.0);  // reserve so duplicates dedup
     }
-    pending.push_back(&r);
+    pending.push_back(&p);
   }
 
   const std::vector<double> values = eval_pending(pending);
   for (std::size_t i = 0; i < pending.size(); ++i) {
-    results[pending[i]->key] = values[i];
+    results[pending[i]->metric_key] = values[i];
     if (opts.memoize && opts.cache != nullptr)
-      opts.cache->store(pending[i]->key, values[i]);
+      opts.cache->store(pending[i]->metric_key, values[i]);
   }
   return results;
 }

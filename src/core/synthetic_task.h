@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -91,6 +92,24 @@ class SyntheticStagedTask : public StagedEvalTask {
     pre_runs_.fetch_add(1);
     return std::make_shared<const std::uint64_t>(
         work(0xcbf29ce484222325ull, preprocess_key(cfg), pre_rounds_));
+  }
+
+  // Disk round trip for the synthetic stage-1 product (the hash, printed),
+  // so the disk StageCache path is testable without training a zoo. The
+  // product depends on pre_rounds_, so the scope keeps tasks with different
+  // costs apart — exactly like cache_identity does for metrics.
+  std::string preprocess_scope() const override {
+    return name() + "-pre#" + std::to_string(pre_rounds_);
+  }
+  bool encode_preprocess(const StageProduct& product,
+                         std::string* bytes) const override {
+    *bytes = std::to_string(*static_cast<const std::uint64_t*>(product.get()));
+    return true;
+  }
+  StageProduct decode_preprocess(const std::string& bytes) const override {
+    if (bytes.empty()) return nullptr;
+    return std::make_shared<const std::uint64_t>(
+        std::strtoull(bytes.c_str(), nullptr, 10));
   }
   StageProduct run_forward(const SysNoiseConfig& cfg,
                            const StageProduct& pre) const override {

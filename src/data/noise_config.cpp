@@ -1,6 +1,8 @@
 #include "data/noise_config.h"
 
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 
 namespace sysnoise {
 
@@ -15,8 +17,10 @@ const char* norm_stats_name(NormStats s) {
 
 std::string SysNoiseConfig::describe() const {
   std::ostringstream os;
+  os.precision(std::numeric_limits<float>::max_digits10);
   os << "decoder=" << jpeg::vendor_name(decoder)
      << " resize=" << resize_method_name(resize)
+     << " crop=" << crop_fraction
      << " color=" << color_mode_name(color)
      << " norm=" << norm_stats_name(norm)
      << " prec=" << nn::precision_name(precision)
@@ -24,6 +28,89 @@ std::string SysNoiseConfig::describe() const {
      << " upsample=" << nn::upsample_mode_name(upsample)
      << " offset=" << proposal_offset;
   return os.str();
+}
+
+util::Json SysNoiseConfig::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("decoder", jpeg::vendor_name(decoder));
+  j.set("resize", resize_method_name(resize));
+  j.set("crop_fraction", static_cast<double>(crop_fraction));
+  j.set("color", color_mode_name(color));
+  j.set("norm", norm_stats_name(norm));
+  j.set("precision", nn::precision_name(precision));
+  j.set("ceil_mode", ceil_mode);
+  j.set("upsample", nn::upsample_mode_name(upsample));
+  j.set("proposal_offset", static_cast<double>(proposal_offset));
+  return j;
+}
+
+SysNoiseConfig SysNoiseConfig::from_json(const util::Json& j) {
+  SysNoiseConfig cfg;
+  cfg.decoder = decoder_vendor_from_name(j.at("decoder").as_string());
+  cfg.resize = resize_method_from_name(j.at("resize").as_string());
+  cfg.crop_fraction = static_cast<float>(j.at("crop_fraction").as_number());
+  cfg.color = color_mode_from_name(j.at("color").as_string());
+  cfg.norm = norm_stats_from_name(j.at("norm").as_string());
+  cfg.precision = precision_from_name(j.at("precision").as_string());
+  cfg.ceil_mode = j.at("ceil_mode").as_bool();
+  cfg.upsample = upsample_mode_from_name(j.at("upsample").as_string());
+  cfg.proposal_offset = static_cast<float>(j.at("proposal_offset").as_number());
+  return cfg;
+}
+
+namespace {
+
+[[noreturn]] void unknown_name(const char* what, const std::string& name) {
+  throw std::invalid_argument(std::string("unknown ") + what + " name \"" +
+                              name + "\"");
+}
+
+}  // namespace
+
+jpeg::DecoderVendor decoder_vendor_from_name(const std::string& name) {
+  for (int i = 0; i < jpeg::kNumDecoderVendors; ++i) {
+    const auto v = static_cast<jpeg::DecoderVendor>(i);
+    if (name == jpeg::vendor_name(v)) return v;
+  }
+  unknown_name("decoder vendor", name);
+}
+
+ResizeMethod resize_method_from_name(const std::string& name) {
+  for (int i = 0; i < kNumResizeMethods; ++i) {
+    const auto m = static_cast<ResizeMethod>(i);
+    if (name == resize_method_name(m)) return m;
+  }
+  unknown_name("resize method", name);
+}
+
+ColorMode color_mode_from_name(const std::string& name) {
+  for (int i = 0; i < kNumColorModes; ++i) {
+    const auto m = static_cast<ColorMode>(i);
+    if (name == color_mode_name(m)) return m;
+  }
+  unknown_name("color mode", name);
+}
+
+NormStats norm_stats_from_name(const std::string& name) {
+  for (int i = 0; i < kNumNormStats; ++i) {
+    const auto s = static_cast<NormStats>(i);
+    if (name == norm_stats_name(s)) return s;
+  }
+  unknown_name("normalization stats", name);
+}
+
+nn::Precision precision_from_name(const std::string& name) {
+  for (int i = 0; i < nn::kNumPrecisions; ++i) {
+    const auto p = static_cast<nn::Precision>(i);
+    if (name == nn::precision_name(p)) return p;
+  }
+  unknown_name("precision", name);
+}
+
+nn::UpsampleMode upsample_mode_from_name(const std::string& name) {
+  for (const auto m : {nn::UpsampleMode::kNearest, nn::UpsampleMode::kBilinear})
+    if (name == nn::upsample_mode_name(m)) return m;
+  unknown_name("upsample mode", name);
 }
 
 std::vector<jpeg::DecoderVendor> decoder_noise_options() {
@@ -37,6 +124,8 @@ std::vector<ResizeMethod> resize_noise_options() {
     if (m != SysNoiseConfig{}.resize) out.push_back(m);
   return out;
 }
+
+std::vector<float> crop_noise_options() { return {0.875f}; }
 
 std::vector<ColorMode> color_noise_options() {
   return {ColorMode::kNv12RoundTrip};

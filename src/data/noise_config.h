@@ -12,6 +12,7 @@
 #include "jpeg/codec.h"
 #include "nn/tape.h"
 #include "resize/resize.h"
+#include "util/json.h"
 
 namespace sysnoise {
 
@@ -32,6 +33,11 @@ struct SysNoiseConfig {
   // Pre-processing.
   jpeg::DecoderVendor decoder = jpeg::DecoderVendor::kPillow;
   ResizeMethod resize = ResizeMethod::kPillowBilinear;
+  // Crop geometry: the fraction of the final side length the resize
+  // targets before a center crop. Training resizes straight to the model
+  // input (fraction 1.0); deployment stacks that keep the torchvision
+  // resize-then-center-crop convention land on 0.875 (224/256).
+  float crop_fraction = 1.0f;
   ColorMode color = ColorMode::kDirectRGB;
   NormStats norm = NormStats::kTorchvision;
   // Model inference.
@@ -56,12 +62,29 @@ struct SysNoiseConfig {
   }
 
   std::string describe() const;
+
+  // Lossless JSON round trip (enums by name, floats with round-trip
+  // precision) — the unit SweepPlans and shard result files are built from.
+  util::Json to_json() const;
+  static SysNoiseConfig from_json(const util::Json& j);
 };
+
+// Name -> enum parsers, inverses of the *_name() functions above and in the
+// jpeg/resize/color/nn modules. Throw std::invalid_argument on unknown
+// names so a corrupted plan fails loudly instead of evaluating the wrong
+// deployment config.
+jpeg::DecoderVendor decoder_vendor_from_name(const std::string& name);
+ResizeMethod resize_method_from_name(const std::string& name);
+ColorMode color_mode_from_name(const std::string& name);
+NormStats norm_stats_from_name(const std::string& name);
+nn::Precision precision_from_name(const std::string& name);
+nn::UpsampleMode upsample_mode_from_name(const std::string& name);
 
 // Option sets for each noise axis, excluding the training default (these
 // are the "categories" counted in Table 1).
 std::vector<jpeg::DecoderVendor> decoder_noise_options();   // 3 alternates
 std::vector<ResizeMethod> resize_noise_options();           // 10 alternates
+std::vector<float> crop_noise_options();                    // 0.875 center crop
 std::vector<ColorMode> color_noise_options();               // 1 alternate (NV12)
 std::vector<nn::Precision> precision_noise_options();       // FP16, INT8
 std::vector<NormStats> norm_noise_options();                // rounded-u8, 0.5/0.5

@@ -36,6 +36,7 @@ std::string preprocess_key(const SysNoiseConfig& cfg, const PipelineSpec& spec) 
   os.precision(std::numeric_limits<float>::max_digits10);
   os << "dec=" << jpeg::vendor_name(cfg.decoder)
      << "|res=" << resize_method_name(cfg.resize)
+     << "|crop=" << cfg.crop_fraction
      << "|col=" << color_mode_name(cfg.color) << "|out=" << spec.out_h << "x"
      << spec.out_w << "|m=";
   for (float v : mean) os << v << ",";
@@ -47,6 +48,18 @@ std::string preprocess_key(const SysNoiseConfig& cfg, const PipelineSpec& spec) 
 ImageU8 preprocess_image(const std::vector<std::uint8_t>& jpeg_bytes,
                          const SysNoiseConfig& cfg, const PipelineSpec& spec) {
   ImageU8 decoded = jpeg::decode(jpeg_bytes, cfg.decoder);
+  // Crop-geometry knob: training resizes straight to the model input
+  // (fraction 1.0); the torchvision-convention deployment path resizes to
+  // out/fraction and center-crops the model input out of it.
+  if (cfg.crop_fraction < 1.0f) {
+    const int mid_h = static_cast<int>(
+        std::round(static_cast<float>(spec.out_h) / cfg.crop_fraction));
+    const int mid_w = static_cast<int>(
+        std::round(static_cast<float>(spec.out_w) / cfg.crop_fraction));
+    ImageU8 enlarged = resize(decoded, mid_h, mid_w, cfg.resize);
+    ImageU8 cropped = center_crop(enlarged, spec.out_h, spec.out_w);
+    return apply_color_mode(cropped, cfg.color);
+  }
   ImageU8 resized = resize(decoded, spec.out_h, spec.out_w, cfg.resize);
   return apply_color_mode(resized, cfg.color);
 }

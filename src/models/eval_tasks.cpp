@@ -1,9 +1,114 @@
 #include "models/eval_tasks.h"
 
+#include <cstring>
 #include <memory>
+#include <sstream>
 #include <utility>
 
+#include "core/executor.h"
+#include "core/plan.h"
+
 namespace sysnoise::models {
+
+// ---------------------------------------------------------------------------
+// Stage-1 product (de)serialization for the disk StageCache
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kBatchesMagic = 0x53504231;  // "SPB1"
+
+void put_u32(std::string* out, std::uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool get_u32(const std::string& in, std::size_t* pos, std::uint32_t* v) {
+  if (*pos + sizeof(*v) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+
+// Dataset/pipeline-spec identity the (dataset-agnostic) preprocess_key is
+// relative to. The eval-set size is a cheap tripwire against pairing one
+// benchmark dataset's products with another's.
+std::string batches_scope(const char* task_kind, std::size_t num_samples,
+                          const PipelineSpec& spec) {
+  std::ostringstream os;
+  os << "bench-" << task_kind << "|n=" << num_samples << "|out=" << spec.out_h
+     << "x" << spec.out_w << "|v1";
+  return os.str();
+}
+
+}  // namespace
+
+std::string encode_batches(const PreprocessedBatches& batches) {
+  std::string out;
+  put_u32(&out, kBatchesMagic);
+  put_u32(&out, static_cast<std::uint32_t>(batches.batch_size));
+  put_u32(&out, static_cast<std::uint32_t>(batches.num_samples));
+  put_u32(&out, static_cast<std::uint32_t>(batches.inputs.size()));
+  for (const Tensor& t : batches.inputs) {
+    put_u32(&out, static_cast<std::uint32_t>(t.rank()));
+    for (const int d : t.shape()) put_u32(&out, static_cast<std::uint32_t>(d));
+    out.append(reinterpret_cast<const char*>(t.data()),
+               t.size() * sizeof(float));
+  }
+  return out;
+}
+
+bool decode_batches(const std::string& bytes, PreprocessedBatches* out) {
+  std::size_t pos = 0;
+  std::uint32_t magic = 0, batch_size = 0, num_samples = 0, count = 0;
+  if (!get_u32(bytes, &pos, &magic) || magic != kBatchesMagic ||
+      !get_u32(bytes, &pos, &batch_size) ||
+      !get_u32(bytes, &pos, &num_samples) || !get_u32(bytes, &pos, &count))
+    return false;
+  out->batch_size = static_cast<int>(batch_size);
+  out->num_samples = static_cast<int>(num_samples);
+  out->inputs.clear();
+  // A malformed payload must read as `false`, never throw: dims are bounded
+  // by what the remaining payload could possibly hold, so `elems` cannot
+  // overflow and Tensor::from_vector cannot see a shape/data mismatch.
+  const std::size_t max_elems = bytes.size() / sizeof(float);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t rank = 0;
+    if (!get_u32(bytes, &pos, &rank) || rank > 8) return false;
+    std::vector<int> shape;
+    std::size_t elems = 1;
+    for (std::uint32_t r = 0; r < rank; ++r) {
+      std::uint32_t d = 0;
+      if (!get_u32(bytes, &pos, &d)) return false;
+      if (d == 0 || d > 0x7fffffffu || d > max_elems || elems > max_elems / d)
+        return false;
+      shape.push_back(static_cast<int>(d));
+      elems *= d;
+    }
+    if (pos + elems * sizeof(float) > bytes.size()) return false;
+    std::vector<float> data(elems);
+    std::memcpy(data.data(), bytes.data() + pos, elems * sizeof(float));
+    pos += elems * sizeof(float);
+    out->inputs.push_back(Tensor::from_vector(std::move(shape), std::move(data)));
+  }
+  return pos == bytes.size();
+}
+
+namespace {
+
+bool encode_batches_product(const core::StageProduct& product,
+                            std::string* bytes) {
+  *bytes = encode_batches(
+      *static_cast<const PreprocessedBatches*>(product.get()));
+  return true;
+}
+
+core::StageProduct decode_batches_product(const std::string& bytes) {
+  auto batches = std::make_shared<PreprocessedBatches>();
+  if (!decode_batches(bytes, batches.get())) return nullptr;
+  return std::shared_ptr<const PreprocessedBatches>(std::move(batches));
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Classification
@@ -36,6 +141,21 @@ core::StageProduct ClassifierTask::run_forward(
 double ClassifierTask::run_postprocess(const SysNoiseConfig&,
                                        const core::StageProduct& fwd) const {
   return *static_cast<const double*>(fwd.get());
+}
+
+std::string ClassifierTask::preprocess_scope() const {
+  return batches_scope("cls", benchmark_cls_dataset().eval.size(),
+                       cls_pipeline_spec());
+}
+
+bool ClassifierTask::encode_preprocess(const core::StageProduct& product,
+                                       std::string* bytes) const {
+  return encode_batches_product(product, bytes);
+}
+
+core::StageProduct ClassifierTask::decode_preprocess(
+    const std::string& bytes) const {
+  return decode_batches_product(bytes);
 }
 
 // ---------------------------------------------------------------------------
@@ -72,6 +192,21 @@ double DetectorTask::run_postprocess(const SysNoiseConfig& cfg,
   return detector_map_from_raw(*td_.model, raw, benchmark_det_dataset(), cfg);
 }
 
+std::string DetectorTask::preprocess_scope() const {
+  return batches_scope("det", benchmark_det_dataset().eval.size(),
+                       det_pipeline_spec());
+}
+
+bool DetectorTask::encode_preprocess(const core::StageProduct& product,
+                                     std::string* bytes) const {
+  return encode_batches_product(product, bytes);
+}
+
+core::StageProduct DetectorTask::decode_preprocess(
+    const std::string& bytes) const {
+  return decode_batches_product(bytes);
+}
+
 // ---------------------------------------------------------------------------
 // Segmentation
 // ---------------------------------------------------------------------------
@@ -105,6 +240,21 @@ double SegmenterTask::run_postprocess(const SysNoiseConfig&,
   return *static_cast<const double*>(fwd.get());
 }
 
+std::string SegmenterTask::preprocess_scope() const {
+  return batches_scope("seg", benchmark_seg_dataset().eval.size(),
+                       seg_pipeline_spec());
+}
+
+bool SegmenterTask::encode_preprocess(const core::StageProduct& product,
+                                      std::string* bytes) const {
+  return encode_batches_product(product, bytes);
+}
+
+core::StageProduct SegmenterTask::decode_preprocess(
+    const std::string& bytes) const {
+  return decode_batches_product(bytes);
+}
+
 // ---------------------------------------------------------------------------
 // Seeded sweeps
 // ---------------------------------------------------------------------------
@@ -120,10 +270,14 @@ core::AxisReport staged_sweep_seeded(const core::StagedEvalTask& task,
                                      double trained_metric,
                                      core::SweepCache& cache,
                                      core::SweepOptions opts,
-                                     core::StageStats* stats) {
+                                     core::StageStats* stats,
+                                     core::DiskStageCache* disk) {
   cache.seed(task, SysNoiseConfig::training_default(), trained_metric);
   opts.cache = &cache;
-  return core::staged_sweep(task, opts, stats);
+  const core::SweepPlan plan =
+      core::plan_sweep(task, core::registry_or_global(opts));
+  return core::assemble_report(
+      plan, core::StagedExecutor(stats, disk).execute(task, plan, opts));
 }
 
 }  // namespace sysnoise::models

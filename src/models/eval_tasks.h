@@ -7,11 +7,19 @@
 // configs. Every adapter still works with the monolithic core::sweep().
 #pragma once
 
+#include "core/disk_stage_cache.h"
 #include "core/staged_eval.h"
 #include "core/sweep.h"
 #include "models/zoo.h"
 
 namespace sysnoise::models {
+
+// Binary round trip for the stage-1 product (stacked input batches), shared
+// by every adapter so pre-processed work persists in the disk StageCache
+// across bench binaries. Returns false / nullopt-like nullptr on a
+// malformed payload.
+std::string encode_batches(const PreprocessedBatches& batches);
+bool decode_batches(const std::string& bytes, PreprocessedBatches* out);
 
 class ClassifierTask : public core::StagedEvalTask {
  public:
@@ -37,6 +45,13 @@ class ClassifierTask : public core::StagedEvalTask {
   double run_postprocess(const SysNoiseConfig& cfg,
                          const core::StageProduct& fwd) const override;
 
+  // Disk persistence: batches depend on the dataset + spec, not the model,
+  // so every classifier shares one scope (and one set of disk entries).
+  std::string preprocess_scope() const override;
+  bool encode_preprocess(const core::StageProduct& product,
+                         std::string* bytes) const override;
+  core::StageProduct decode_preprocess(const std::string& bytes) const override;
+
  private:
   TrainedClassifier& tc_;
 };
@@ -59,6 +74,11 @@ class DetectorTask : public core::StagedEvalTask {
   double run_postprocess(const SysNoiseConfig& cfg,
                          const core::StageProduct& fwd) const override;
 
+  std::string preprocess_scope() const override;
+  bool encode_preprocess(const core::StageProduct& product,
+                         std::string* bytes) const override;
+  core::StageProduct decode_preprocess(const std::string& bytes) const override;
+
  private:
   TrainedDetector& td_;
 };
@@ -78,6 +98,11 @@ class SegmenterTask : public core::StagedEvalTask {
   double run_postprocess(const SysNoiseConfig& cfg,
                          const core::StageProduct& fwd) const override;
 
+  std::string preprocess_scope() const override;
+  bool encode_preprocess(const core::StageProduct& product,
+                         std::string* bytes) const override;
+  core::StageProduct decode_preprocess(const std::string& bytes) const override;
+
  private:
   TrainedSegmenter& ts_;
 };
@@ -89,14 +114,16 @@ core::AxisReport sweep_seeded(const core::EvalTask& task, double trained_metric,
                               core::SweepCache& cache,
                               core::SweepOptions opts = {});
 
-// Staged counterpart: same seeding, but evaluated through
-// core::staged_sweep so stage intermediates are shared too. This is what
+// Staged counterpart: same seeding, but evaluated through a
+// core::StagedExecutor so stage intermediates are shared too. This is what
 // the table benches drive; `stats` (optional) surfaces stage-cache
-// accounting next to the SweepCache stats.
+// accounting next to the SweepCache stats, and `disk` (optional) persists
+// pre-processed batches across processes through the disk StageCache.
 core::AxisReport staged_sweep_seeded(const core::StagedEvalTask& task,
                                      double trained_metric,
                                      core::SweepCache& cache,
                                      core::SweepOptions opts = {},
-                                     core::StageStats* stats = nullptr);
+                                     core::StageStats* stats = nullptr,
+                                     core::DiskStageCache* disk = nullptr);
 
 }  // namespace sysnoise::models

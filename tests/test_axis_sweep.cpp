@@ -35,11 +35,12 @@ void expect_reports_identical(const AxisReport& a, const AxisReport& b) {
 
 TEST(AxisRegistry, MatchesTable1Taxonomy) {
   const auto& axes = AxisRegistry::global().axes();
-  ASSERT_EQ(axes.size(), 8u);
+  ASSERT_EQ(axes.size(), 9u);
   const std::vector<std::string> names = {"Decode",    "Resize",
-                                          "Color Mode", "Normalize",
-                                          "Precision",  "Ceil Mode",
-                                          "Upsample",   "Post-proc"};
+                                          "Crop",       "Color Mode",
+                                          "Normalize",  "Precision",
+                                          "Ceil Mode",  "Upsample",
+                                          "Post-proc"};
   for (std::size_t i = 0; i < names.size(); ++i) EXPECT_EQ(axes[i].name, names[i]);
 
   // Option counts mirror the implemented option sets (Table 1 categories
@@ -56,9 +57,12 @@ TEST(AxisRegistry, MatchesTable1Taxonomy) {
   EXPECT_EQ(AxisRegistry::global().find("Normalize")->option_labels,
             (std::vector<std::string>{"rounded-u8", "0.5/0.5"}));
   EXPECT_EQ(AxisRegistry::global().find("Normalize")->stage, "Pre-processing");
-  for (const char* single : {"Color Mode", "Ceil Mode", "Upsample", "Post-proc"})
+  for (const char* single :
+       {"Crop", "Color Mode", "Ceil Mode", "Upsample", "Post-proc"})
     EXPECT_EQ(AxisRegistry::global().find(single)->taxonomy_categories(), 2)
         << single;
+  EXPECT_EQ(AxisRegistry::global().find("Crop")->option_labels,
+            (std::vector<std::string>{"center-0.875"}));
   // Every axis carries taxonomy metadata for the Table 1 bench.
   for (const NoiseAxis& a : axes) {
     EXPECT_FALSE(a.stage.empty()) << a.name;
@@ -75,7 +79,7 @@ TEST(AxisRegistry, ApplicabilityFollowsTaskTraits) {
   };
   const auto& reg = AxisRegistry::global();
   EXPECT_EQ(names(reg.applicable({TaskKind::kClassification, false})),
-            (std::vector<std::string>{"Decode", "Resize", "Color Mode",
+            (std::vector<std::string>{"Decode", "Resize", "Crop", "Color Mode",
                                       "Normalize", "Precision"}));
   EXPECT_EQ(names(reg.applicable({TaskKind::kDetection, true})),
             (std::vector<std::string>{"Decode", "Resize", "Color Mode",
@@ -162,9 +166,9 @@ TEST(SweepEngine, SeededCacheSkipsTrainedBaselineEval) {
 
   SweepCache cache;
   const AxisReport report = models::sweep_seeded(task, trained, cache);
-  // Options: 3 decode + 10 resize + 1 color + 2 norm + 2 precision +
-  // combined = 19; the baseline itself came from the seed.
-  EXPECT_EQ(task.evals() - base_evals, 19);
+  // Options: 3 decode + 10 resize + 1 crop + 1 color + 2 norm +
+  // 2 precision + combined = 20; the baseline itself came from the seed.
+  EXPECT_EQ(task.evals() - base_evals, 20);
   EXPECT_EQ(report.trained, trained);
 }
 

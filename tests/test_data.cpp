@@ -35,12 +35,13 @@ TEST(NoiseConfig, OptionCountsMatchTable1) {
   EXPECT_EQ(color_noise_options().size(), 1u);     // 2 incl. direct RGB
   EXPECT_EQ(precision_noise_options().size(), 2u); // 3 incl. FP32
   EXPECT_EQ(norm_noise_options().size(), 2u);      // 3 incl. torchvision
+  EXPECT_EQ(crop_noise_options().size(), 1u);      // 2 incl. no-crop default
 }
 
 TEST(NoiseConfig, DescribeMentionsEveryKnob) {
   const std::string d = SysNoiseConfig::training_default().describe();
-  for (const char* key : {"decoder=", "resize=", "color=", "norm=", "prec=",
-                          "ceil=", "upsample=", "offset="})
+  for (const char* key : {"decoder=", "resize=", "crop=", "color=", "norm=",
+                          "prec=", "ceil=", "upsample=", "offset="})
     EXPECT_NE(d.find(key), std::string::npos) << key;
 }
 

@@ -51,6 +51,8 @@ TEST(PreprocessKey, InjectiveOverAllRegistryPreprocessingCombinations) {
   for (auto m : color_noise_options()) colors.push_back(m);
   std::vector<NormStats> norms = {SysNoiseConfig{}.norm};
   for (auto s : norm_noise_options()) norms.push_back(s);
+  std::vector<float> crops = {SysNoiseConfig{}.crop_fraction};
+  for (auto f : crop_noise_options()) crops.push_back(f);
 
   const PipelineSpec spec;
   std::set<std::string> keys;
@@ -58,17 +60,19 @@ TEST(PreprocessKey, InjectiveOverAllRegistryPreprocessingCombinations) {
   for (auto d : decoders)
     for (auto r : resizes)
       for (auto c : colors)
-        for (auto n : norms) {
-          SysNoiseConfig cfg;
-          cfg.decoder = d;
-          cfg.resize = r;
-          cfg.color = c;
-          cfg.norm = n;
-          keys.insert(preprocess_key(cfg, spec));
-          ++combos;
-        }
+        for (auto n : norms)
+          for (auto f : crops) {
+            SysNoiseConfig cfg;
+            cfg.decoder = d;
+            cfg.resize = r;
+            cfg.color = c;
+            cfg.norm = n;
+            cfg.crop_fraction = f;
+            keys.insert(preprocess_key(cfg, spec));
+            ++combos;
+          }
   EXPECT_EQ(combos, decoders.size() * resizes.size() * colors.size() *
-                        norms.size());
+                        norms.size() * crops.size());
   EXPECT_EQ(keys.size(), combos);
 }
 
