@@ -6,7 +6,8 @@
 //
 // Supports the plan/execute/merge lifecycle (bench_util.h) over stepwise
 // SweepPlans: --emit-plan, --shard i/N and --merge, bit-identical to the
-// unsharded run.
+// unsharded run — and the distributed --coordinate / --connect modes on
+// the same plan seam.
 #include <cstdio>
 #include <vector>
 
@@ -39,6 +40,8 @@ void render_and_write(const core::StepReport& cls, const core::StepReport& det) 
 int main(int argc, char** argv) {
   const bench::BenchCli cli = bench::parse_cli(argc, argv, "fig3_combined");
   bench::banner("Fig. 3 — stepwise combined SysNoise", "Sec. 4.2, Fig. 3");
+
+  if (cli.connecting()) return bench::run_bench_worker(cli);
 
   if (cli.merging()) {
     const auto merged = bench::merge_shard_files(cli, cli.merge_files);
@@ -78,6 +81,16 @@ int main(int argc, char** argv) {
 
   if (cli.emit_plan) {
     bench::write_plan_file(cli, {cls_plan, det_plan});
+    return 0;
+  }
+
+  if (cli.coordinating()) {
+    const std::vector<core::MetricMap> results = bench::serve_coordinator(
+        cli, {{dist::classifier_spec("ResNet-M").to_json(), cls_plan},
+              {dist::detector_spec("FasterRCNN-ResNet").to_json(), det_plan}});
+    render_and_write(
+        {cls_plan.task, core::assemble_steps(cls_plan, results[0])},
+        {det_plan.task, core::assemble_steps(det_plan, results[1])});
     return 0;
   }
 

@@ -42,7 +42,10 @@ void add_row(core::TextTable& table, std::string& csv, const std::string& label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int exit_code = 0;
+  if (bench::handle_dist_only_cli(argc, argv, "fig4_mitigations", &exit_code))
+    return exit_code;
   bench::banner("Fig. 4 — augmentations & adversarial training vs SysNoise",
                 "Sec. 4.3, Fig. 4");
 

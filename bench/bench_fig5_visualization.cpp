@@ -13,7 +13,11 @@
 
 using namespace sysnoise;
 
-int main() {
+int main(int argc, char** argv) {
+  int exit_code = 0;
+  if (bench::handle_dist_only_cli(argc, argv, "fig5_visualization",
+                                  &exit_code))
+    return exit_code;
   bench::banner("Fig. 5 — SysNoise visualization", "Sec. 4.3, Fig. 5");
 
   const auto& ds = models::benchmark_cls_dataset();

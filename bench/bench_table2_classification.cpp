@@ -6,7 +6,9 @@
 //
 // Supports the plan/execute/merge lifecycle (bench_util.h): --emit-plan,
 // --shard i/N (partial run through a ShardExecutor) and --merge of the
-// shard-result files, bit-identical to the unsharded run.
+// shard-result files, bit-identical to the unsharded run — and the
+// distributed runtime on the same seam: --coordinate serves the plans to
+// TCP workers (--connect / sysnoise_worker) and renders the merged report.
 #include <cstdio>
 #include <vector>
 
@@ -34,6 +36,8 @@ int main(int argc, char** argv) {
   bench::banner("Table 2 — ImageNet-substitute classification",
                 "Sec. 4.2, Table 2");
 
+  if (cli.connecting()) return bench::run_bench_worker(cli);
+
   if (cli.merging()) {
     std::vector<core::AxisReport> reports;
     for (const bench::PlanRun& run :
@@ -53,6 +57,7 @@ int main(int argc, char** argv) {
   std::vector<core::SweepPlan> plans;
   std::vector<bench::PlanRun> shard_runs;
   std::vector<core::AxisReport> reports;
+  std::vector<dist::DistJob> jobs;
   auto specs = models::classifier_zoo();
   if (bench::fast_mode()) specs.resize(3);
   for (const auto& spec : specs) {
@@ -64,6 +69,10 @@ int main(int argc, char** argv) {
         core::plan_sweep(task, core::AxisRegistry::global());
     if (cli.emit_plan) {
       plans.push_back(plan);
+      continue;
+    }
+    if (cli.coordinating()) {
+      jobs.push_back({dist::classifier_spec(spec.name).to_json(), plan});
       continue;
     }
     std::printf("[table2] %s: trained ACC %.2f%%, sweeping noise axes...\n",
@@ -83,6 +92,14 @@ int main(int argc, char** argv) {
 
   if (cli.emit_plan) {
     bench::write_plan_file(cli, plans);
+    return 0;
+  }
+  if (cli.coordinating()) {
+    const std::vector<core::MetricMap> results =
+        bench::serve_coordinator(cli, jobs);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      reports.push_back(core::assemble_report(jobs[i].plan, results[i]));
+    render_and_write(reports);
     return 0;
   }
   std::printf("[table2] stage cache: %zu/%zu preprocess evals reused, "

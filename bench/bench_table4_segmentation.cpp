@@ -3,7 +3,8 @@
 // upsample and ceil-mode dominate, U-Net (no max-pool) has no ceil entry.
 //
 // Supports the plan/execute/merge lifecycle (bench_util.h): --emit-plan,
-// --shard i/N and --merge, bit-identical to the unsharded run.
+// --shard i/N and --merge, bit-identical to the unsharded run — and the
+// distributed --coordinate / --connect modes on the same plan seam.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -32,6 +33,8 @@ int main(int argc, char** argv) {
   bench::banner("Table 4 — CityScapes-substitute segmentation",
                 "Sec. 4.2, Table 4");
 
+  if (cli.connecting()) return bench::run_bench_worker(cli);
+
   if (cli.merging()) {
     std::vector<core::AxisReport> reports;
     for (const bench::PlanRun& run :
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
   std::vector<core::SweepPlan> plans;
   std::vector<bench::PlanRun> shard_runs;
   std::vector<core::AxisReport> reports;
+  std::vector<dist::DistJob> jobs;
   for (const auto& name : names) {
     std::printf("[table4] %s: training/loading...\n", name.c_str());
     std::fflush(stdout);
@@ -63,6 +67,10 @@ int main(int argc, char** argv) {
         core::plan_sweep(task, core::AxisRegistry::global());
     if (cli.emit_plan) {
       plans.push_back(plan);
+      continue;
+    }
+    if (cli.coordinating()) {
+      jobs.push_back({dist::segmenter_spec(name).to_json(), plan});
       continue;
     }
     std::printf("[table4] %s: trained mIoU %.2f, sweeping noise axes...\n",
@@ -82,6 +90,14 @@ int main(int argc, char** argv) {
 
   if (cli.emit_plan) {
     bench::write_plan_file(cli, plans);
+    return 0;
+  }
+  if (cli.coordinating()) {
+    const std::vector<core::MetricMap> results =
+        bench::serve_coordinator(cli, jobs);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      reports.push_back(core::assemble_report(jobs[i].plan, results[i]));
+    render_and_write(reports);
     return 0;
   }
   std::printf("[table4] stage cache: %zu/%zu preprocess evals reused, "

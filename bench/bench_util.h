@@ -8,22 +8,40 @@
 //   --merge f1 f2 ...      merge shard-result files from earlier --shard
 //                          runs into the final report (no models needed)
 //
+// plus the distributed runtime (dist/coordinator.h) on the same plan seam:
+//
+//   --coordinate <port> [--min-workers N]
+//                          serve this bench's SweepPlans as a coordinator:
+//                          workers (sysnoise_worker, or any bench started
+//                          with --connect) evaluate leased work units, the
+//                          bench merges the streamed results and renders
+//                          the ordinary report — byte-identical to the
+//                          single-process run
+//   --connect host:port    join a coordinator as a worker instead of
+//                          running anything locally
+//
 // Benches whose unit of work is a row/model list rather than a SweepPlan
-// (tables 1, 5-10) use the same flags with row-level semantics: --shard
-// runs every Nth row and suffixes its outputs, --merge concatenates the
-// per-shard CSVs.
+// (tables 1, 5-10) use the shard flags with row-level semantics (--shard
+// runs every Nth row, --merge concatenates the per-shard CSVs) and support
+// --connect (the worker side is bench-agnostic) but not --coordinate.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/executor.h"
 #include "core/plan.h"
+#include "dist/coordinator.h"
+#include "dist/task_factory.h"
+#include "dist/worker.h"
+#include "net/socket.h"
 #include "util/json.h"
 
 namespace sysnoise::bench {
@@ -65,10 +83,9 @@ inline bool fast_mode() {
 }
 
 // SYSNOISE_DISK_STAGE_CACHE=0 opts a bench out of persisting/loading stage
-// products (core/disk_stage_cache.h); default is on.
+// products; one env contract for benches and workers alike.
 inline bool disk_stage_cache_enabled() {
-  const char* env = std::getenv("SYSNOISE_DISK_STAGE_CACHE");
-  return env == nullptr || env[0] != '0';
+  return core::DiskStageCache::enabled_by_env();
 }
 
 // ---------------------------------------------------------------------------
@@ -81,9 +98,15 @@ struct BenchCli {
   int shard_count = 1;
   bool emit_plan = false;
   std::vector<std::string> merge_files;
+  int coordinate_port = -1;  // >= 0: serve as a distributed coordinator
+  int min_workers = 1;
+  std::string connect_host;  // non-empty: join a coordinator as a worker
+  int connect_port = 0;
 
   bool sharded() const { return shard_count > 1; }
   bool merging() const { return !merge_files.empty(); }
+  bool coordinating() const { return coordinate_port >= 0; }
+  bool connecting() const { return !connect_host.empty(); }
   // Suffix row-sharded benches append to their output names.
   std::string shard_suffix() const {
     return sharded() ? ".shard_" + std::to_string(shard_index) + "_of_" +
@@ -100,8 +123,10 @@ struct BenchCli {
 
 [[noreturn]] inline void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--emit-plan] [--shard i/N] [--merge file...]\n",
-               argv0);
+               "usage: %s [--emit-plan] [--shard i/N] [--merge file...]\n"
+               "       %s --coordinate <port> [--min-workers N]\n"
+               "       %s --connect host:port\n",
+               argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -127,6 +152,28 @@ inline BenchCli parse_cli(int argc, char** argv, const char* bench_name) {
       while (i + 1 < argc && argv[i + 1][0] != '-')
         cli.merge_files.push_back(argv[++i]);
       if (cli.merge_files.empty()) usage(argv[0]);
+    } else if (arg == "--coordinate") {
+      if (++i >= argc) usage(argv[0]);
+      // All-digit parse: atoi would turn a typo'd "4510x" into a silent
+      // ephemeral-port bind. 0 is the explicit "pick an ephemeral port"
+      // request (the bench prints the actual one).
+      cli.coordinate_port = 0;
+      const char* p = argv[i];
+      if (*p == '\0') usage(argv[0]);
+      for (; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9') usage(argv[0]);
+        cli.coordinate_port = cli.coordinate_port * 10 + (*p - '0');
+        if (cli.coordinate_port > 65535) usage(argv[0]);
+      }
+    } else if (arg == "--min-workers") {
+      if (++i >= argc) usage(argv[0]);
+      cli.min_workers = std::atoi(argv[i]);
+      if (cli.min_workers < 1) usage(argv[0]);
+    } else if (arg == "--connect") {
+      if (++i >= argc) usage(argv[0]);
+      if (!net::parse_host_port(argv[i], &cli.connect_host,
+                                &cli.connect_port))
+        usage(argv[0]);
     } else {
       std::fprintf(stderr, "unknown argument \"%s\"\n", arg.c_str());
       usage(argv[0]);
@@ -136,7 +183,76 @@ inline BenchCli parse_cli(int argc, char** argv, const char* bench_name) {
     std::fprintf(stderr, "--merge excludes --shard/--emit-plan\n");
     std::exit(2);
   }
+  const int modes = (cli.coordinating() ? 1 : 0) + (cli.connecting() ? 1 : 0) +
+                    ((cli.merging() || cli.sharded() || cli.emit_plan) ? 1 : 0);
+  if (modes > 1) {
+    std::fprintf(stderr,
+                 "--coordinate / --connect / shard-lifecycle flags are "
+                 "mutually exclusive\n");
+    std::exit(2);
+  }
   return cli;
+}
+
+// ---------------------------------------------------------------------------
+// Distributed mode (shared by every bench)
+// ---------------------------------------------------------------------------
+
+// --connect: serve a coordinator as a zoo-backed worker. Returns the bench's
+// exit code. Bench-agnostic — the coordinator's welcome message says which
+// models to resolve, so `bench_table2 --connect` can serve a fig3 sweep.
+// Connection attempts retry for a couple of minutes (the coordinator may
+// still be training/loading the models it is about to serve).
+inline int run_bench_worker(const BenchCli& cli) {
+  core::StageStats stages;
+  core::DiskStageCache disk;
+  dist::WorkerOptions opts;
+  opts.stats = &stages;
+  opts.disk = disk_stage_cache_enabled() ? &disk : nullptr;
+  opts.verbose = true;
+  const dist::WorkerRunStats stats = dist::run_worker_retrying(
+      cli.connect_host, cli.connect_port, dist::zoo_task_resolver(), opts,
+      std::chrono::seconds(600));
+  std::printf("[%s] worker %s: %zu leases, %zu configs evaluated\n",
+              cli.bench.c_str(), stats.done ? "done" : "stopped",
+              stats.leases_completed, stats.configs_evaluated);
+  if (!stats.error.empty())
+    std::fprintf(stderr, "[%s] worker error: %s\n", cli.bench.c_str(),
+                 stats.error.c_str());
+  return stats.done ? 0 : 1;
+}
+
+// Row-sharded benches have no SweepPlan for a coordinator to lease.
+inline void reject_coordinate(const BenchCli& cli) {
+  if (!cli.coordinating()) return;
+  std::fprintf(stderr,
+               "[%s] --coordinate needs a plan-level bench (tables 2-4, "
+               "fig3); this bench only supports --connect\n",
+               cli.bench.c_str());
+  std::exit(2);
+}
+
+// --coordinate: serve `jobs` until remote workers finished every work unit;
+// returns one full MetricMap per job, ready for assembly. The caller built
+// the jobs' plans from its models, exactly like the single-process path.
+inline std::vector<core::MetricMap> serve_coordinator(
+    const BenchCli& cli, const std::vector<dist::DistJob>& jobs) {
+  dist::CoordinatorOptions opts;
+  opts.port = cli.coordinate_port;
+  opts.min_workers = cli.min_workers;
+  opts.verbose = true;
+  dist::Coordinator coordinator(opts);
+  std::printf("[%s] coordinating on port %d (min workers: %d)\n",
+              cli.bench.c_str(), coordinator.port(), cli.min_workers);
+  std::fflush(stdout);
+  std::vector<core::MetricMap> results = coordinator.run(jobs);
+  const dist::CoordinatorStats stats = coordinator.stats();
+  std::printf("[%s] distributed sweep done: %zu workers, %zu units "
+              "(%zu re-leased after expiry/death), %zu results\n",
+              cli.bench.c_str(), stats.workers_joined,
+              stats.scheduler.completed, stats.scheduler.re_leases,
+              stats.results_received);
+  return results;
 }
 
 // Row-level shard slice for benches whose unit of work is a model/row list.
@@ -175,6 +291,8 @@ inline std::string merge_csv_files(const std::vector<std::string>& paths) {
 inline bool handle_row_cli(const BenchCli& cli,
                            const std::vector<std::string>& row_labels,
                            const std::string& csv_name) {
+  reject_coordinate(cli);
+  if (cli.connecting()) std::exit(run_bench_worker(cli));
   if (cli.merging()) {
     write_file(csv_name, merge_csv_files(cli.merge_files));
     std::printf("merged %zu shard CSVs into %s/%s\n", cli.merge_files.size(),
@@ -192,6 +310,34 @@ inline bool handle_row_cli(const BenchCli& cli,
     f << j.dump(2) << "\n";
     std::printf("wrote %s (%zu rows)\n", cli.plan_file().c_str(),
                 row_labels.size());
+    return true;
+  }
+  return false;
+}
+
+// Command line for benches with no shard lifecycle (figs 4-5): the only
+// supported mode besides a plain run is --connect (the worker side is
+// bench-agnostic). Returns true when the invocation was handled and the
+// caller should exit with `*exit_code`.
+inline bool handle_dist_only_cli(int argc, char** argv, const char* bench_name,
+                                 int* exit_code) {
+  BenchCli cli;
+  cli.bench = bench_name;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc &&
+        net::parse_host_port(argv[i + 1], &cli.connect_host,
+                             &cli.connect_port)) {
+      ++i;
+      continue;
+    }
+    // Unknown flag or malformed host:port: a usage error, not a local run.
+    std::fprintf(stderr, "usage: %s [--connect host:port]\n", argv[0]);
+    *exit_code = 2;
+    return true;
+  }
+  if (cli.connecting()) {
+    *exit_code = run_bench_worker(cli);
     return true;
   }
   return false;

@@ -150,6 +150,22 @@ std::vector<NoiseAxis> builtin_axes() {
   }
   {
     NoiseAxis a;
+    a.name = "Layout";
+    a.key = "layout";
+    const auto layouts = layout_noise_options();
+    for (auto l : layouts) a.option_labels.push_back(channel_layout_name(l));
+    a.apply = [layouts](SysNoiseConfig& cfg, int i) {
+      cfg.layout = layouts[static_cast<std::size_t>(i)];
+    };
+    a.step_label = "NHWC";
+    a.stage = "Pre-processing";
+    a.tasks_label = "Cls/Det/Seg";
+    a.input_dependent = true;
+    a.effect_level = "Middle";
+    axes.push_back(std::move(a));
+  }
+  {
+    NoiseAxis a;
     a.name = "Precision";
     a.key = "precision";
     const auto precisions = precision_noise_options();

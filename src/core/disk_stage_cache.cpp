@@ -1,10 +1,12 @@
 #include "core/disk_stage_cache.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <thread>
+
+#include <unistd.h>
 
 #include "util/json.h"
 
@@ -23,6 +25,11 @@ std::string read_line(std::istream& in) {
 }
 
 }  // namespace
+
+bool DiskStageCache::enabled_by_env() {
+  const char* env = std::getenv("SYSNOISE_DISK_STAGE_CACHE");
+  return env == nullptr || env[0] != '0';
+}
 
 std::string DiskStageCache::default_dir() {
   if (const char* env = std::getenv("SYSNOISE_STAGE_CACHE_DIR")) return env;
@@ -65,9 +72,13 @@ bool DiskStageCache::load(const std::string& scope, const std::string& key,
 void DiskStageCache::store(const std::string& scope, const std::string& key,
                            const std::string& bytes) {
   const std::string path = entry_path(scope, key);
+  // The temp name must be unique across every concurrent writer — threads
+  // AND processes (distributed workers share $SYSNOISE_STAGE_CACHE_DIR), so
+  // pid + a process-local counter, never thread ids (which collide across
+  // processes and would interleave two writers in one temp file).
+  static std::atomic<std::uint64_t> seq{0};
   std::ostringstream tmp_name;
-  tmp_name << path << ".tmp." << std::hash<std::thread::id>{}(
-      std::this_thread::get_id());
+  tmp_name << path << ".tmp." << ::getpid() << "." << seq.fetch_add(1);
   const std::string tmp = tmp_name.str();
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);

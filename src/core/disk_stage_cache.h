@@ -25,6 +25,10 @@ class DiskStageCache {
   // $SYSNOISE_CACHE_DIR/stages, else /tmp/sysnoise_model_cache/stages.
   static std::string default_dir();
 
+  // The opt-out every consumer (bench binaries, distributed workers)
+  // honors: SYSNOISE_DISK_STAGE_CACHE=0 disables persistence; default on.
+  static bool enabled_by_env();
+
   explicit DiskStageCache(std::string dir = default_dir());
 
   const std::string& dir() const { return dir_; }

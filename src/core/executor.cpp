@@ -67,32 +67,53 @@ std::vector<double> staged_eval(const StagedEvalTask& task,
 
   StageCache pre_cache;
   std::atomic<std::size_t> disk_hits{0}, computed{0}, persisted{0};
+  std::atomic<std::size_t> fwd_disk_hits{0}, fwd_computed{0}, fwd_persisted{0};
   std::vector<double> values(pending.size(), 0.0);
   detail::parallel_for_n(opts.threads, groups.size(), [&](std::size_t g) {
     const ForwardGroup& group = groups[g];
     const SysNoiseConfig& lead_cfg = pending[group.members.front()]->cfg;
-    const StageProduct pre = pre_cache.get_or_compute(group.pre_key, [&] {
-      if (disk != nullptr) {
-        std::string bytes;
-        if (disk->load(task.preprocess_scope(), group.pre_key, &bytes)) {
-          if (StageProduct p = task.decode_preprocess(bytes)) {
-            disk_hits.fetch_add(1);
-            return p;
+    // A disk-cached forward product makes stage 1 unnecessary for this
+    // group: the pre-processed batches exist only to feed the network.
+    StageProduct fwd;
+    if (disk != nullptr) {
+      std::string bytes;
+      if (disk->load(task.forward_scope(), group.fwd_key, &bytes)) {
+        if ((fwd = task.decode_forward(bytes)) != nullptr)
+          fwd_disk_hits.fetch_add(1);
+      }
+    }
+    if (fwd == nullptr) {
+      const StageProduct pre = pre_cache.get_or_compute(group.pre_key, [&] {
+        if (disk != nullptr) {
+          std::string bytes;
+          if (disk->load(task.preprocess_scope(), group.pre_key, &bytes)) {
+            if (StageProduct p = task.decode_preprocess(bytes)) {
+              disk_hits.fetch_add(1);
+              return p;
+            }
           }
         }
-      }
-      computed.fetch_add(1);
-      StageProduct p = task.run_preprocess(lead_cfg);
+        computed.fetch_add(1);
+        StageProduct p = task.run_preprocess(lead_cfg);
+        if (disk != nullptr) {
+          std::string bytes;
+          if (task.encode_preprocess(p, &bytes)) {
+            disk->store(task.preprocess_scope(), group.pre_key, bytes);
+            persisted.fetch_add(1);
+          }
+        }
+        return p;
+      });
+      fwd_computed.fetch_add(1);
+      fwd = task.run_forward(lead_cfg, pre);
       if (disk != nullptr) {
         std::string bytes;
-        if (task.encode_preprocess(p, &bytes)) {
-          disk->store(task.preprocess_scope(), group.pre_key, bytes);
-          persisted.fetch_add(1);
+        if (task.encode_forward(fwd, &bytes)) {
+          disk->store(task.forward_scope(), group.fwd_key, bytes);
+          fwd_persisted.fetch_add(1);
         }
       }
-      return p;
-    });
-    const StageProduct fwd = task.run_forward(lead_cfg, pre);
+    }
     for (const std::size_t i : group.members)
       values[i] = task.run_postprocess(pending[i]->cfg, fwd);
   });
@@ -109,6 +130,9 @@ std::vector<double> staged_eval(const StagedEvalTask& task,
     s.preprocess_disk_hits = disk_hits.load();
     s.preprocess_computed = computed.load();
     s.preprocess_persisted = persisted.load();
+    s.forward_disk_hits = fwd_disk_hits.load();
+    s.forward_computed = fwd_computed.load();
+    s.forward_persisted = fwd_persisted.load();
     *stats += s;
   }
   return values;

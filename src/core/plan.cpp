@@ -138,6 +138,40 @@ SweepPlan SweepPlan::slice(const std::vector<std::size_t>& indices) const {
   return out;
 }
 
+std::vector<std::vector<std::size_t>> plan_work_units(const SweepPlan& plan) {
+  struct Unit {
+    std::string pre_key;
+    std::vector<std::size_t> members;
+  };
+  std::vector<Unit> units;
+  std::map<std::string, std::size_t> unit_of;
+  for (std::size_t i = 0; i < plan.configs.size(); ++i) {
+    const PlannedConfig& p = plan.configs[i];
+    // Duplicate configs share a metric key and always share a forward key,
+    // so keying on either lands them in one unit (one evaluation, memoized).
+    const std::string& key =
+        p.forward_key.empty() ? p.metric_key : p.forward_key;
+    const auto it = unit_of.find(key);
+    if (it == unit_of.end()) {
+      unit_of.emplace(key, units.size());
+      units.push_back({p.preprocess_key, {i}});
+    } else {
+      units[it->second].members.push_back(i);
+    }
+  }
+  // Mirror the staged executor's grouping order: units sharing a stage-1
+  // product adjacent, so consecutive leases to one worker (and the disk
+  // StageCache) see warm preprocess keys.
+  std::stable_sort(units.begin(), units.end(),
+                   [](const Unit& a, const Unit& b) {
+                     return a.pre_key < b.pre_key;
+                   });
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(units.size());
+  for (Unit& u : units) out.push_back(std::move(u.members));
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // JSON round trip
 // ---------------------------------------------------------------------------

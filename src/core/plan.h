@@ -99,4 +99,14 @@ AxisReport assemble_report(const SweepPlan& plan, const MetricMap& results);
 std::vector<StepPoint> assemble_steps(const SweepPlan& plan,
                                       const MetricMap& results);
 
+// Stage-key-grouped work units: plan.configs indices partitioned so that
+// configs sharing a forward pass (same forward key — e.g. the detection
+// post-processing options) are never split apart, with units ordered so
+// shared preprocess keys stay adjacent. This is the unit of leasing in the
+// distributed runtime (dist/coordinator.h): splitting a forward group
+// across workers would re-run its forward pass once per worker, while
+// anything coarser would starve dynamic balancing. Plans without stage keys
+// (non-staged tasks) degrade to one unit per distinct metric key.
+std::vector<std::vector<std::size_t>> plan_work_units(const SweepPlan& plan);
+
 }  // namespace sysnoise::core

@@ -69,6 +69,9 @@ StageStats& StageStats::operator+=(const StageStats& o) {
   preprocess_disk_hits += o.preprocess_disk_hits;
   preprocess_computed += o.preprocess_computed;
   preprocess_persisted += o.preprocess_persisted;
+  forward_disk_hits += o.forward_disk_hits;
+  forward_computed += o.forward_computed;
+  forward_persisted += o.forward_persisted;
   return *this;
 }
 

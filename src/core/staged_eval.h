@@ -80,6 +80,27 @@ class StagedEvalTask : public EvalTask {
     return nullptr;
   }
 
+  // Scope for forward-stage products. forward_key (preprocess_key + the
+  // inference knobs) is still dataset- AND model-agnostic, so the scope
+  // adds both: the same dataset scope plus the task identity that names the
+  // weights the outputs came from. Unlike stage-1 batches, forward products
+  // are never shared across models.
+  virtual std::string forward_scope() const {
+    return preprocess_scope() + "|fwd=" + cache_identity();
+  }
+  // Encode/decode a stage-2 product (e.g. detection RawDetections) for the
+  // disk cache; the default pair opts a task out, exactly as above.
+  virtual bool encode_forward(const StageProduct& product,
+                              std::string* bytes) const {
+    (void)product;
+    (void)bytes;
+    return false;
+  }
+  virtual StageProduct decode_forward(const std::string& bytes) const {
+    (void)bytes;
+    return nullptr;
+  }
+
   double evaluate(const SysNoiseConfig& cfg) const override {
     return run_postprocess(cfg, run_forward(cfg, run_preprocess(cfg)));
   }
@@ -120,6 +141,11 @@ struct StageStats {
   std::size_t preprocess_disk_hits = 0;
   std::size_t preprocess_computed = 0;
   std::size_t preprocess_persisted = 0;
+  // Same split for the forward stage (tasks that opt in via encode_forward;
+  // a warm cache runs zero forward passes for repeated configs).
+  std::size_t forward_disk_hits = 0;
+  std::size_t forward_computed = 0;
+  std::size_t forward_persisted = 0;
 
   StageStats& operator+=(const StageStats& o);
 };

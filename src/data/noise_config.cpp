@@ -15,6 +15,14 @@ const char* norm_stats_name(NormStats s) {
   return "?";
 }
 
+const char* channel_layout_name(ChannelLayout l) {
+  switch (l) {
+    case ChannelLayout::kNCHW: return "NCHW";
+    case ChannelLayout::kNHWCRoundTrip: return "NHWC-fp16";
+  }
+  return "?";
+}
+
 std::string SysNoiseConfig::describe() const {
   std::ostringstream os;
   os.precision(std::numeric_limits<float>::max_digits10);
@@ -23,6 +31,7 @@ std::string SysNoiseConfig::describe() const {
      << " crop=" << crop_fraction
      << " color=" << color_mode_name(color)
      << " norm=" << norm_stats_name(norm)
+     << " layout=" << channel_layout_name(layout)
      << " prec=" << nn::precision_name(precision)
      << " ceil=" << (ceil_mode ? "1" : "0")
      << " upsample=" << nn::upsample_mode_name(upsample)
@@ -37,6 +46,7 @@ util::Json SysNoiseConfig::to_json() const {
   j.set("crop_fraction", static_cast<double>(crop_fraction));
   j.set("color", color_mode_name(color));
   j.set("norm", norm_stats_name(norm));
+  j.set("layout", channel_layout_name(layout));
   j.set("precision", nn::precision_name(precision));
   j.set("ceil_mode", ceil_mode);
   j.set("upsample", nn::upsample_mode_name(upsample));
@@ -51,6 +61,10 @@ SysNoiseConfig SysNoiseConfig::from_json(const util::Json& j) {
   cfg.crop_fraction = static_cast<float>(j.at("crop_fraction").as_number());
   cfg.color = color_mode_from_name(j.at("color").as_string());
   cfg.norm = norm_stats_from_name(j.at("norm").as_string());
+  // Absent in pre-layout-axis serializations: default to the training-side
+  // NCHW rather than rejecting older plan/shard files.
+  if (const util::Json* l = j.get("layout"))
+    cfg.layout = channel_layout_from_name(l->as_string());
   cfg.precision = precision_from_name(j.at("precision").as_string());
   cfg.ceil_mode = j.at("ceil_mode").as_bool();
   cfg.upsample = upsample_mode_from_name(j.at("upsample").as_string());
@@ -99,6 +113,14 @@ NormStats norm_stats_from_name(const std::string& name) {
   unknown_name("normalization stats", name);
 }
 
+ChannelLayout channel_layout_from_name(const std::string& name) {
+  for (int i = 0; i < kNumChannelLayouts; ++i) {
+    const auto l = static_cast<ChannelLayout>(i);
+    if (name == channel_layout_name(l)) return l;
+  }
+  unknown_name("channel layout", name);
+}
+
 nn::Precision precision_from_name(const std::string& name) {
   for (int i = 0; i < nn::kNumPrecisions; ++i) {
     const auto p = static_cast<nn::Precision>(i);
@@ -137,6 +159,10 @@ std::vector<nn::Precision> precision_noise_options() {
 
 std::vector<NormStats> norm_noise_options() {
   return {NormStats::kRoundedU8, NormStats::kHalfHalf};
+}
+
+std::vector<ChannelLayout> layout_noise_options() {
+  return {ChannelLayout::kNHWCRoundTrip};
 }
 
 }  // namespace sysnoise

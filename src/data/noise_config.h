@@ -29,6 +29,18 @@ enum class NormStats {
 constexpr int kNumNormStats = 3;
 const char* norm_stats_name(NormStats s);
 
+// Activation-layout profile of the deployed runtime: training frameworks
+// feed the network NCHW float tensors directly; channels-last stacks
+// (TFLite, TensorRT tensor-core paths, most mobile runtimes) round-trip the
+// input through an NHWC staging buffer materialized in FP16, perturbing
+// every element by one half-precision rounding (tensor/layout.h).
+enum class ChannelLayout {
+  kNCHW = 0,           // training default: no staging copy
+  kNHWCRoundTrip = 1,  // NCHW -> NHWC(FP16) -> NCHW round trip
+};
+constexpr int kNumChannelLayouts = 2;
+const char* channel_layout_name(ChannelLayout l);
+
 struct SysNoiseConfig {
   // Pre-processing.
   jpeg::DecoderVendor decoder = jpeg::DecoderVendor::kPillow;
@@ -40,6 +52,7 @@ struct SysNoiseConfig {
   float crop_fraction = 1.0f;
   ColorMode color = ColorMode::kDirectRGB;
   NormStats norm = NormStats::kTorchvision;
+  ChannelLayout layout = ChannelLayout::kNCHW;
   // Model inference.
   nn::Precision precision = nn::Precision::kFP32;
   bool ceil_mode = false;
@@ -77,6 +90,7 @@ jpeg::DecoderVendor decoder_vendor_from_name(const std::string& name);
 ResizeMethod resize_method_from_name(const std::string& name);
 ColorMode color_mode_from_name(const std::string& name);
 NormStats norm_stats_from_name(const std::string& name);
+ChannelLayout channel_layout_from_name(const std::string& name);
 nn::Precision precision_from_name(const std::string& name);
 nn::UpsampleMode upsample_mode_from_name(const std::string& name);
 
@@ -88,5 +102,6 @@ std::vector<float> crop_noise_options();                    // 0.875 center crop
 std::vector<ColorMode> color_noise_options();               // 1 alternate (NV12)
 std::vector<nn::Precision> precision_noise_options();       // FP16, INT8
 std::vector<NormStats> norm_noise_options();                // rounded-u8, 0.5/0.5
+std::vector<ChannelLayout> layout_noise_options();          // NHWC round trip
 
 }  // namespace sysnoise

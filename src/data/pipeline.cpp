@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 
+#include "tensor/layout.h"
+
 namespace sysnoise {
 
 std::pair<std::vector<float>, std::vector<float>> effective_norm_stats(
@@ -37,8 +39,9 @@ std::string preprocess_key(const SysNoiseConfig& cfg, const PipelineSpec& spec) 
   os << "dec=" << jpeg::vendor_name(cfg.decoder)
      << "|res=" << resize_method_name(cfg.resize)
      << "|crop=" << cfg.crop_fraction
-     << "|col=" << color_mode_name(cfg.color) << "|out=" << spec.out_h << "x"
-     << spec.out_w << "|m=";
+     << "|col=" << color_mode_name(cfg.color)
+     << "|lay=" << channel_layout_name(cfg.layout) << "|out=" << spec.out_h
+     << "x" << spec.out_w << "|m=";
   for (float v : mean) os << v << ",";
   os << "|s=";
   for (float v : stddev) os << v << ",";
@@ -67,7 +70,12 @@ ImageU8 preprocess_image(const std::vector<std::uint8_t>& jpeg_bytes,
 Tensor preprocess(const std::vector<std::uint8_t>& jpeg_bytes,
                   const SysNoiseConfig& cfg, const PipelineSpec& spec) {
   const auto [mean, stddev] = effective_norm_stats(cfg, spec);
-  return image_to_tensor(preprocess_image(jpeg_bytes, cfg, spec), mean, stddev);
+  Tensor t = image_to_tensor(preprocess_image(jpeg_bytes, cfg, spec), mean,
+                             stddev);
+  // Channel-layout knob: channels-last runtimes hand the network a tensor
+  // that round-tripped through an NHWC(FP16) staging buffer.
+  if (cfg.layout == ChannelLayout::kNHWCRoundTrip) nhwc_round_trip_(t);
+  return t;
 }
 
 PreprocessedBatches preprocess_batches(

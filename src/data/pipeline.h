@@ -1,8 +1,9 @@
 // Pre-processing pipeline: JPEG bytes -> decode -> resize -> color-mode
-// round trip -> normalized CHW tensor. The pre-processing SysNoise knobs
-// (decoder vendor, resize kernel, color path, normalization stats) act
-// here; samples are stored as real JPEG bitstreams so the decode path is
-// exercised end to end.
+// round trip -> normalized CHW tensor (optionally round-tripped through an
+// NHWC(FP16) staging buffer). The pre-processing SysNoise knobs (decoder
+// vendor, resize kernel, color path, normalization stats, channel layout)
+// act here; samples are stored as real JPEG bitstreams so the decode path
+// is exercised end to end.
 //
 // The pipeline is the first stage of the staged evaluation split
 // (preprocess -> forward -> postprocess): `preprocess_key()` names exactly
@@ -38,7 +39,8 @@ std::pair<std::vector<float>, std::vector<float>> effective_norm_stats(
     const SysNoiseConfig& cfg, const PipelineSpec& spec);
 
 // Stage-1 cache key: a stable encoding of every knob preprocess() reads
-// (decoder, resize, color, effective normalization stats, output size).
+// (decoder, resize, color, layout, effective normalization stats, output
+// size).
 // Configs that differ only in inference/post-processing knobs share a key;
 // configs whose pre-processing products differ get distinct keys.
 std::string preprocess_key(const SysNoiseConfig& cfg, const PipelineSpec& spec);

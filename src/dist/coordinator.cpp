@@ -1,0 +1,349 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include <sys/socket.h>
+
+#include "dist/protocol.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace sysnoise::dist {
+
+namespace {
+
+util::Json metrics_to_json(const core::MetricMap& metrics) {
+  util::Json j = util::Json::object();
+  for (const auto& [key, value] : metrics) j.set(key, value);
+  return j;
+}
+
+}  // namespace
+
+struct Coordinator::Impl {
+  CoordinatorOptions opts;
+  net::TcpListener listener;
+
+  // Per-run state (reset by run()).
+  std::unique_ptr<LeaseScheduler> scheduler;
+  const std::vector<DistJob>* jobs = nullptr;
+  util::Json welcome;  // prebuilt welcome frame shared by every worker
+
+  mutable std::mutex results_mu;
+  std::vector<core::MetricMap> results;
+  std::string first_error;  // first merge/protocol failure, "" when clean
+
+  std::atomic<int> next_worker_id{0};
+  std::atomic<std::size_t> workers_joined{0};
+  std::atomic<std::size_t> results_received{0};
+  std::atomic<std::size_t> worker_errors{0};
+
+  // Live connection fds, so run() can nudge zombie connections (a silent
+  // worker whose leases already expired) off their blocking recv instead of
+  // waiting out the receive timeout at join time. Handlers unregister
+  // BEFORE closing, so a registered fd is never a recycled one.
+  std::mutex conns_mu;
+  std::set<int> conns;
+  std::atomic<int> active_handlers{0};
+
+  void log(const char* fmt, ...) const;
+  void record_error(const std::string& message);
+  bool has_error() const {
+    std::lock_guard<std::mutex> lock(results_mu);
+    return !first_error.empty();
+  }
+  bool merge_result(const util::Json& m, int worker_id);
+  void serve(net::TcpSocket sock);
+};
+
+void Coordinator::Impl::log(const char* fmt, ...) const {
+  if (!opts.verbose) return;
+  va_list args;
+  va_start(args, fmt);
+  std::printf("[coordinator] ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  std::fflush(stdout);
+  va_end(args);
+}
+
+void Coordinator::Impl::record_error(const std::string& message) {
+  std::lock_guard<std::mutex> lock(results_mu);
+  if (first_error.empty()) first_error = message;
+}
+
+// Merge one result frame. Returns false when the frame is malformed or
+// disagrees with previously-merged metrics (both poison the run).
+bool Coordinator::Impl::merge_result(const util::Json& m, int worker_id) {
+  const util::Json* jjob = m.get("job");
+  const util::Json* junit = m.get("unit");
+  const util::Json* jmetrics = m.get("metrics");
+  if (jjob == nullptr || junit == nullptr || jmetrics == nullptr ||
+      !jmetrics->is_object()) {
+    record_error("malformed result frame from worker " +
+                 std::to_string(worker_id));
+    return false;
+  }
+  const int job = jjob->as_int();
+  const auto unit = static_cast<std::size_t>(junit->as_int());
+  if (job < 0 || job >= static_cast<int>(results.size()) ||
+      unit >= scheduler->units().size()) {
+    record_error("result for unknown job/unit from worker " +
+                 std::to_string(worker_id));
+    return false;
+  }
+  {
+    // NOTE: record_error locks results_mu too — collect the failure and
+    // report it after this scope.
+    std::string merge_error;
+    std::lock_guard<std::mutex> lock(results_mu);
+    core::MetricMap& merged = results[static_cast<std::size_t>(job)];
+    for (const auto& [key, value] : jmetrics->items()) {
+      if (!value.is_number()) {
+        merge_error = "non-numeric metric \"" + key + "\" from worker " +
+                      std::to_string(worker_id);
+        break;
+      }
+      const auto [it, inserted] = merged.emplace(key, value.as_number());
+      if (!inserted && it->second != value.as_number()) {
+        // Executors are required to be bit-identical; a disagreement means
+        // non-determinism somewhere and must fail the run, not average out.
+        merge_error = "workers disagree on \"" + key + "\"";
+        break;
+      }
+    }
+    if (!merge_error.empty()) {
+      if (first_error.empty()) first_error = merge_error;
+      return false;
+    }
+  }
+  results_received.fetch_add(1);
+  const bool first = scheduler->complete(unit);
+  log("result job=%d unit=%zu from worker %d%s", job, unit, worker_id,
+      first ? "" : " (duplicate)");
+  return true;
+}
+
+void Coordinator::Impl::serve(net::TcpSocket sock) {
+  using Clock = LeaseScheduler::Clock;
+  // A live worker is never silent longer than a heartbeat interval; give a
+  // connection twice the lease timeout of slack before declaring it dead
+  // (which also bounds how long a zombie handler can linger past the
+  // shutdown nudge).
+  const int recv_timeout_ms = static_cast<int>(
+      std::max<std::int64_t>(opts.lease_timeout.count() * 2, 1000));
+  sock.set_recv_timeout_ms(recv_timeout_ms);
+
+  active_handlers.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    conns.insert(sock.fd());
+  }
+  struct ConnGuard {
+    Impl* im;
+    int fd;
+    ~ConnGuard() {
+      {
+        std::lock_guard<std::mutex> lock(im->conns_mu);
+        im->conns.erase(fd);
+      }
+      im->active_handlers.fetch_sub(1);
+    }
+  } guard{this, sock.fd()};
+
+  // Everything a peer sends is untrusted: recv_json throws on a frame that
+  // is length-valid but not JSON, and field accessors throw on shape
+  // violations. An escaped exception in a handler thread would terminate
+  // the whole coordinator, so contain them here.
+  int worker_id = -1;
+  try {
+    util::Json m;
+    if (!net::recv_json(sock, &m) ||
+        message_type(m) != msg::kHello ||
+        m.get("protocol") == nullptr ||
+        !m.at("protocol").is_number() ||
+        m.at("protocol").as_int() != kProtocolVersion) {
+      worker_errors.fetch_add(1);
+      util::Json err = make_message(msg::kError);
+      err.set("message", "bad hello (protocol mismatch?)");
+      net::send_json(sock, err);
+      return;
+    }
+    worker_id = next_worker_id.fetch_add(1);
+    workers_joined.fetch_add(1);
+    log("worker %d joined", worker_id);
+    if (!net::send_json(sock, welcome)) {
+      scheduler->release_worker(worker_id);
+      return;
+    }
+
+    const auto wait_ms =
+        static_cast<int>(opts.heartbeat_interval.count());
+    while (true) {
+      if (!net::recv_json(sock, &m)) break;  // death, timeout or clean close
+      const std::string type = message_type(m);
+      if (type == msg::kLeaseRequest) {
+        util::Json reply;
+        if (workers_joined.load() < static_cast<std::size_t>(opts.min_workers)) {
+          reply = make_message(msg::kWait);
+          reply.set("ms", wait_ms);
+        } else if (const std::optional<std::size_t> unit =
+                       scheduler->acquire(worker_id, Clock::now())) {
+          const WorkUnit& wu = scheduler->units()[*unit];
+          reply = make_message(msg::kLease);
+          reply.set("job", wu.job);
+          reply.set("unit", static_cast<int>(*unit));
+          util::Json configs = util::Json::array();
+          for (const std::size_t c : wu.configs)
+            configs.push_back(static_cast<int>(c));
+          reply.set("configs", std::move(configs));
+          log("lease unit %zu (job %d, %zu configs) -> worker %d", *unit,
+              wu.job, wu.configs.size(), worker_id);
+        } else if (scheduler->all_done()) {
+          // The conversation is over: answer done and hang up — waiting for
+          // the worker's close would race run()'s shutdown nudge.
+          net::send_json(sock, make_message(msg::kDone));
+          break;
+        } else {
+          reply = make_message(msg::kWait);
+          reply.set("ms", wait_ms);
+        }
+        if (!net::send_json(sock, reply)) break;
+      } else if (type == msg::kHeartbeat) {
+        scheduler->heartbeat(worker_id, Clock::now());
+        if (!net::send_json(sock, make_message(msg::kOk))) break;
+      } else if (type == msg::kResult) {
+        if (!merge_result(m, worker_id)) {
+          worker_errors.fetch_add(1);
+          break;
+        }
+        if (!net::send_json(sock, make_message(msg::kOk))) break;
+      } else if (type == msg::kError) {
+        const util::Json* message = m.get("message");
+        log("worker %d error: %s", worker_id,
+            message != nullptr ? message->as_string().c_str() : "?");
+        worker_errors.fetch_add(1);
+        break;
+      } else {
+        worker_errors.fetch_add(1);
+        break;  // protocol violation
+      }
+    }
+  } catch (const std::exception& e) {
+    worker_errors.fetch_add(1);
+    log("connection error: %s", e.what());
+  }
+  // Whatever this worker still held goes straight back on offer.
+  if (worker_id >= 0) {
+    scheduler->release_worker(worker_id);
+    log("worker %d left", worker_id);
+  }
+}
+
+Coordinator::Coordinator(CoordinatorOptions opts) : impl_(new Impl) {
+  impl_->opts = opts;
+  impl_->listener = net::TcpListener::listen(opts.port);
+}
+
+Coordinator::~Coordinator() { delete impl_; }
+
+int Coordinator::port() const { return impl_->listener.port(); }
+
+std::vector<core::MetricMap> Coordinator::run(const std::vector<DistJob>& jobs) {
+  Impl& im = *impl_;
+  // Per-run reset.
+  im.jobs = &jobs;
+  im.results.assign(jobs.size(), {});
+  im.first_error.clear();
+  im.workers_joined.store(0);
+  im.results_received.store(0);
+  im.worker_errors.store(0);
+
+  std::vector<WorkUnit> units;
+  for (std::size_t j = 0; j < jobs.size(); ++j)
+    for (std::vector<std::size_t>& group : core::plan_work_units(jobs[j].plan))
+      units.push_back({static_cast<int>(j), std::move(group)});
+  im.scheduler = std::make_unique<LeaseScheduler>(std::move(units),
+                                                  im.opts.lease_timeout);
+
+  im.welcome = make_message(msg::kWelcome);
+  im.welcome.set("protocol", kProtocolVersion);
+  im.welcome.set("heartbeat_ms",
+                 static_cast<int>(im.opts.heartbeat_interval.count()));
+  util::Json jjobs = util::Json::array();
+  for (const DistJob& job : jobs) {
+    util::Json jj = util::Json::object();
+    jj.set("task", job.task_spec);
+    jj.set("plan", job.plan.to_json());
+    jjobs.push_back(std::move(jj));
+  }
+  im.welcome.set("jobs", std::move(jjobs));
+
+  im.log("serving %zu jobs / %zu units on port %d",
+         jobs.size(), im.scheduler->units().size(), port());
+
+  std::vector<std::thread> handlers;
+  // A recorded merge/protocol error poisons the run: its unit may never
+  // complete (the offending worker was cut off), so stop serving and
+  // surface the diagnostic instead of waiting for an all_done() that can't
+  // come.
+  while (!im.scheduler->all_done() && !im.has_error()) {
+    net::TcpSocket sock = im.listener.accept(100);
+    if (!sock.valid()) continue;
+    handlers.emplace_back(
+        [&im](net::TcpSocket s) { im.serve(std::move(s)); }, std::move(sock));
+  }
+  // Workers still attached get "done" on their next request (at most one
+  // heartbeat interval away) and their handlers hang up — give them that
+  // window before nudging. What remains after the grace period is a zombie
+  // (a worker that died silently after its leases were re-leased) whose
+  // handler would only exit on recv timeout: shut those sockets down so
+  // join is prompt.
+  const auto grace_deadline =
+      std::chrono::steady_clock::now() +
+      std::max<std::chrono::milliseconds>(3 * im.opts.heartbeat_interval,
+                                          std::chrono::milliseconds(500));
+  while (im.active_handlers.load() > 0 &&
+         std::chrono::steady_clock::now() < grace_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  {
+    std::lock_guard<std::mutex> lock(im.conns_mu);
+    for (const int fd : im.conns) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : handlers) t.join();
+  im.jobs = nullptr;
+
+  if (!im.first_error.empty())
+    throw std::runtime_error("Coordinator: " + im.first_error);
+  // all_done() guarantees unit coverage; double-check the metric maps cover
+  // their plans so assembly cannot throw later.
+  for (std::size_t j = 0; j < jobs.size(); ++j)
+    for (const core::PlannedConfig& p : jobs[j].plan.configs)
+      if (im.results[j].find(p.metric_key) == im.results[j].end())
+        throw std::runtime_error(
+            "Coordinator: completed run left no metric for \"" +
+            p.metric_key + "\"");
+  return std::move(im.results);
+}
+
+CoordinatorStats Coordinator::stats() const {
+  CoordinatorStats s;
+  if (impl_->scheduler != nullptr) s.scheduler = impl_->scheduler->stats();
+  s.workers_joined = impl_->workers_joined.load();
+  s.results_received = impl_->results_received.load();
+  s.worker_errors = impl_->worker_errors.load();
+  return s;
+}
+
+}  // namespace sysnoise::dist

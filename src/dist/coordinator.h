@@ -1,0 +1,82 @@
+// The coordinator half of the distributed sweep runtime: owns a sequence of
+// (task-spec, SweepPlan) jobs, leases stage-key-grouped work units to TCP
+// workers (dist/worker.h, tools/sysnoise_worker.cpp) over the
+// dist/protocol.h message vocabulary, and incrementally merges the streamed
+// partial MetricMaps into per-job results that are bit-identical to a
+// single-process sweep — the dynamic, fault-tolerant successor to the
+// static `--shard i/N` + `--merge` workflow.
+//
+// Scheduling is pull-based work stealing: workers ask for a lease whenever
+// they are idle, so fast workers naturally evaluate more units. Fault
+// tolerance is lease-based: every lease expires unless the owning worker
+// heartbeats, a dropped connection returns its leases immediately, and an
+// expired/returned unit is simply re-leased to the next hungry worker. The
+// merge verifies that overlapping results (a unit completed by both the
+// original and the replacement worker) agree bit-exactly.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "dist/scheduler.h"
+#include "util/json.h"
+
+namespace sysnoise::dist {
+
+// One schedulable sweep: an opaque task spec the workers resolve (the
+// coordinator never interprets it — tests resolve synthetic tasks, the
+// worker binary resolves zoo models via dist/task_factory.h) plus the plan
+// to evaluate.
+struct DistJob {
+  util::Json task_spec;
+  core::SweepPlan plan;
+};
+
+struct CoordinatorOptions {
+  int port = 0;          // 0 = ephemeral; port() reports the actual one
+  int min_workers = 1;   // hold leases until this many workers ever joined
+  // A lease not refreshed within this window is considered abandoned and
+  // goes back on offer. Workers heartbeat every heartbeat_interval, so the
+  // timeout should be a few intervals.
+  std::chrono::milliseconds lease_timeout{10000};
+  std::chrono::milliseconds heartbeat_interval{1000};
+  bool verbose = false;  // one line per connection/lease/result on stdout
+};
+
+struct CoordinatorStats {
+  SchedulerStats scheduler;
+  std::size_t workers_joined = 0;
+  std::size_t results_received = 0;
+  std::size_t worker_errors = 0;  // error messages + protocol violations
+};
+
+class Coordinator {
+ public:
+  // Binds the listener immediately so port() is valid (and workers can
+  // start connecting) before run() is entered.
+  explicit Coordinator(CoordinatorOptions opts = {});
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  int port() const;
+
+  // Serve the jobs until every work unit of every plan is complete, then
+  // return one full MetricMap per job (job order). Throws std::runtime_error
+  // if workers disagreed bit-exactly on a metric or a result was malformed.
+  // Callable repeatedly; each call is an independent sweep (workers from a
+  // finished run were told "done" and have disconnected).
+  std::vector<core::MetricMap> run(const std::vector<DistJob>& jobs);
+
+  // Accounting of the most recent run().
+  CoordinatorStats stats() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace sysnoise::dist

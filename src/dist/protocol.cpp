@@ -1,0 +1,36 @@
+#include "dist/protocol.h"
+
+namespace sysnoise::dist {
+
+util::Json make_message(const char* type) {
+  util::Json j = util::Json::object();
+  j.set("type", type);
+  return j;
+}
+
+std::string message_type(const util::Json& j) {
+  if (!j.is_object()) return "";
+  const util::Json* t = j.get("type");
+  return t != nullptr && t->is_string() ? t->as_string() : "";
+}
+
+util::Json TaskSpec::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("kind", kind);
+  j.set("model", model);
+  if (!tag.empty()) j.set("tag", tag);
+  j.set("seed_baseline", seed_baseline);
+  return j;
+}
+
+TaskSpec TaskSpec::from_json(const util::Json& j) {
+  TaskSpec spec;
+  spec.kind = j.at("kind").as_string();
+  spec.model = j.at("model").as_string();
+  if (const util::Json* t = j.get("tag")) spec.tag = t->as_string();
+  if (const util::Json* s = j.get("seed_baseline"))
+    spec.seed_baseline = s->as_bool();
+  return spec;
+}
+
+}  // namespace sysnoise::dist

@@ -1,0 +1,72 @@
+// Wire protocol of the distributed sweep runtime: message vocabulary and
+// the task-spec workers reconstruct their EvalTask from.
+//
+// Transport: length-prefixed compact JSON frames (net/frame.h) over one TCP
+// connection per worker, strict request/response lockstep driven by the
+// worker:
+//
+//   worker -> coordinator          coordinator -> worker
+//   ---------------------          ---------------------
+//   hello {protocol, worker}       welcome {protocol, heartbeat_ms,
+//                                           jobs: [{task, plan}, ...]}
+//   lease_request {}               lease {job, unit, configs: [i...]}
+//                                  | wait {ms}       (nothing leasable yet)
+//                                  | done {}         (sweep complete)
+//   heartbeat {}                   ok {}             (refreshes leases)
+//   result {job, unit,             ok {}
+//           metrics: {key: v}}
+//   error {message}                (connection closed)
+//
+// The worker always speaks next; while evaluating a lease it keeps the
+// conversation alive with heartbeats, so a worker silent for longer than a
+// few heartbeat intervals is dead by definition — that silence (or a raw
+// disconnect) is what expires its leases back to the scheduler.
+#pragma once
+
+#include <string>
+
+#include "util/json.h"
+
+namespace sysnoise::dist {
+
+// Bump on incompatible message changes; hello/welcome verify it.
+constexpr int kProtocolVersion = 1;
+
+// Message type strings.
+namespace msg {
+inline constexpr const char* kHello = "hello";
+inline constexpr const char* kWelcome = "welcome";
+inline constexpr const char* kLeaseRequest = "lease_request";
+inline constexpr const char* kLease = "lease";
+inline constexpr const char* kWait = "wait";
+inline constexpr const char* kDone = "done";
+inline constexpr const char* kHeartbeat = "heartbeat";
+inline constexpr const char* kResult = "result";
+inline constexpr const char* kOk = "ok";
+inline constexpr const char* kError = "error";
+}  // namespace msg
+
+// Build a message envelope {"type": type}.
+util::Json make_message(const char* type);
+// The "type" of a parsed message ("" when absent/malformed).
+std::string message_type(const util::Json& j);
+
+// What a worker needs to rebuild the coordinator's EvalTask: the task
+// family plus the zoo model name (training is deterministic and disk-
+// cached, so "same name" means "same weights" on every machine sharing a
+// SYSNOISE_CACHE_DIR convention — and bit-identical weights even without
+// sharing one). `kind` matches task_kind_name(); `tag` is the classifier
+// retrained-variant tag. seed_baseline carries the zoo's clean-pipeline
+// metric so the worker's SweepCache starts out exactly like a seeded
+// single-process sweep and never re-evaluates the baseline.
+struct TaskSpec {
+  std::string kind;  // "classification" | "detection" | "segmentation"
+  std::string model;
+  std::string tag;
+  bool seed_baseline = true;
+
+  util::Json to_json() const;
+  static TaskSpec from_json(const util::Json& j);
+};
+
+}  // namespace sysnoise::dist

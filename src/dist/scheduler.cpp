@@ -1,0 +1,89 @@
+#include "dist/scheduler.h"
+
+#include <utility>
+
+namespace sysnoise::dist {
+
+LeaseScheduler::LeaseScheduler(std::vector<WorkUnit> units,
+                               std::chrono::milliseconds lease_timeout)
+    : units_(std::move(units)),
+      slots_(units_.size()),
+      lease_timeout_(lease_timeout) {}
+
+std::optional<std::size_t> LeaseScheduler::acquire(int worker,
+                                                   Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Expire silent leases first so their units are offerable below. Expiry
+  // happens lazily here (not on a reaper thread): nothing observes a lease
+  // between acquires, so this is exactly as prompt as it needs to be.
+  for (Slot& s : slots_)
+    if (s.state == State::kLeased && s.deadline <= now) {
+      s.state = State::kPending;
+      s.worker = -1;
+      ++stats_.expired;
+    }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (s.state != State::kPending) continue;
+    s.state = State::kLeased;
+    s.worker = worker;
+    s.deadline = now + lease_timeout_;
+    ++stats_.leases_granted;
+    if (s.ever_leased) ++stats_.re_leases;
+    s.ever_leased = true;
+    return i;
+  }
+  return std::nullopt;
+}
+
+void LeaseScheduler::heartbeat(int worker, Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& s : slots_)
+    if (s.state == State::kLeased && s.worker == worker)
+      s.deadline = now + lease_timeout_;
+}
+
+bool LeaseScheduler::complete(std::size_t unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = slots_[unit];
+  if (s.state == State::kDone) {
+    ++stats_.duplicate_results;
+    return false;
+  }
+  s.state = State::kDone;
+  s.worker = -1;
+  ++stats_.completed;
+  return true;
+}
+
+void LeaseScheduler::release_worker(int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& s : slots_)
+    if (s.state == State::kLeased && s.worker == worker) {
+      s.state = State::kPending;
+      s.worker = -1;
+      ++stats_.released;
+    }
+}
+
+bool LeaseScheduler::all_done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Slot& s : slots_)
+    if (s.state != State::kDone) return false;
+  return true;
+}
+
+std::size_t LeaseScheduler::remaining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Slot& s : slots_)
+    if (s.state != State::kDone) ++n;
+  return n;
+}
+
+SchedulerStats LeaseScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sysnoise::dist

@@ -1,0 +1,82 @@
+// Lease bookkeeping of the distributed sweep coordinator, factored out of
+// the socket handling so the scheduling policy is testable without a
+// network: work units (stage-key groups of plan config indices, tagged with
+// their job) are leased to workers on demand — work-stealing style, fast
+// workers simply come back for more — and every lease carries a deadline
+// refreshed by the owning worker's heartbeats. A unit whose worker
+// disconnects (release_worker) or falls silent past its deadline
+// (acquire-time expiry sweep) goes back on offer and is re-leased to the
+// next hungry worker; a late result from the original owner is still
+// accepted, since executors are required to be bit-identical.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace sysnoise::dist {
+
+// One leasable unit: config indices of one stage-key group of one job.
+struct WorkUnit {
+  int job = 0;
+  std::vector<std::size_t> configs;
+};
+
+struct SchedulerStats {
+  std::size_t leases_granted = 0;  // including re-leases
+  std::size_t re_leases = 0;       // grants of a previously-leased unit
+  std::size_t expired = 0;         // deadline expiries (silent workers)
+  std::size_t released = 0;        // units returned by disconnects
+  std::size_t completed = 0;       // first completions
+  std::size_t duplicate_results = 0;
+};
+
+class LeaseScheduler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  LeaseScheduler(std::vector<WorkUnit> units,
+                 std::chrono::milliseconds lease_timeout);
+
+  const std::vector<WorkUnit>& units() const { return units_; }
+
+  // Lease the next available unit to `worker` (a connection-unique id):
+  // the first pending unit in plan order, where expired and
+  // disconnect-released units rejoin the pool before being scanned.
+  // nullopt = nothing leasable right now (the caller answers `wait` or
+  // `done` depending on all_done()).
+  std::optional<std::size_t> acquire(int worker, Clock::time_point now);
+
+  // Refresh the deadlines of every lease `worker` holds.
+  void heartbeat(int worker, Clock::time_point now);
+
+  // Mark `unit` complete. Returns true on the first completion, false for
+  // a duplicate (unit re-leased after expiry, both workers finished).
+  bool complete(std::size_t unit);
+
+  // The worker's connection died: put its incomplete leases back on offer.
+  void release_worker(int worker);
+
+  bool all_done() const;
+  std::size_t remaining() const;
+  SchedulerStats stats() const;
+
+ private:
+  enum class State { kPending, kLeased, kDone };
+  struct Slot {
+    State state = State::kPending;
+    int worker = -1;
+    Clock::time_point deadline{};
+    bool ever_leased = false;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<WorkUnit> units_;
+  std::vector<Slot> slots_;
+  std::chrono::milliseconds lease_timeout_;
+  SchedulerStats stats_;
+};
+
+}  // namespace sysnoise::dist

@@ -16,7 +16,9 @@ namespace sysnoise::models {
 
 namespace {
 
-constexpr std::uint32_t kBatchesMagic = 0x53504231;  // "SPB1"
+constexpr std::uint32_t kBatchesMagic = 0x53504231;    // "SPB1"
+constexpr std::uint32_t kRawDetsMagic = 0x53504431;    // "SPD1"
+constexpr std::uint32_t kMetricMagic = 0x53504D31;     // "SPM1"
 
 void put_u32(std::string* out, std::uint32_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -26,6 +28,37 @@ bool get_u32(const std::string& in, std::size_t* pos, std::uint32_t* v) {
   if (*pos + sizeof(*v) > in.size()) return false;
   std::memcpy(v, in.data() + *pos, sizeof(*v));
   *pos += sizeof(*v);
+  return true;
+}
+
+void put_tensor(std::string* out, const Tensor& t) {
+  put_u32(out, static_cast<std::uint32_t>(t.rank()));
+  for (const int d : t.shape()) put_u32(out, static_cast<std::uint32_t>(d));
+  out->append(reinterpret_cast<const char*>(t.data()),
+              t.size() * sizeof(float));
+}
+
+// Bounded like decode_batches: dims are capped by what the remaining
+// payload could hold, so a malformed payload reads as `false`, never UB.
+bool get_tensor(const std::string& in, std::size_t* pos, Tensor* t) {
+  std::uint32_t rank = 0;
+  if (!get_u32(in, pos, &rank) || rank > 8) return false;
+  const std::size_t max_elems = in.size() / sizeof(float);
+  std::vector<int> shape;
+  std::size_t elems = 1;
+  for (std::uint32_t r = 0; r < rank; ++r) {
+    std::uint32_t d = 0;
+    if (!get_u32(in, pos, &d)) return false;
+    if (d == 0 || d > 0x7fffffffu || d > max_elems || elems > max_elems / d)
+      return false;
+    shape.push_back(static_cast<int>(d));
+    elems *= d;
+  }
+  if (*pos + elems * sizeof(float) > in.size()) return false;
+  std::vector<float> data(elems);
+  std::memcpy(data.data(), in.data() + *pos, elems * sizeof(float));
+  *pos += elems * sizeof(float);
+  *t = Tensor::from_vector(std::move(shape), std::move(data));
   return true;
 }
 
@@ -93,6 +126,50 @@ bool decode_batches(const std::string& bytes, PreprocessedBatches* out) {
   return pos == bytes.size();
 }
 
+std::string encode_raw_detections(const RawDetections& raw) {
+  std::string out;
+  put_u32(&out, kRawDetsMagic);
+  put_u32(&out, static_cast<std::uint32_t>(raw.batches.size()));
+  for (const RawDetectorOutput& b : raw.batches) {
+    if (b.cls.size() != b.reg.size() || b.cls.size() != b.shapes.size())
+      return std::string();  // malformed product: refuse to persist
+    put_u32(&out, static_cast<std::uint32_t>(b.cls.size()));
+    for (std::size_t l = 0; l < b.cls.size(); ++l) {
+      put_u32(&out, static_cast<std::uint32_t>(b.shapes[l].first));
+      put_u32(&out, static_cast<std::uint32_t>(b.shapes[l].second));
+      put_tensor(&out, b.cls[l]);
+      put_tensor(&out, b.reg[l]);
+    }
+  }
+  return out;
+}
+
+bool decode_raw_detections(const std::string& bytes, RawDetections* out) {
+  std::size_t pos = 0;
+  std::uint32_t magic = 0, nbatches = 0;
+  if (!get_u32(bytes, &pos, &magic) || magic != kRawDetsMagic ||
+      !get_u32(bytes, &pos, &nbatches))
+    return false;
+  out->batches.clear();
+  for (std::uint32_t b = 0; b < nbatches; ++b) {
+    std::uint32_t nlevels = 0;
+    if (!get_u32(bytes, &pos, &nlevels) || nlevels > 64) return false;
+    RawDetectorOutput batch;
+    for (std::uint32_t l = 0; l < nlevels; ++l) {
+      std::uint32_t h = 0, w = 0;
+      Tensor cls, reg;
+      if (!get_u32(bytes, &pos, &h) || !get_u32(bytes, &pos, &w) ||
+          !get_tensor(bytes, &pos, &cls) || !get_tensor(bytes, &pos, &reg))
+        return false;
+      batch.shapes.emplace_back(static_cast<int>(h), static_cast<int>(w));
+      batch.cls.push_back(std::move(cls));
+      batch.reg.push_back(std::move(reg));
+    }
+    out->batches.push_back(std::move(batch));
+  }
+  return pos == bytes.size();
+}
+
 namespace {
 
 bool encode_batches_product(const core::StageProduct& product,
@@ -106,6 +183,74 @@ core::StageProduct decode_batches_product(const std::string& bytes) {
   auto batches = std::make_shared<PreprocessedBatches>();
   if (!decode_batches(bytes, batches.get())) return nullptr;
   return std::shared_ptr<const PreprocessedBatches>(std::move(batches));
+}
+
+// Classification/segmentation forward products are the bare metric double;
+// persist it with exact bits.
+bool encode_metric_product(const core::StageProduct& product,
+                           std::string* bytes) {
+  bytes->clear();
+  put_u32(bytes, kMetricMagic);
+  const double v = *static_cast<const double*>(product.get());
+  bytes->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  return true;
+}
+
+core::StageProduct decode_metric_product(const std::string& bytes) {
+  std::size_t pos = 0;
+  std::uint32_t magic = 0;
+  if (!get_u32(bytes, &pos, &magic) || magic != kMetricMagic ||
+      bytes.size() != pos + sizeof(double))
+    return nullptr;
+  double v = 0.0;
+  std::memcpy(&v, bytes.data() + pos, sizeof(v));
+  return std::make_shared<const double>(v);
+}
+
+// Stable fingerprint of a model's loaded parameters, BN state and INT8
+// calibration ranges: forward products must never outlive the numbers that
+// produced them, and the zoo's model names stay the same across retrains.
+template <typename Model>
+std::string weights_fingerprint(Model& model, const nn::ActRanges& ranges) {
+  nn::ParamRefs params;
+  model.collect(params);
+  nn::StateRefs state;
+  model.collect_state(state);
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix_bytes = [&h](const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_tensor = [&](const Tensor& t) {
+    for (const int d : t.shape()) mix_bytes(&d, sizeof(d));
+    mix_bytes(t.data(), t.size() * sizeof(float));
+  };
+  for (const nn::Param* p : params) mix_tensor(p->value);
+  for (const Tensor* t : state) mix_tensor(*t);
+  for (const auto& [key, obs] : ranges) {
+    mix_bytes(key.data(), key.size());
+    mix_bytes(&obs.lo, sizeof(obs.lo));
+    mix_bytes(&obs.hi, sizeof(obs.hi));
+  }
+  std::ostringstream os;
+  os << std::hex << h;
+  return os.str();
+}
+
+// One scope builder for all three adapters, so the format (and the cached
+// call_once fingerprint discipline) cannot drift between task kinds.
+template <typename Trained>
+std::string cached_forward_scope(const core::StagedEvalTask& task,
+                                 Trained& trained, std::once_flag& once,
+                                 std::string* fp) {
+  std::call_once(once, [&] {
+    *fp = weights_fingerprint(*trained.model, trained.ranges);
+  });
+  return task.preprocess_scope() + "|fwd=" + task.cache_identity() + "#w" +
+         *fp;
 }
 
 }  // namespace
@@ -158,6 +303,20 @@ core::StageProduct ClassifierTask::decode_preprocess(
   return decode_batches_product(bytes);
 }
 
+std::string ClassifierTask::forward_scope() const {
+  return cached_forward_scope(*this, tc_, weights_fp_once_, &weights_fp_);
+}
+
+bool ClassifierTask::encode_forward(const core::StageProduct& product,
+                                    std::string* bytes) const {
+  return encode_metric_product(product, bytes);
+}
+
+core::StageProduct ClassifierTask::decode_forward(
+    const std::string& bytes) const {
+  return decode_metric_product(bytes);
+}
+
 // ---------------------------------------------------------------------------
 // Detection
 // ---------------------------------------------------------------------------
@@ -207,6 +366,23 @@ core::StageProduct DetectorTask::decode_preprocess(
   return decode_batches_product(bytes);
 }
 
+std::string DetectorTask::forward_scope() const {
+  return cached_forward_scope(*this, td_, weights_fp_once_, &weights_fp_);
+}
+
+bool DetectorTask::encode_forward(const core::StageProduct& product,
+                                  std::string* bytes) const {
+  *bytes =
+      encode_raw_detections(*static_cast<const RawDetections*>(product.get()));
+  return !bytes->empty();
+}
+
+core::StageProduct DetectorTask::decode_forward(const std::string& bytes) const {
+  auto raw = std::make_shared<RawDetections>();
+  if (!decode_raw_detections(bytes, raw.get())) return nullptr;
+  return std::shared_ptr<const RawDetections>(std::move(raw));
+}
+
 // ---------------------------------------------------------------------------
 // Segmentation
 // ---------------------------------------------------------------------------
@@ -253,6 +429,20 @@ bool SegmenterTask::encode_preprocess(const core::StageProduct& product,
 core::StageProduct SegmenterTask::decode_preprocess(
     const std::string& bytes) const {
   return decode_batches_product(bytes);
+}
+
+std::string SegmenterTask::forward_scope() const {
+  return cached_forward_scope(*this, ts_, weights_fp_once_, &weights_fp_);
+}
+
+bool SegmenterTask::encode_forward(const core::StageProduct& product,
+                                   std::string* bytes) const {
+  return encode_metric_product(product, bytes);
+}
+
+core::StageProduct SegmenterTask::decode_forward(
+    const std::string& bytes) const {
+  return decode_metric_product(bytes);
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,8 @@
 // configs. Every adapter still works with the monolithic core::sweep().
 #pragma once
 
+#include <mutex>
+
 #include "core/disk_stage_cache.h"
 #include "core/staged_eval.h"
 #include "core/sweep.h"
@@ -20,6 +22,12 @@ namespace sysnoise::models {
 // malformed payload.
 std::string encode_batches(const PreprocessedBatches& batches);
 bool decode_batches(const std::string& bytes, PreprocessedBatches* out);
+
+// Binary round trip for the detection stage-2 product (tape-free forward
+// outputs), so the post-processing axis of a warm/distributed run re-decodes
+// boxes from disk without re-running the network.
+std::string encode_raw_detections(const RawDetections& raw);
+bool decode_raw_detections(const std::string& bytes, RawDetections* out);
 
 class ClassifierTask : public core::StagedEvalTask {
  public:
@@ -52,8 +60,18 @@ class ClassifierTask : public core::StagedEvalTask {
                          std::string* bytes) const override;
   core::StageProduct decode_preprocess(const std::string& bytes) const override;
 
+  // Forward products additionally depend on the weights, which
+  // cache_identity alone does not pin (a retrained zoo keeps its names) —
+  // the scope folds in a fingerprint of the loaded parameters.
+  std::string forward_scope() const override;
+  bool encode_forward(const core::StageProduct& product,
+                      std::string* bytes) const override;
+  core::StageProduct decode_forward(const std::string& bytes) const override;
+
  private:
   TrainedClassifier& tc_;
+  mutable std::once_flag weights_fp_once_;
+  mutable std::string weights_fp_;  // lazily computed fingerprint
 };
 
 class DetectorTask : public core::StagedEvalTask {
@@ -79,8 +97,15 @@ class DetectorTask : public core::StagedEvalTask {
                          std::string* bytes) const override;
   core::StageProduct decode_preprocess(const std::string& bytes) const override;
 
+  std::string forward_scope() const override;
+  bool encode_forward(const core::StageProduct& product,
+                      std::string* bytes) const override;
+  core::StageProduct decode_forward(const std::string& bytes) const override;
+
  private:
   TrainedDetector& td_;
+  mutable std::once_flag weights_fp_once_;
+  mutable std::string weights_fp_;
 };
 
 class SegmenterTask : public core::StagedEvalTask {
@@ -103,8 +128,15 @@ class SegmenterTask : public core::StagedEvalTask {
                          std::string* bytes) const override;
   core::StageProduct decode_preprocess(const std::string& bytes) const override;
 
+  std::string forward_scope() const override;
+  bool encode_forward(const core::StageProduct& product,
+                      std::string* bytes) const override;
+  core::StageProduct decode_forward(const std::string& bytes) const override;
+
  private:
   TrainedSegmenter& ts_;
+  mutable std::once_flag weights_fp_once_;
+  mutable std::string weights_fp_;
 };
 
 // Seed `cache` with `trained_metric` (the clean-pipeline number the zoo

@@ -1,0 +1,35 @@
+#include "net/frame.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sysnoise::net {
+
+bool send_json(TcpSocket& sock, const util::Json& message) {
+  const std::string payload = message.dump();
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  unsigned char header[4] = {
+      static_cast<unsigned char>(size >> 24),
+      static_cast<unsigned char>(size >> 16),
+      static_cast<unsigned char>(size >> 8),
+      static_cast<unsigned char>(size),
+  };
+  return sock.send_all(header, sizeof(header)) &&
+         sock.send_all(payload.data(), payload.size());
+}
+
+bool recv_json(TcpSocket& sock, util::Json* message) {
+  unsigned char header[4];
+  if (!sock.recv_all(header, sizeof(header))) return false;
+  const std::uint32_t size = (static_cast<std::uint32_t>(header[0]) << 24) |
+                             (static_cast<std::uint32_t>(header[1]) << 16) |
+                             (static_cast<std::uint32_t>(header[2]) << 8) |
+                             static_cast<std::uint32_t>(header[3]);
+  if (size > kMaxFrameBytes) return false;
+  std::string payload(size, '\0');
+  if (!sock.recv_all(payload.data(), payload.size())) return false;
+  *message = util::Json::parse(payload);
+  return true;
+}
+
+}  // namespace sysnoise::net

@@ -1,0 +1,82 @@
+// Minimal blocking TCP wrapper for the distributed sweep runtime: an
+// RAII-owned connected socket (TcpSocket) and a listening socket
+// (TcpListener) with a poll-based accept timeout so accept loops can check
+// a stop flag instead of blocking forever. IPv4, Linux-only, no TLS — the
+// coordinator/worker protocol is trusted-network tooling, like the shard
+// files it replaces.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace sysnoise::net {
+
+// Parse "host:port" (the last ':' splits, so bare IPv6 is out of scope —
+// the runtime is IPv4-only). Returns false unless the host is non-empty and
+// the port is all digits in [1, 65535]. The one parser behind every
+// --connect flag, so they cannot drift apart.
+bool parse_host_port(const std::string& hostport, std::string* host,
+                     int* port);
+
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket();
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  // Connect to host:port ("127.0.0.1", "some-host"). Throws
+  // std::runtime_error on resolution/connection failure.
+  static TcpSocket connect(const std::string& host, int port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Cap how long a recv may wait for bytes (0 = wait forever). The
+  // coordinator uses this as its dead-worker tripwire: a live worker is
+  // never silent for longer than its heartbeat interval.
+  void set_recv_timeout_ms(int ms);
+
+  // Send the whole buffer (retrying partial writes, SIGPIPE suppressed).
+  // Returns false when the peer is gone.
+  bool send_all(const void* data, std::size_t size);
+  // Receive exactly `size` bytes. Returns false on EOF, timeout or error.
+  bool recv_all(void* data, std::size_t size);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Bind + listen on all interfaces. `port` 0 picks an ephemeral port;
+  // port() reports the actual one. Throws std::runtime_error on failure.
+  static TcpListener listen(int port);
+
+  bool valid() const { return fd_ >= 0; }
+  int port() const { return port_; }
+
+  // Accept one connection, waiting at most `timeout_ms`. Returns an invalid
+  // socket on timeout or on a closed listener.
+  TcpSocket accept(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace sysnoise::net

@@ -1,14 +1,43 @@
 #include "nn/serialize.h"
 
+#include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
+
+#include <unistd.h>
 
 namespace sysnoise::nn {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x53594E50;  // "SYNP"
+
+// Zoo-cache files are shared by concurrent processes (distributed workers
+// all resolve the same models against one SYSNOISE_CACHE_DIR), so writes go
+// to a writer-unique temp file and rename into place — a reader never sees
+// a half-written weights/ranges file.
+std::string temp_path_for(const std::string& path) {
+  static std::atomic<std::uint64_t> seq{0};
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(seq.fetch_add(1));
+}
+
+void commit_or_throw(std::ofstream& f, const std::string& tmp,
+                     const std::string& path, const char* what) {
+  f.close();
+  std::error_code ec;
+  if (!f) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error(std::string(what) + ": write failed " + path);
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error(std::string(what) + ": cannot rename into " + path);
+  }
+}
 
 void write_tensor(std::ofstream& f, const Tensor& t) {
   const auto rank = static_cast<std::uint32_t>(t.rank());
@@ -42,15 +71,16 @@ bool read_tensor(std::ifstream& f, Tensor& t) {
 
 void save_params(const std::string& path, const std::vector<Param*>& params,
                  const std::vector<const Tensor*>& extra_state) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("save_params: cannot open " + path);
+  const std::string tmp = temp_path_for(path);
+  std::ofstream f(tmp, std::ios::binary);
+  if (!f) throw std::runtime_error("save_params: cannot open " + tmp);
   f.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
   const auto count =
       static_cast<std::uint32_t>(params.size() + extra_state.size());
   f.write(reinterpret_cast<const char*>(&count), sizeof(count));
   for (const Param* p : params) write_tensor(f, p->value);
   for (const Tensor* t : extra_state) write_tensor(f, *t);
-  if (!f) throw std::runtime_error("save_params: write failed " + path);
+  commit_or_throw(f, tmp, path, "save_params");
 }
 
 bool load_params(const std::string& path, const std::vector<Param*>& params,
@@ -71,8 +101,9 @@ bool load_params(const std::string& path, const std::vector<Param*>& params,
 }
 
 void save_ranges(const std::string& path, const ActRanges& ranges) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("save_ranges: cannot open " + path);
+  const std::string tmp = temp_path_for(path);
+  std::ofstream f(tmp, std::ios::binary);
+  if (!f) throw std::runtime_error("save_ranges: cannot open " + tmp);
   const auto count = static_cast<std::uint32_t>(ranges.size());
   f.write(reinterpret_cast<const char*>(&count), sizeof(count));
   for (const auto& [key, obs] : ranges) {
@@ -82,6 +113,7 @@ void save_ranges(const std::string& path, const ActRanges& ranges) {
     f.write(reinterpret_cast<const char*>(&obs.lo), sizeof(obs.lo));
     f.write(reinterpret_cast<const char*>(&obs.hi), sizeof(obs.hi));
   }
+  commit_or_throw(f, tmp, path, "save_ranges");
 }
 
 bool load_ranges(const std::string& path, ActRanges& ranges) {

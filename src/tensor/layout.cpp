@@ -1,0 +1,98 @@
+#include "tensor/layout.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/half.h"
+
+namespace sysnoise {
+
+namespace {
+
+// Normalize [C,H,W] to [1,C,H,W] dims; throws on other ranks.
+void nchw_dims(const Tensor& t, int* n, int* c, int* h, int* w) {
+  if (t.rank() == 4) {
+    *n = t.dim(0);
+    *c = t.dim(1);
+    *h = t.dim(2);
+    *w = t.dim(3);
+    return;
+  }
+  if (t.rank() == 3) {
+    *n = 1;
+    *c = t.dim(0);
+    *h = t.dim(1);
+    *w = t.dim(2);
+    return;
+  }
+  throw std::invalid_argument("layout: expected rank-3/4 tensor, got " +
+                              t.shape_str());
+}
+
+}  // namespace
+
+Tensor nchw_to_nhwc(const Tensor& t) {
+  int n = 0, c = 0, h = 0, w = 0;
+  nchw_dims(t, &n, &c, &h, &w);
+  Tensor out(t.rank() == 4 ? std::vector<int>{n, h, w, c}
+                           : std::vector<int>{h, w, c});
+  const float* src = t.data();
+  float* dst = out.data();
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  for (int b = 0; b < n; ++b) {
+    const float* img = src + static_cast<std::size_t>(b) * c * plane;
+    float* oimg = dst + static_cast<std::size_t>(b) * c * plane;
+    for (int ch = 0; ch < c; ++ch)
+      for (std::size_t p = 0; p < plane; ++p)
+        oimg[p * static_cast<std::size_t>(c) + ch] =
+            img[static_cast<std::size_t>(ch) * plane + p];
+  }
+  return out;
+}
+
+Tensor nhwc_to_nchw(const Tensor& t) {
+  int n = 1, h = 0, w = 0, c = 0;
+  if (t.rank() == 4) {
+    n = t.dim(0);
+    h = t.dim(1);
+    w = t.dim(2);
+    c = t.dim(3);
+  } else if (t.rank() == 3) {
+    h = t.dim(0);
+    w = t.dim(1);
+    c = t.dim(2);
+  } else {
+    throw std::invalid_argument("layout: expected rank-3/4 tensor, got " +
+                                t.shape_str());
+  }
+  Tensor out(t.rank() == 4 ? std::vector<int>{n, c, h, w}
+                           : std::vector<int>{c, h, w});
+  const float* src = t.data();
+  float* dst = out.data();
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  for (int b = 0; b < n; ++b) {
+    const float* img = src + static_cast<std::size_t>(b) * c * plane;
+    float* oimg = dst + static_cast<std::size_t>(b) * c * plane;
+    for (std::size_t p = 0; p < plane; ++p)
+      for (int ch = 0; ch < c; ++ch)
+        oimg[static_cast<std::size_t>(ch) * plane + p] =
+            img[p * static_cast<std::size_t>(c) + ch];
+  }
+  return out;
+}
+
+void nhwc_round_trip_(Tensor& t) {
+  Tensor nhwc = nchw_to_nhwc(t);
+  // The staging buffer is FP16: store every element as binary16.
+  std::vector<std::uint16_t> staged(nhwc.size());
+  const float* src = nhwc.data();
+  for (std::size_t i = 0; i < staged.size(); ++i)
+    staged[i] = float_to_half(src[i]);
+  float* back = nhwc.data();
+  for (std::size_t i = 0; i < staged.size(); ++i)
+    back[i] = half_to_float(staged[i]);
+  t = nhwc_to_nchw(nhwc);
+}
+
+}  // namespace sysnoise

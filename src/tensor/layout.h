@@ -1,0 +1,31 @@
+// Activation-layout conversion: NCHW (the training-framework convention
+// used throughout this codebase) <-> NHWC (the channels-last convention of
+// TFLite, TensorRT tensor-core paths and most mobile runtimes).
+//
+// The permutation itself is value-preserving; the SysNoise "Layout" axis
+// models what real converter stacks do around it: the NHWC staging copy is
+// materialized in half precision (channels-last kernels target FP16 tensor
+// cores, and converters insert transpose ops on FP16 buffers), so a
+// deployment that round-trips the network input through an NHWC buffer
+// perturbs every activation by one FP16 rounding. nhwc_round_trip_() is
+// that round trip: NCHW -> NHWC(FP16) -> NCHW, deterministic per element.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace sysnoise {
+
+// Permute a [N,C,H,W] (or [C,H,W], treated as N=1) tensor to [N,H,W,C].
+// Pure data movement — bit-exact values.
+Tensor nchw_to_nhwc(const Tensor& t);
+
+// Inverse permutation: [N,H,W,C] -> [N,C,H,W] (or rank-3 [H,W,C] -> [C,H,W]).
+Tensor nhwc_to_nchw(const Tensor& t);
+
+// The Layout-axis noise: round-trip `t` (NCHW) through an NHWC staging
+// buffer held in FP16, in place. Equivalent to one FP16 round-to-nearest-
+// even per element; implemented as the actual permute -> half store ->
+// permute-back chain so the modeled mechanism is the executed one.
+void nhwc_round_trip_(Tensor& t);
+
+}  // namespace sysnoise

@@ -35,12 +35,12 @@ void expect_reports_identical(const AxisReport& a, const AxisReport& b) {
 
 TEST(AxisRegistry, MatchesTable1Taxonomy) {
   const auto& axes = AxisRegistry::global().axes();
-  ASSERT_EQ(axes.size(), 9u);
+  ASSERT_EQ(axes.size(), 10u);
   const std::vector<std::string> names = {"Decode",    "Resize",
                                           "Crop",       "Color Mode",
-                                          "Normalize",  "Precision",
-                                          "Ceil Mode",  "Upsample",
-                                          "Post-proc"};
+                                          "Normalize",  "Layout",
+                                          "Precision",  "Ceil Mode",
+                                          "Upsample",   "Post-proc"};
   for (std::size_t i = 0; i < names.size(); ++i) EXPECT_EQ(axes[i].name, names[i]);
 
   // Option counts mirror the implemented option sets (Table 1 categories
@@ -58,9 +58,12 @@ TEST(AxisRegistry, MatchesTable1Taxonomy) {
             (std::vector<std::string>{"rounded-u8", "0.5/0.5"}));
   EXPECT_EQ(AxisRegistry::global().find("Normalize")->stage, "Pre-processing");
   for (const char* single :
-       {"Crop", "Color Mode", "Ceil Mode", "Upsample", "Post-proc"})
+       {"Crop", "Color Mode", "Layout", "Ceil Mode", "Upsample", "Post-proc"})
     EXPECT_EQ(AxisRegistry::global().find(single)->taxonomy_categories(), 2)
         << single;
+  EXPECT_EQ(AxisRegistry::global().find("Layout")->option_labels,
+            (std::vector<std::string>{"NHWC-fp16"}));
+  EXPECT_EQ(AxisRegistry::global().find("Layout")->stage, "Pre-processing");
   EXPECT_EQ(AxisRegistry::global().find("Crop")->option_labels,
             (std::vector<std::string>{"center-0.875"}));
   // Every axis carries taxonomy metadata for the Table 1 bench.
@@ -80,14 +83,15 @@ TEST(AxisRegistry, ApplicabilityFollowsTaskTraits) {
   const auto& reg = AxisRegistry::global();
   EXPECT_EQ(names(reg.applicable({TaskKind::kClassification, false})),
             (std::vector<std::string>{"Decode", "Resize", "Crop", "Color Mode",
-                                      "Normalize", "Precision"}));
+                                      "Normalize", "Layout", "Precision"}));
   EXPECT_EQ(names(reg.applicable({TaskKind::kDetection, true})),
             (std::vector<std::string>{"Decode", "Resize", "Color Mode",
-                                      "Normalize", "Precision", "Ceil Mode",
-                                      "Upsample", "Post-proc"}));
+                                      "Normalize", "Layout", "Precision",
+                                      "Ceil Mode", "Upsample", "Post-proc"}));
   EXPECT_EQ(names(reg.applicable({TaskKind::kSegmentation, false})),
             (std::vector<std::string>{"Decode", "Resize", "Color Mode",
-                                      "Normalize", "Precision", "Upsample"}));
+                                      "Normalize", "Layout", "Precision",
+                                      "Upsample"}));
 }
 
 TEST(AxisRegistry, CombinedConfigMatchesLegacyFlags) {
@@ -166,9 +170,9 @@ TEST(SweepEngine, SeededCacheSkipsTrainedBaselineEval) {
 
   SweepCache cache;
   const AxisReport report = models::sweep_seeded(task, trained, cache);
-  // Options: 3 decode + 10 resize + 1 crop + 1 color + 2 norm +
-  // 2 precision + combined = 20; the baseline itself came from the seed.
-  EXPECT_EQ(task.evals() - base_evals, 20);
+  // Options: 3 decode + 10 resize + 1 crop + 1 color + 2 norm + 1 layout +
+  // 2 precision + combined = 21; the baseline itself came from the seed.
+  EXPECT_EQ(task.evals() - base_evals, 21);
   EXPECT_EQ(report.trained, trained);
 }
 
@@ -192,8 +196,9 @@ TEST(SweepEngine, StepwiseAccumulatesInRegistryOrder) {
   const SyntheticTask task(TaskKind::kDetection, true);
   const auto steps = stepwise(task);
   const std::vector<std::string> expected = {
-      "Decode",    "+Resize",    "+Color Mode", "+Normalize",
-      "+INT8",     "+Ceil Mode", "+Upsample",   "+Post processing"};
+      "Decode",     "+Resize",    "+Color Mode",      "+Normalize",
+      "+NHWC",      "+INT8",      "+Ceil Mode",       "+Upsample",
+      "+Post processing"};
   ASSERT_EQ(steps.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i)
     EXPECT_EQ(steps[i].step, expected[i]);

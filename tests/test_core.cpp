@@ -130,13 +130,14 @@ TEST(Runner, StepwiseUsesCumulativeConfigs) {
   auto tc = models::get_classifier("MCUNet");
   models::ClassifierTask task(tc);
   const auto steps = stepwise(task);
-  ASSERT_EQ(steps.size(), 6u);  // no ceil step for MCUNet
+  ASSERT_EQ(steps.size(), 7u);  // no ceil step for MCUNet
   EXPECT_EQ(steps[0].step, "Decode");
   EXPECT_EQ(steps[1].step, "+Resize");
   EXPECT_EQ(steps[2].step, "+Crop");
   EXPECT_EQ(steps[3].step, "+Color Mode");
   EXPECT_EQ(steps[4].step, "+Normalize");
-  EXPECT_EQ(steps[5].step, "+INT8");
+  EXPECT_EQ(steps[5].step, "+NHWC");
+  EXPECT_EQ(steps[6].step, "+INT8");
 }
 
 TEST(Mitigation, MixPreprocessorVariesOutput) {

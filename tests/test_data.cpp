@@ -22,6 +22,7 @@ TEST(NoiseConfig, TrainingDefaultIsPyTorchLike) {
   EXPECT_EQ(cfg.resize, ResizeMethod::kPillowBilinear);
   EXPECT_EQ(cfg.color, ColorMode::kDirectRGB);
   EXPECT_EQ(cfg.norm, NormStats::kTorchvision);
+  EXPECT_EQ(cfg.layout, ChannelLayout::kNCHW);
   EXPECT_EQ(cfg.precision, nn::Precision::kFP32);
   EXPECT_FALSE(cfg.ceil_mode);
   EXPECT_EQ(cfg.upsample, nn::UpsampleMode::kNearest);
@@ -36,12 +37,13 @@ TEST(NoiseConfig, OptionCountsMatchTable1) {
   EXPECT_EQ(precision_noise_options().size(), 2u); // 3 incl. FP32
   EXPECT_EQ(norm_noise_options().size(), 2u);      // 3 incl. torchvision
   EXPECT_EQ(crop_noise_options().size(), 1u);      // 2 incl. no-crop default
+  EXPECT_EQ(layout_noise_options().size(), 1u);    // 2 incl. NCHW default
 }
 
 TEST(NoiseConfig, DescribeMentionsEveryKnob) {
   const std::string d = SysNoiseConfig::training_default().describe();
   for (const char* key : {"decoder=", "resize=", "crop=", "color=", "norm=",
-                          "prec=", "ceil=", "upsample=", "offset="})
+                          "layout=", "prec=", "ceil=", "upsample=", "offset="})
     EXPECT_NE(d.find(key), std::string::npos) << key;
 }
 

@@ -6,9 +6,11 @@
 // the registry key lookup.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/disk_stage_cache.h"
@@ -22,6 +24,7 @@
 #include "jpeg/codec.h"
 #include "models/eval_tasks.h"
 #include "models/zoo.h"
+#include "tensor/half.h"
 #include "util/json.h"
 
 namespace sysnoise::core {
@@ -449,6 +452,137 @@ TEST(CropAxis, ChangesPreprocessingOnlyForCroppedFractions) {
   // And the knob is stage-1-keyed, so the sweep engine never conflates the
   // two pipelines.
   EXPECT_NE(preprocess_key(base, spec), preprocess_key(cropped, spec));
+}
+
+TEST(LayoutAxis, NhwcRoundTripPerturbsTheTensorAndSplitsTheStageKey) {
+  Rng rng(12);
+  const TextureParams params = class_texture(1, 10, rng);
+  const auto jpeg_bytes =
+      jpeg::encode(render_texture(params, 64, 64, rng), {.quality = 90});
+  const PipelineSpec spec = models::cls_pipeline_spec();
+
+  SysNoiseConfig base;
+  SysNoiseConfig nhwc;
+  nhwc.layout = ChannelLayout::kNHWCRoundTrip;
+  const Tensor t_base = preprocess(jpeg_bytes, base, spec);
+  const Tensor t_nhwc = preprocess(jpeg_bytes, nhwc, spec);
+  ASSERT_EQ(t_base.shape(), t_nhwc.shape());
+  // The staging round trip is exactly one FP16 rounding per element —
+  // deterministic, non-zero noise in the same geometry.
+  bool differs = false;
+  for (std::size_t i = 0; i < t_base.size(); ++i) {
+    EXPECT_EQ(t_nhwc[i], fp16_round(t_base[i]));
+    differs |= t_nhwc[i] != t_base[i];
+  }
+  EXPECT_TRUE(differs);
+  EXPECT_NE(preprocess_key(base, spec), preprocess_key(nhwc, spec));
+}
+
+// ---------------------------------------------------------------------------
+// Forward-stage disk persistence + write atomicity
+// ---------------------------------------------------------------------------
+
+TEST(DiskStageCacheT, WarmRunSkipsForwardPassesToo) {
+  const auto dir = fresh_temp_dir("disk_cache_fwd");
+  const SyntheticStagedTask task(TaskKind::kDetection, true);
+  const SweepPlan plan = plan_sweep(task, AxisRegistry::global());
+
+  DiskStageCache cold_disk(dir.string());
+  StageStats cold;
+  const StagedExecutor cold_ex(&cold, &cold_disk);
+  const AxisReport cold_report = assemble_report(plan, cold_ex.execute(task, plan));
+  EXPECT_GT(cold.forward_computed, 0u);
+  EXPECT_EQ(cold.forward_persisted, cold.forward_computed);
+  EXPECT_EQ(cold.forward_disk_hits, 0u);
+
+  task.reset();
+  DiskStageCache warm_disk(dir.string());
+  StageStats warm;
+  const StagedExecutor warm_ex(&warm, &warm_disk);
+  const AxisReport warm_report = assemble_report(plan, warm_ex.execute(task, plan));
+  expect_reports_identical(cold_report, warm_report);
+  // Forward products cover every group, so the warm run touches NEITHER
+  // stage 1 nor stage 2 — only post-processing re-runs.
+  EXPECT_EQ(warm.forward_computed, 0u);
+  EXPECT_EQ(task.fwd_runs(), 0);
+  EXPECT_EQ(task.pre_runs(), 0);
+  EXPECT_GT(task.post_runs(), 0);
+  EXPECT_EQ(warm.forward_disk_hits, warm.forward_misses);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BatchEncoding, RawDetectionsRoundTripBitExactly) {
+  Rng rng(17);
+  models::RawDetections raw;
+  for (int b = 0; b < 2; ++b) {
+    models::RawDetectorOutput batch;
+    for (int level = 0; level < 3; ++level) {
+      Tensor cls({2, 6, 4 - level, 4 - level});
+      Tensor reg({2, 4, 4 - level, 4 - level});
+      for (auto& v : cls.vec()) v = rng.uniform_f(-4.0f, 4.0f);
+      for (auto& v : reg.vec()) v = rng.uniform_f(-4.0f, 4.0f);
+      batch.shapes.emplace_back(4 - level, 4 - level);
+      batch.cls.push_back(std::move(cls));
+      batch.reg.push_back(std::move(reg));
+    }
+    raw.batches.push_back(std::move(batch));
+  }
+
+  models::RawDetections back;
+  ASSERT_TRUE(
+      models::decode_raw_detections(models::encode_raw_detections(raw), &back));
+  ASSERT_EQ(back.batches.size(), raw.batches.size());
+  for (std::size_t b = 0; b < raw.batches.size(); ++b) {
+    EXPECT_EQ(back.batches[b].shapes, raw.batches[b].shapes);
+    ASSERT_EQ(back.batches[b].cls.size(), raw.batches[b].cls.size());
+    for (std::size_t l = 0; l < raw.batches[b].cls.size(); ++l) {
+      EXPECT_EQ(back.batches[b].cls[l].vec(), raw.batches[b].cls[l].vec());
+      EXPECT_EQ(back.batches[b].reg[l].vec(), raw.batches[b].reg[l].vec());
+    }
+  }
+  models::RawDetections junk;
+  EXPECT_FALSE(models::decode_raw_detections("garbage", &junk));
+}
+
+TEST(DiskStageCacheT, ConcurrentStoresNeverExposeTornEntries) {
+  // Hammer one key from many writers while readers load continuously: with
+  // temp-file + rename every successful load must observe one writer's
+  // payload in full, and no temp files survive.
+  const auto dir = fresh_temp_dir("disk_cache_torn");
+  DiskStageCache cache(dir.string());
+  const int kWriters = 8, kRounds = 50;
+  std::vector<std::string> payloads;
+  for (int w = 0; w < kWriters; ++w)
+    payloads.push_back(std::string(10000 + w, static_cast<char>('a' + w)));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread reader([&] {
+    std::string bytes;
+    while (!stop.load()) {
+      DiskStageCache reader_cache(dir.string());
+      if (!reader_cache.load("scope", "key", &bytes)) continue;
+      bool ok = false;
+      for (const std::string& p : payloads) ok |= bytes == p;
+      if (!ok) torn.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&, w] {
+      for (int r = 0; r < kRounds; ++r)
+        cache.store("scope", "key", payloads[static_cast<std::size_t>(w)]);
+    });
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
+
+  std::size_t temp_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().string().find(".tmp.") != std::string::npos) ++temp_files;
+  EXPECT_EQ(temp_files, 0u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -53,6 +53,8 @@ TEST(PreprocessKey, InjectiveOverAllRegistryPreprocessingCombinations) {
   for (auto s : norm_noise_options()) norms.push_back(s);
   std::vector<float> crops = {SysNoiseConfig{}.crop_fraction};
   for (auto f : crop_noise_options()) crops.push_back(f);
+  std::vector<ChannelLayout> layouts = {SysNoiseConfig{}.layout};
+  for (auto l : layout_noise_options()) layouts.push_back(l);
 
   const PipelineSpec spec;
   std::set<std::string> keys;
@@ -61,18 +63,20 @@ TEST(PreprocessKey, InjectiveOverAllRegistryPreprocessingCombinations) {
     for (auto r : resizes)
       for (auto c : colors)
         for (auto n : norms)
-          for (auto f : crops) {
-            SysNoiseConfig cfg;
-            cfg.decoder = d;
-            cfg.resize = r;
-            cfg.color = c;
-            cfg.norm = n;
-            cfg.crop_fraction = f;
-            keys.insert(preprocess_key(cfg, spec));
-            ++combos;
-          }
+          for (auto f : crops)
+            for (auto l : layouts) {
+              SysNoiseConfig cfg;
+              cfg.decoder = d;
+              cfg.resize = r;
+              cfg.color = c;
+              cfg.norm = n;
+              cfg.crop_fraction = f;
+              cfg.layout = l;
+              keys.insert(preprocess_key(cfg, spec));
+              ++combos;
+            }
   EXPECT_EQ(combos, decoders.size() * resizes.size() * colors.size() *
-                        norms.size() * crops.size());
+                        norms.size() * crops.size() * layouts.size());
   EXPECT_EQ(keys.size(), combos);
 }
 
@@ -137,22 +141,22 @@ TEST(StagedEngine, PreprocessOncePerKeyAndPostprocReusesForward) {
   staged_sweep(task, {}, &stats);
 
   // Detection full-table plan: base + 3 decode + 10 resize + 1 color +
-  // 2 norm + 2 precision + 1 ceil + 1 upsample + 1 post-proc + combined
-  // = 23 planned evaluations.
-  EXPECT_EQ(stats.evaluations, 23u);
+  // 2 norm + 1 layout + 2 precision + 1 ceil + 1 upsample + 1 post-proc +
+  // combined = 24 planned evaluations.
+  EXPECT_EQ(stats.evaluations, 24u);
   // Distinct preprocess keys: the default pipeline (shared by base,
-  // precision, ceil, upsample and post-proc configs) + 3+10+1+2 pre-
-  // processing options + combined = 18.
-  EXPECT_EQ(task.pre_runs(), 18);
-  EXPECT_EQ(stats.preprocess_misses, 18u);
-  EXPECT_EQ(stats.preprocess_hits, 23u - 18u);
+  // precision, ceil, upsample and post-proc configs) + 3+10+1+2+1 pre-
+  // processing options + combined = 19.
+  EXPECT_EQ(task.pre_runs(), 19);
+  EXPECT_EQ(stats.preprocess_misses, 19u);
+  EXPECT_EQ(stats.preprocess_hits, 24u - 19u);
   // Distinct forward keys: every config forwards once except the post-proc
-  // option, which shares the training-default forward pass = 22.
-  EXPECT_EQ(task.fwd_runs(), 22);
-  EXPECT_EQ(stats.forward_misses, 22u);
+  // option, which shares the training-default forward pass = 23.
+  EXPECT_EQ(task.fwd_runs(), 23);
+  EXPECT_EQ(stats.forward_misses, 23u);
   EXPECT_EQ(stats.forward_hits, 1u);
   // Post-processing runs once per planned evaluation.
-  EXPECT_EQ(task.post_runs(), 23);
+  EXPECT_EQ(task.post_runs(), 24);
 }
 
 TEST(StagedEngine, StepwiseSharesStagesAcrossCumulativeSteps) {
@@ -161,13 +165,13 @@ TEST(StagedEngine, StepwiseSharesStagesAcrossCumulativeSteps) {
   StageStats stats;
   staged_stepwise(task, {}, &stats);
 
-  // base + 8 cumulative steps; the four inference/post-processing steps
-  // re-use the pre-processing of the last pre-processing step, and the
-  // final post-proc step re-uses the previous step's forward outputs.
-  EXPECT_EQ(stats.evaluations, 9u);
-  EXPECT_EQ(task.pre_runs(), 5);
-  EXPECT_EQ(task.fwd_runs(), 8);
-  EXPECT_EQ(task.post_runs(), 9);
+  // base + 9 cumulative steps; the four inference/post-processing steps
+  // re-use the pre-processing of the last pre-processing step (+NHWC), and
+  // the final post-proc step re-uses the previous step's forward outputs.
+  EXPECT_EQ(stats.evaluations, 10u);
+  EXPECT_EQ(task.pre_runs(), 6);
+  EXPECT_EQ(task.fwd_runs(), 9);
+  EXPECT_EQ(task.post_runs(), 10);
 }
 
 TEST(StagedEngine, SharedSweepCacheStillMemoizesAcrossCalls) {

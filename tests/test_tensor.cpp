@@ -5,6 +5,7 @@
 
 #include "tensor/gemm.h"
 #include "tensor/half.h"
+#include "tensor/layout.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
 
@@ -220,6 +221,45 @@ TEST(Gemm, TransposedVariantsConsistent) {
     EXPECT_NEAR(c1[i], c2[i], 1e-4f);
     EXPECT_NEAR(c1[i], c3[i], 1e-4f);
   }
+}
+
+TEST(Layout, NhwcPermutationIsLossless) {
+  Rng r(21);
+  Tensor t({2, 3, 4, 5});
+  for (auto& v : t.vec()) v = r.uniform_f(-3.0f, 3.0f);
+  const Tensor nhwc = nchw_to_nhwc(t);
+  EXPECT_EQ(nhwc.shape(), (std::vector<int>{2, 4, 5, 3}));
+  // Spot-check the permutation mapping.
+  EXPECT_EQ(nhwc.at4(1, 2, 3, 0), t.at4(1, 0, 2, 3));
+  EXPECT_EQ(nhwc.at4(0, 1, 4, 2), t.at4(0, 2, 1, 4));
+  const Tensor back = nhwc_to_nchw(nhwc);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_EQ(back.vec(), t.vec());  // pure data movement, bit-exact
+
+  // Rank-3 [C,H,W] works too.
+  Tensor chw({3, 4, 5});
+  for (auto& v : chw.vec()) v = r.uniform_f(-3.0f, 3.0f);
+  EXPECT_EQ(nhwc_to_nchw(nchw_to_nhwc(chw)).vec(), chw.vec());
+}
+
+TEST(Layout, NhwcRoundTripIsFp16StagingNoise) {
+  Rng r(22);
+  Tensor t({1, 3, 8, 8});
+  for (auto& v : t.vec()) v = r.uniform_f(-2.5f, 2.5f);
+  Tensor staged = t;
+  nhwc_round_trip_(staged);
+  EXPECT_EQ(staged.shape(), t.shape());
+  // The permutation is lossless, so the round trip equals one FP16 rounding
+  // per element — non-zero noise, deterministic.
+  bool any_changed = false;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(staged[i], fp16_round(t[i]));
+    any_changed |= staged[i] != t[i];
+  }
+  EXPECT_TRUE(any_changed);
+  Tensor again = t;
+  nhwc_round_trip_(again);
+  EXPECT_EQ(again.vec(), staged.vec());
 }
 
 }  // namespace

@@ -1,0 +1,90 @@
+// sysnoise_worker — generic distributed-sweep worker.
+//
+// Connects to a coordinator (a table/fig bench started with --coordinate,
+// or anything serving the dist/protocol.h vocabulary), reconstructs the
+// advertised tasks from the model zoo, and evaluates leases until the sweep
+// is complete:
+//
+//   sysnoise_worker --connect host:port [--threads N]
+//                   [--connect-timeout-s S] [--quiet]
+//
+// Connection attempts retry for --connect-timeout-s (default 120s) so
+// workers can be launched before/while the coordinator is still training or
+// loading its models. Exit status: 0 when the coordinator reported the
+// sweep done, 2 on usage errors, 1 otherwise.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/disk_stage_cache.h"
+#include "dist/task_factory.h"
+#include "dist/worker.h"
+#include "net/socket.h"
+
+using namespace sysnoise;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect host:port [--threads N] "
+               "[--connect-timeout-s S] [--quiet]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host;
+  int port = 0;
+  dist::WorkerOptions opts;
+  opts.verbose = true;
+  int connect_timeout_s = 120;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect") {
+      if (++i >= argc) usage(argv[0]);
+      if (!net::parse_host_port(argv[i], &host, &port)) usage(argv[0]);
+    } else if (arg == "--threads") {
+      if (++i >= argc) usage(argv[0]);
+      opts.threads = std::atoi(argv[i]);
+    } else if (arg == "--connect-timeout-s") {
+      if (++i >= argc) usage(argv[0]);
+      connect_timeout_s = std::atoi(argv[i]);
+    } else if (arg == "--quiet") {
+      opts.verbose = false;
+    } else {
+      std::fprintf(stderr, "unknown argument \"%s\"\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (host.empty()) usage(argv[0]);
+
+  core::StageStats stages;
+  core::DiskStageCache disk;
+  opts.stats = &stages;
+  opts.disk = core::DiskStageCache::enabled_by_env() ? &disk : nullptr;
+
+  const dist::WorkerRunStats stats =
+      dist::run_worker_retrying(host, port, dist::zoo_task_resolver(), opts,
+                                std::chrono::seconds(connect_timeout_s));
+
+  std::printf("[worker] %s: %zu leases, %zu configs, %zu heartbeats; "
+              "stage cache: %zu pre loaded / %zu computed, %zu fwd loaded / "
+              "%zu computed\n",
+              stats.done          ? "done"
+              : stats.disconnected ? "disconnected"
+                                   : "stopped",
+              stats.leases_completed, stats.configs_evaluated,
+              stats.heartbeats_sent, stages.preprocess_disk_hits,
+              stages.preprocess_computed, stages.forward_disk_hits,
+              stages.forward_computed);
+  if (!stats.error.empty()) {
+    std::fprintf(stderr, "sysnoise_worker: %s\n", stats.error.c_str());
+    return 1;
+  }
+  return stats.done ? 0 : 1;
+}
