@@ -16,7 +16,9 @@
 //                          with --connect) evaluate leased work units, the
 //                          bench merges the streamed results and renders
 //                          the ordinary report — byte-identical to the
-//                          single-process run
+//                          single-process run. Port 0 binds an ephemeral
+//                          port; the chosen one is printed and written to
+//                          <results_dir>/<bench>.port for worker launchers
 //   --connect host:port    join a coordinator as a worker instead of
 //                          running anything locally
 //
@@ -183,6 +185,11 @@ inline BenchCli parse_cli(int argc, char** argv, const char* bench_name) {
     std::fprintf(stderr, "--merge excludes --shard/--emit-plan\n");
     std::exit(2);
   }
+  // Clear any previous run's port file NOW, before the (possibly long)
+  // model training/loading that precedes binding: a launcher polling for
+  // the file must never read a dead port from an earlier run.
+  if (cli.coordinating())
+    std::filesystem::remove(results_dir() + "/" + cli.bench + ".port");
   const int modes = (cli.coordinating() ? 1 : 0) + (cli.connecting() ? 1 : 0) +
                     ((cli.merging() || cli.sharded() || cli.emit_plan) ? 1 : 0);
   if (modes > 1) {
@@ -235,6 +242,9 @@ inline void reject_coordinate(const BenchCli& cli) {
 // --coordinate: serve `jobs` until remote workers finished every work unit;
 // returns one full MetricMap per job, ready for assembly. The caller built
 // the jobs' plans from its models, exactly like the single-process path.
+// The actual bound port (which may be ephemeral: `--coordinate 0`) is
+// printed AND written to <results_dir>/<bench>.port so scripts launching
+// workers can read it instead of hard-coding a collision-prone number.
 inline std::vector<core::MetricMap> serve_coordinator(
     const BenchCli& cli, const std::vector<dist::DistJob>& jobs) {
   dist::CoordinatorOptions opts;
@@ -242,8 +252,11 @@ inline std::vector<core::MetricMap> serve_coordinator(
   opts.min_workers = cli.min_workers;
   opts.verbose = true;
   dist::Coordinator coordinator(opts);
-  std::printf("[%s] coordinating on port %d (min workers: %d)\n",
-              cli.bench.c_str(), coordinator.port(), cli.min_workers);
+  write_file(cli.bench + ".port", std::to_string(coordinator.port()) + "\n");
+  std::printf("[%s] coordinating on port %d (min workers: %d; port file: "
+              "%s/%s.port)\n",
+              cli.bench.c_str(), coordinator.port(), cli.min_workers,
+              results_dir().c_str(), cli.bench.c_str());
   std::fflush(stdout);
   std::vector<core::MetricMap> results = coordinator.run(jobs);
   const dist::CoordinatorStats stats = coordinator.stats();

@@ -65,57 +65,135 @@ std::vector<double> staged_eval(const StagedEvalTask& task,
                      return a.pre_key < b.pre_key;
                    });
 
+  // Batch sets: forward-key groups whose configs advertise the same
+  // forward_batch_key (same weights + inference knobs, different
+  // pre-processing) are computed by ONE stacked forward invocation, capped
+  // at max_forward_batch groups per call so the stacked tensor's memory
+  // stays bounded. Groups that opt out (empty key) stay singleton sets; so
+  // does everything when batching is disabled.
+  std::vector<std::vector<std::size_t>> sets;
+  sets.reserve(groups.size());
+  {
+    const std::size_t cap =
+        static_cast<std::size_t>(std::max(1, opts.max_forward_batch));
+    std::map<std::string, std::size_t> open_set;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const std::string batch_key =
+          opts.batch_forwards
+              ? task.forward_batch_key(pending[groups[g].members.front()]->cfg)
+              : std::string();
+      if (batch_key.empty()) {
+        sets.push_back({g});
+        continue;
+      }
+      const auto it = open_set.find(batch_key);
+      if (it != open_set.end() && sets[it->second].size() < cap) {
+        sets[it->second].push_back(g);
+      } else {
+        open_set[batch_key] = sets.size();
+        sets.push_back({g});
+      }
+    }
+  }
+
   StageCache pre_cache;
   std::atomic<std::size_t> disk_hits{0}, computed{0}, persisted{0};
   std::atomic<std::size_t> fwd_disk_hits{0}, fwd_computed{0}, fwd_persisted{0};
+  std::atomic<std::size_t> batch_calls{0}, batch_cfgs{0}, batch_max{0};
+  std::vector<StageProduct> pre_of(groups.size());
+  std::vector<StageProduct> fwd_of(groups.size());
   std::vector<double> values(pending.size(), 0.0);
+
+  // Phase 1, parallel per group: a disk-cached forward product makes stage 1
+  // unnecessary (the pre-processed batches exist only to feed the network);
+  // otherwise materialize the group's stage-1 product through pre_cache.
   detail::parallel_for_n(opts.threads, groups.size(), [&](std::size_t g) {
     const ForwardGroup& group = groups[g];
     const SysNoiseConfig& lead_cfg = pending[group.members.front()]->cfg;
-    // A disk-cached forward product makes stage 1 unnecessary for this
-    // group: the pre-processed batches exist only to feed the network.
-    StageProduct fwd;
     if (disk != nullptr) {
       std::string bytes;
       if (disk->load(task.forward_scope(), group.fwd_key, &bytes)) {
-        if ((fwd = task.decode_forward(bytes)) != nullptr)
+        if ((fwd_of[g] = task.decode_forward(bytes)) != nullptr)
           fwd_disk_hits.fetch_add(1);
       }
     }
-    if (fwd == nullptr) {
-      const StageProduct pre = pre_cache.get_or_compute(group.pre_key, [&] {
-        if (disk != nullptr) {
-          std::string bytes;
-          if (disk->load(task.preprocess_scope(), group.pre_key, &bytes)) {
-            if (StageProduct p = task.decode_preprocess(bytes)) {
-              disk_hits.fetch_add(1);
-              return p;
-            }
-          }
-        }
-        computed.fetch_add(1);
-        StageProduct p = task.run_preprocess(lead_cfg);
-        if (disk != nullptr) {
-          std::string bytes;
-          if (task.encode_preprocess(p, &bytes)) {
-            disk->store(task.preprocess_scope(), group.pre_key, bytes);
-            persisted.fetch_add(1);
-          }
-        }
-        return p;
-      });
-      fwd_computed.fetch_add(1);
-      fwd = task.run_forward(lead_cfg, pre);
+    if (fwd_of[g] != nullptr) return;
+    pre_of[g] = pre_cache.get_or_compute(group.pre_key, [&] {
       if (disk != nullptr) {
         std::string bytes;
-        if (task.encode_forward(fwd, &bytes)) {
-          disk->store(task.forward_scope(), group.fwd_key, bytes);
-          fwd_persisted.fetch_add(1);
+        if (disk->load(task.preprocess_scope(), group.pre_key, &bytes)) {
+          if (StageProduct p = task.decode_preprocess(bytes)) {
+            disk_hits.fetch_add(1);
+            return p;
+          }
+        }
+      }
+      computed.fetch_add(1);
+      StageProduct p = task.run_preprocess(lead_cfg);
+      if (disk != nullptr) {
+        std::string bytes;
+        if (task.encode_preprocess(p, &bytes)) {
+          disk->store(task.preprocess_scope(), group.pre_key, bytes);
+          persisted.fetch_add(1);
+        }
+      }
+      return p;
+    });
+  });
+
+  // Phase 2, parallel per batch set: one forward invocation covers every
+  // group of the set still lacking a product, then post-processing fans the
+  // (split) outputs back out to the planned configs.
+  detail::parallel_for_n(opts.threads, sets.size(), [&](std::size_t s) {
+    std::vector<std::size_t> need;
+    for (const std::size_t g : sets[s])
+      if (fwd_of[g] == nullptr) need.push_back(g);
+    if (!need.empty()) {
+      if (need.size() == 1) {
+        const std::size_t g = need.front();
+        fwd_of[g] =
+            task.run_forward(pending[groups[g].members.front()]->cfg, pre_of[g]);
+      } else {
+        std::vector<const SysNoiseConfig*> cfgs;
+        std::vector<StageProduct> pres;
+        for (const std::size_t g : need) {
+          cfgs.push_back(&pending[groups[g].members.front()]->cfg);
+          pres.push_back(pre_of[g]);
+        }
+        const std::vector<StageProduct> outs =
+            task.run_forward_batched(cfgs, pres);
+        if (outs.size() != need.size())
+          throw std::runtime_error(
+              "run_forward_batched returned " + std::to_string(outs.size()) +
+              " products for " + std::to_string(need.size()) + " configs");
+        std::size_t covered = 0;
+        for (std::size_t i = 0; i < need.size(); ++i) {
+          fwd_of[need[i]] = outs[i];
+          covered += groups[need[i]].members.size();
+        }
+        // Multi-group invocations only: a singleton forward covering a
+        // multi-member group is stage sharing, not cross-config batching,
+        // and must not inflate the batching evidence.
+        batch_cfgs.fetch_add(covered);
+        for (std::size_t prev = batch_max.load();
+             covered > prev && !batch_max.compare_exchange_weak(prev, covered);) {
+        }
+      }
+      fwd_computed.fetch_add(need.size());
+      batch_calls.fetch_add(1);
+      if (disk != nullptr) {
+        for (const std::size_t g : need) {
+          std::string bytes;
+          if (task.encode_forward(fwd_of[g], &bytes)) {
+            disk->store(task.forward_scope(), groups[g].fwd_key, bytes);
+            fwd_persisted.fetch_add(1);
+          }
         }
       }
     }
-    for (const std::size_t i : group.members)
-      values[i] = task.run_postprocess(pending[i]->cfg, fwd);
+    for (const std::size_t g : sets[s])
+      for (const std::size_t i : groups[g].members)
+        values[i] = task.run_postprocess(pending[i]->cfg, fwd_of[g]);
   });
 
   if (stats != nullptr) {
@@ -133,6 +211,9 @@ std::vector<double> staged_eval(const StagedEvalTask& task,
     s.forward_disk_hits = fwd_disk_hits.load();
     s.forward_computed = fwd_computed.load();
     s.forward_persisted = fwd_persisted.load();
+    s.batched_forward_calls = batch_calls.load();
+    s.batched_forward_configs = batch_cfgs.load();
+    s.max_configs_per_batch = batch_max.load();
     *stats += s;
   }
   return values;

@@ -1,5 +1,6 @@
 #include "core/staged_eval.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -14,6 +15,16 @@ std::string forward_key_suffix(const SysNoiseConfig& cfg) {
      << "|ceil=" << (cfg.ceil_mode ? 1 : 0)
      << "|up=" << nn::upsample_mode_name(cfg.upsample);
   return os.str();
+}
+
+std::vector<StageProduct> StagedEvalTask::run_forward_batched(
+    const std::vector<const SysNoiseConfig*>& cfgs,
+    const std::vector<StageProduct>& pres) const {
+  std::vector<StageProduct> out;
+  out.reserve(cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i)
+    out.push_back(run_forward(*cfgs[i], pres[i]));
+  return out;
 }
 
 StageProduct StageCache::get_or_compute(
@@ -72,6 +83,9 @@ StageStats& StageStats::operator+=(const StageStats& o) {
   forward_disk_hits += o.forward_disk_hits;
   forward_computed += o.forward_computed;
   forward_persisted += o.forward_persisted;
+  batched_forward_calls += o.batched_forward_calls;
+  batched_forward_configs += o.batched_forward_configs;
+  max_configs_per_batch = std::max(max_configs_per_batch, o.max_configs_per_batch);
   return *this;
 }
 

@@ -271,8 +271,15 @@ std::vector<core::MetricMap> Coordinator::run(const std::vector<DistJob>& jobs) 
   im.worker_errors.store(0);
 
   std::vector<WorkUnit> units;
+  // Lease forward-batch-compatible groups together: the whole set lands on
+  // one worker, whose StagedExecutor pushes the groups' stacked batches
+  // through a single forward call (bit-identical either way — merging only
+  // changes invocation counts and lease granularity).
+  core::WorkUnitOptions unit_opts;
+  unit_opts.merge_batch_compatible = true;
   for (std::size_t j = 0; j < jobs.size(); ++j)
-    for (std::vector<std::size_t>& group : core::plan_work_units(jobs[j].plan))
+    for (std::vector<std::size_t>& group :
+         core::plan_work_units(jobs[j].plan, unit_opts))
       units.push_back({static_cast<int>(j), std::move(group)});
   im.scheduler = std::make_unique<LeaseScheduler>(std::move(units),
                                                   im.opts.lease_timeout);

@@ -3,6 +3,19 @@
 // Convention: every op appends exactly one Node whose backprop closure
 // accumulates into the grads of its inputs (and of any Param it uses).
 // Layer-identity strings feed the INT8 calibration/quantization hooks.
+//
+// Per-sample forward contract: in eval mode (BnMode::kEval, no
+// calibration), every op's output for batch item n depends ONLY on input
+// item n — batchnorm uses running stats, pooling/conv/linear/upsample are
+// per-sample loops or per-row GEMMs with a fixed accumulation order, and
+// the precision hooks quantize elementwise against calibrated ranges. The
+// cross-config batched forward engine (core/executor.cpp) relies on this:
+// stacking batches from several sweep configs along the leading axis and
+// splitting the outputs must be bit-identical to separate forwards (tested
+// in tests/test_batched_forward.cpp). Any new op that mixes information
+// across the batch dimension in eval mode breaks that contract and must
+// not be reachable from model forwards, or batching must be disabled for
+// tasks using it (forward_batch_key() returning "").
 #pragma once
 
 #include <string>

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 
@@ -184,6 +185,60 @@ Tensor stack_front(const std::vector<Tensor>& items) {
   Tensor out(shape);
   for (std::size_t i = 0; i < items.size(); ++i)
     out.set_front(static_cast<int>(i), items[i].slice_front(0));
+  return out;
+}
+
+Tensor stack_parts(const std::vector<const Tensor*>& parts) {
+  if (parts.empty()) return {};
+  const std::vector<int>& head = parts[0]->shape();
+  if (head.empty()) throw std::invalid_argument("stack_parts: rank-0 part");
+  int total = 0;
+  for (const Tensor* part : parts) {
+    const std::vector<int>& shape = part->shape();
+    if (shape.size() != head.size() ||
+        !std::equal(shape.begin() + 1, shape.end(), head.begin() + 1))
+      throw std::invalid_argument("stack_parts: trailing-dim mismatch (" +
+                                  part->shape_str() + " vs " +
+                                  parts[0]->shape_str() + ")");
+    total += shape[0];
+  }
+  std::vector<int> shape = head;
+  shape[0] = total;
+  Tensor out(shape);
+  float* dst = out.data();
+  for (const Tensor* part : parts) {
+    std::memcpy(dst, part->data(), part->size() * sizeof(float));
+    dst += part->size();
+  }
+  return out;
+}
+
+std::vector<Tensor> unstack_parts(const Tensor& stacked,
+                                  const std::vector<int>& fronts) {
+  if (stacked.rank() < 1)
+    throw std::invalid_argument("unstack_parts: rank-0 tensor");
+  int total = 0;
+  for (const int f : fronts) {
+    if (f <= 0) throw std::invalid_argument("unstack_parts: non-positive front");
+    total += f;
+  }
+  if (total != stacked.dim(0))
+    throw std::invalid_argument("unstack_parts: fronts sum to " +
+                                std::to_string(total) + ", tensor holds " +
+                                std::to_string(stacked.dim(0)));
+  const std::size_t stride =
+      stacked.dim(0) == 0 ? 0 : stacked.size() / static_cast<std::size_t>(stacked.dim(0));
+  std::vector<Tensor> out;
+  out.reserve(fronts.size());
+  const float* src = stacked.data();
+  for (const int f : fronts) {
+    std::vector<int> shape = stacked.shape();
+    shape[0] = f;
+    Tensor part(shape);
+    std::memcpy(part.data(), src, part.size() * sizeof(float));
+    src += static_cast<std::size_t>(f) * stride;
+    out.push_back(std::move(part));
+  }
   return out;
 }
 

@@ -1,0 +1,415 @@
+// Tests of the cross-config batched forward engine (PR 5): synthetic
+// batched-vs-unbatched bit-identity with invocation accounting (including
+// the max_forward_batch cap), the batch-compatible work-unit merge, the
+// multi-config eval loops matching the per-config loops bit-exactly for
+// real zoo models of all three task kinds (including odd/singleton batch
+// sizes), and batched forwards flowing through the distributed runtime —
+// both the in-process loopback and the DistExecutor seam.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/plan.h"
+#include "core/staged_eval.h"
+#include "core/synthetic_task.h"
+#include "core/sweep.h"
+#include "dist/coordinator.h"
+#include "dist/dist_executor.h"
+#include "dist/worker.h"
+#include "models/eval_tasks.h"
+#include "models/train.h"
+#include "models/zoo.h"
+#include "util/json.h"
+
+namespace sysnoise::core {
+namespace {
+
+void expect_reports_identical(const AxisReport& a, const AxisReport& b) {
+  EXPECT_EQ(a.model, b.model);
+  EXPECT_EQ(a.trained, b.trained);
+  EXPECT_EQ(a.combined, b.combined);
+  ASSERT_EQ(a.axes.size(), b.axes.size());
+  for (std::size_t i = 0; i < a.axes.size(); ++i) {
+    EXPECT_EQ(a.axes[i].axis, b.axes[i].axis);
+    ASSERT_EQ(a.axes[i].options.size(), b.axes[i].options.size());
+    for (std::size_t j = 0; j < a.axes[i].options.size(); ++j)
+      EXPECT_EQ(a.axes[i].options[j].delta, b.axes[i].options[j].delta)
+          << a.axes[i].axis << "/" << a.axes[i].options[j].label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic: bit-identity + invocation accounting
+// ---------------------------------------------------------------------------
+
+TEST(BatchedForward, SyntheticSweepBitIdenticalWithFewerInvocationsPerKind) {
+  for (const TaskKind kind :
+       {TaskKind::kClassification, TaskKind::kDetection,
+        TaskKind::kSegmentation}) {
+    const SyntheticStagedTask task(kind, true, 2, 2, 1,
+                                   /*fwd_overhead_rounds=*/3);
+    SweepOptions off;
+    off.batch_forwards = false;
+    StageStats stats_off;
+    const AxisReport unbatched = staged_sweep(task, off, &stats_off);
+    const int invocations_unbatched = task.fwd_invocations();
+    EXPECT_EQ(task.fwd_batched_calls(), 0);
+    EXPECT_EQ(stats_off.batched_forward_calls,
+              static_cast<std::size_t>(invocations_unbatched));
+    // Multi-group-only accounting: no cross-config stack ever formed, so
+    // the batching-evidence stats must stay zero even for multi-member
+    // forward groups (stage sharing is not batching).
+    EXPECT_EQ(stats_off.batched_forward_configs, 0u);
+    EXPECT_EQ(stats_off.max_configs_per_batch, 0u);
+
+    task.reset();
+    StageStats stats_on;
+    const AxisReport batched = staged_sweep(task, {}, &stats_on);
+    expect_reports_identical(unbatched, batched);
+    EXPECT_GT(task.fwd_batched_calls(), 0) << static_cast<int>(kind);
+    EXPECT_LT(task.fwd_invocations(), invocations_unbatched);
+    EXPECT_EQ(stats_on.batched_forward_calls,
+              static_cast<std::size_t>(task.fwd_invocations()));
+    EXPECT_LT(stats_on.batched_forward_calls, stats_on.evaluations);
+    EXPECT_GT(stats_on.max_configs_per_batch, 1u);
+    EXPECT_GT(stats_on.batched_forward_configs, 0u);
+    // Batching never changes what is computed, only how often the network
+    // is entered: per-group product counts stay put.
+    EXPECT_EQ(stats_on.forward_misses, stats_off.forward_misses);
+    EXPECT_EQ(stats_on.forward_computed, stats_off.forward_computed);
+  }
+}
+
+TEST(BatchedForward, MaxForwardBatchCapsInvocationSizeAndKeepsIdentity) {
+  const SyntheticStagedTask task(TaskKind::kDetection, true, 2, 2, 1, 3);
+  SweepOptions off;
+  off.batch_forwards = false;
+  const AxisReport expected = staged_sweep(task, off);
+
+  task.reset();
+  SweepOptions wide;  // default cap 8
+  StageStats stats_wide;
+  expect_reports_identical(expected, staged_sweep(task, wide, &stats_wide));
+  const int wide_invocations = task.fwd_invocations();
+
+  task.reset();
+  SweepOptions narrow;
+  narrow.max_forward_batch = 2;
+  StageStats stats_narrow;
+  expect_reports_identical(expected, staged_sweep(task, narrow, &stats_narrow));
+  // Smaller stacks -> more invocations, but still fewer than unbatched.
+  EXPECT_GT(task.fwd_invocations(), wide_invocations);
+  EXPECT_LT(stats_narrow.batched_forward_calls, stats_narrow.evaluations);
+
+  task.reset();
+  SweepOptions one;
+  one.max_forward_batch = 1;  // degenerate cap: batching effectively off
+  expect_reports_identical(expected, staged_sweep(task, one));
+  EXPECT_EQ(task.fwd_batched_calls(), 0);
+}
+
+TEST(BatchedForward, StepwiseSharesBatchedForwardsToo) {
+  const SyntheticStagedTask task(TaskKind::kSegmentation, false, 2, 2, 1, 3);
+  SweepOptions off;
+  off.batch_forwards = false;
+  const auto expected = staged_stepwise(task, off);
+  task.reset();
+  const auto batched = staged_stepwise(task, {});
+  ASSERT_EQ(expected.size(), batched.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].step, batched[i].step);
+    EXPECT_EQ(expected[i].delta, batched[i].delta);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Work-unit merge (the plan seam the distributed runtime leases through)
+// ---------------------------------------------------------------------------
+
+TEST(BatchedForward, WorkUnitMergeGroupsCompatibleUnitsAndKeepsThePartition) {
+  const SyntheticStagedTask task(TaskKind::kDetection, true);
+  const SweepPlan plan = plan_sweep(task, AxisRegistry::global());
+  const auto plain = plan_work_units(plan);
+  WorkUnitOptions opts;
+  opts.merge_batch_compatible = true;
+  opts.max_groups_per_unit = 4;
+  const auto merged = plan_work_units(plan, opts);
+
+  // Still an exact partition of the config indices.
+  std::set<std::size_t> seen;
+  for (const auto& unit : merged)
+    for (const std::size_t i : unit) {
+      EXPECT_LT(i, plan.configs.size());
+      EXPECT_TRUE(seen.insert(i).second) << "index leased twice: " << i;
+    }
+  EXPECT_EQ(seen.size(), plan.configs.size());
+
+  // Pre-processing axes share the default inference knobs, so merging must
+  // produce strictly fewer units, each mixing only one forward suffix and
+  // at most max_groups_per_unit forward keys.
+  EXPECT_LT(merged.size(), plain.size());
+  for (const auto& unit : merged) {
+    std::set<std::string> suffixes, fwd_keys;
+    for (const std::size_t i : unit) {
+      suffixes.insert(planned_forward_suffix(plan.configs[i]));
+      fwd_keys.insert(plan.configs[i].forward_key);
+    }
+    EXPECT_EQ(suffixes.size(), 1u);
+    EXPECT_LE(fwd_keys.size(), opts.max_groups_per_unit);
+  }
+}
+
+TEST(BatchedForward, PlannedForwardSuffixStripsThePreprocessPrefix) {
+  const SyntheticStagedTask task(TaskKind::kClassification, true);
+  const SweepPlan plan = plan_sweep(task, AxisRegistry::global());
+  for (const PlannedConfig& p : plan.configs) {
+    const std::string suffix = planned_forward_suffix(p);
+    ASSERT_FALSE(suffix.empty());
+    EXPECT_EQ(p.preprocess_key + suffix, p.forward_key);
+    EXPECT_EQ(suffix, forward_key_suffix(p.cfg));
+  }
+  PlannedConfig bare;  // non-staged configs carry no stage keys -> no suffix
+  EXPECT_EQ(planned_forward_suffix(bare), "");
+}
+
+}  // namespace
+}  // namespace sysnoise::core
+
+// ---------------------------------------------------------------------------
+// Real zoo models: batched == unbatched, bit-identical, per task kind
+// ---------------------------------------------------------------------------
+
+namespace sysnoise::models {
+namespace {
+
+using core::AxisRegistry;
+using core::AxisReport;
+using core::NoiseAxis;
+using core::StageStats;
+using core::SweepOptions;
+using core::TaskKind;
+using core::TaskTraits;
+using core::expect_reports_identical;
+
+// Small private registry (mirrors test_staged_eval's): several
+// pre-processing axes sharing the default inference knobs (the batchable
+// set) plus an inference-side axis that must stay in its own batch.
+AxisRegistry batch_registry(bool with_postproc) {
+  AxisRegistry reg;
+  {
+    NoiseAxis a;
+    a.name = "Resize";
+    a.key = "resize";
+    a.option_labels = {"opencv-nearest", "opencv-bicubic"};
+    a.apply = [](SysNoiseConfig& cfg, int i) {
+      cfg.resize = i == 0 ? ResizeMethod::kOpenCVNearest
+                          : ResizeMethod::kOpenCVBicubic;
+    };
+    a.stage = "Pre-processing";
+    a.tasks_label = "Cls/Det/Seg";
+    a.effect_level = "Very High";
+    reg.add(std::move(a));
+  }
+  {
+    NoiseAxis a;
+    a.name = "Normalize";
+    a.key = "normalize";
+    a.option_labels = {"0.5/0.5"};
+    a.apply = [](SysNoiseConfig& cfg, int) { cfg.norm = NormStats::kHalfHalf; };
+    a.stage = "Pre-processing";
+    a.tasks_label = "Cls/Det/Seg";
+    a.effect_level = "Middle";
+    reg.add(std::move(a));
+  }
+  {
+    NoiseAxis a;
+    a.name = "Precision";
+    a.key = "precision";
+    a.option_labels = {"FP16"};
+    a.apply = [](SysNoiseConfig& cfg, int) {
+      cfg.precision = nn::Precision::kFP16;
+    };
+    a.stage = "Model inference";
+    a.tasks_label = "Cls/Det/Seg";
+    a.effect_level = "High";
+    reg.add(std::move(a));
+  }
+  if (with_postproc) {
+    NoiseAxis a;
+    a.name = "Post-proc";
+    a.key = "postproc";
+    a.option_labels = {"offset-1"};
+    a.applies = [](const TaskTraits& t) {
+      return t.kind == TaskKind::kDetection;
+    };
+    a.apply = [](SysNoiseConfig& cfg, int) { cfg.proposal_offset = 1.0f; };
+    a.stage = "Post-processing";
+    a.tasks_label = "Det";
+    a.effect_level = "Middle";
+    reg.add(std::move(a));
+  }
+  return reg;
+}
+
+// Shared body: staged sweep with batching off vs on must produce identical
+// bits while strictly reducing network invocations.
+void expect_batched_matches(const core::StagedEvalTask& task,
+                            const AxisRegistry& reg) {
+  SweepOptions off;
+  off.registry = &reg;
+  off.batch_forwards = false;
+  StageStats stats_off;
+  const AxisReport unbatched = core::staged_sweep(task, off, &stats_off);
+
+  SweepOptions on;
+  on.registry = &reg;
+  StageStats stats_on;
+  const AxisReport batched = core::staged_sweep(task, on, &stats_on);
+
+  expect_reports_identical(unbatched, batched);
+  EXPECT_LT(stats_on.batched_forward_calls, stats_on.evaluations);
+  EXPECT_LT(stats_on.batched_forward_calls, stats_off.batched_forward_calls);
+  EXPECT_GT(stats_on.batched_forward_configs, 0u);
+  EXPECT_GT(stats_on.max_configs_per_batch, 1u);
+}
+
+TEST(BatchedRealModels, ClassifierBatchedSweepMatchesUnbatched) {
+  auto tc = models::get_classifier("MCUNet");
+  models::ClassifierTask task(tc);
+  expect_batched_matches(task, batch_registry(false));
+}
+
+TEST(BatchedRealModels, DetectorBatchedSweepMatchesUnbatched) {
+  auto td = models::get_detector("RetinaNet-MobileNet");
+  models::DetectorTask task(td);
+  expect_batched_matches(task, batch_registry(true));
+}
+
+TEST(BatchedRealModels, SegmenterBatchedSweepMatchesUnbatched) {
+  auto ts = models::get_segmenter("UNet");
+  models::SegmenterTask task(ts);
+  expect_batched_matches(task, batch_registry(false));
+}
+
+TEST(BatchedRealModels, MultiEvalMatchesPerConfigForOddAndSingletonBatches) {
+  auto tc = models::get_classifier("MCUNet");
+  const auto& eval = models::benchmark_cls_dataset().eval;
+  const auto spec = models::cls_pipeline_spec();
+  SysNoiseConfig a = SysNoiseConfig::training_default();
+  SysNoiseConfig b = a;
+  b.resize = ResizeMethod::kOpenCVNearest;
+  SysNoiseConfig c = a;
+  c.norm = NormStats::kHalfHalf;
+
+  // Batch size 1 stacks singletons; 3 leaves a short odd tail; 16 is the
+  // production layout. Every layout must reproduce the per-config loops
+  // bit-exactly.
+  for (const int bs : {1, 3, 16}) {
+    const auto pa = models::preprocess_cls_batches(eval, a, spec, bs);
+    const auto pb = models::preprocess_cls_batches(eval, b, spec, bs);
+    const auto pc = models::preprocess_cls_batches(eval, c, spec, bs);
+    const double ra =
+        models::eval_classifier_batches(*tc.model, pa, eval, a, &tc.ranges);
+    const double rb =
+        models::eval_classifier_batches(*tc.model, pb, eval, b, &tc.ranges);
+    const double rc =
+        models::eval_classifier_batches(*tc.model, pc, eval, c, &tc.ranges);
+    const std::vector<double> multi = models::eval_classifier_batches_multi(
+        *tc.model, {&pa, &pb, &pc}, eval, a, &tc.ranges);
+    ASSERT_EQ(multi.size(), 3u) << bs;
+    EXPECT_EQ(multi[0], ra) << bs;
+    EXPECT_EQ(multi[1], rb) << bs;
+    EXPECT_EQ(multi[2], rc) << bs;
+  }
+
+  // Mismatched batch layouts are a caller bug, not silent corruption.
+  const auto p3 = models::preprocess_cls_batches(eval, a, spec, 3);
+  const auto p4 = models::preprocess_cls_batches(eval, b, spec, 4);
+  EXPECT_THROW(models::eval_classifier_batches_multi(*tc.model, {&p3, &p4},
+                                                     eval, a, &tc.ranges),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysnoise::models
+
+// ---------------------------------------------------------------------------
+// Distributed runtime: batched forwards ride merged leases
+// ---------------------------------------------------------------------------
+
+namespace sysnoise::dist {
+namespace {
+
+using core::AxisRegistry;
+using core::AxisReport;
+using core::MetricMap;
+using core::SweepPlan;
+using core::SyntheticStagedTask;
+using core::TaskKind;
+using core::expect_reports_identical;
+
+TaskResolver fixed_resolver(const core::EvalTask& task) {
+  return [&task](const util::Json&) {
+    ResolvedWorkerTask out;
+    out.task = &task;
+    return out;
+  };
+}
+
+CoordinatorOptions fast_opts() {
+  CoordinatorOptions opts;
+  opts.lease_timeout = std::chrono::milliseconds(400);
+  opts.heartbeat_interval = std::chrono::milliseconds(50);
+  return opts;
+}
+
+TEST(BatchedDist, LoopbackWorkersBatchForwardsAndStayBitIdentical) {
+  const SyntheticStagedTask task(TaskKind::kDetection, true, 2, 2, 1,
+                                 /*fwd_overhead_rounds=*/3);
+  const SweepPlan plan = core::plan_sweep(task, AxisRegistry::global());
+  const AxisReport expected = core::assemble_report(
+      plan, core::ThreadPoolExecutor().execute(task, plan));
+
+  for (const int workers : {1, 2}) {
+    task.reset();
+    Coordinator coordinator(fast_opts());
+    std::vector<std::thread> pool;
+    for (int w = 0; w < workers; ++w)
+      pool.emplace_back([&coordinator, &task] {
+        run_worker("127.0.0.1", coordinator.port(), fixed_resolver(task), {});
+      });
+    const std::vector<MetricMap> results =
+        coordinator.run({DistJob{util::Json::object(), plan}});
+    for (std::thread& t : pool) t.join();
+    expect_reports_identical(expected,
+                             core::assemble_report(plan, results.at(0)));
+    // The coordinator leases batch-compatible forward groups together, so
+    // the workers' StagedExecutors stacked them through batched calls.
+    EXPECT_GT(task.fwd_batched_calls(), 0) << workers << " workers";
+  }
+}
+
+TEST(BatchedDist, DistExecutorBatchesBehindTheExecutorSeam) {
+  const SyntheticStagedTask task(TaskKind::kClassification, true, 2, 2, 1, 3);
+  const SweepPlan plan = core::plan_sweep(task, AxisRegistry::global());
+  const MetricMap expected = core::ThreadPoolExecutor().execute(task, plan);
+
+  task.reset();
+  Coordinator coordinator(fast_opts());
+  std::thread worker([&coordinator, &task] {
+    run_worker("127.0.0.1", coordinator.port(), fixed_resolver(task), {});
+  });
+  const DistExecutor executor(coordinator, util::Json::object());
+  const MetricMap metrics = executor.execute(task, plan);
+  worker.join();
+  EXPECT_EQ(metrics, expected);
+  EXPECT_GT(task.fwd_batched_calls(), 0);
+}
+
+}  // namespace
+}  // namespace sysnoise::dist

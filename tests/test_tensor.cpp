@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "tensor/gemm.h"
 #include "tensor/half.h"
@@ -73,6 +74,43 @@ TEST(Tensor, SliceAndSetFront) {
   t.set_front(2, s);
   EXPECT_FLOAT_EQ(t.at3(2, 0, 0), 9.0f);
   EXPECT_FLOAT_EQ(t.at3(0, 0, 0), 0.0f);
+}
+
+TEST(Tensor, StackUnstackPartsRoundTripsUnevenFronts) {
+  // Uneven fronts (odd + singleton) with rank-3 items: the layout every
+  // cross-config batched forward relies on.
+  Tensor a({3, 2, 2});
+  Tensor b({1, 2, 2});
+  Tensor c({2, 2, 2});
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(i);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 100.0f + static_cast<float>(i);
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = 200.0f + static_cast<float>(i);
+
+  const Tensor stacked = stack_parts({&a, &b, &c});
+  ASSERT_EQ(stacked.shape(), (std::vector<int>{6, 2, 2}));
+  // Per-sample layout preserved: part p's sample s sits at front offset
+  // (sum of earlier fronts) + s, bit for bit.
+  EXPECT_EQ(stacked.at3(0, 0, 0), a.at3(0, 0, 0));
+  EXPECT_EQ(stacked.at3(2, 1, 1), a.at3(2, 1, 1));
+  EXPECT_EQ(stacked.at3(3, 0, 1), b.at3(0, 0, 1));
+  EXPECT_EQ(stacked.at3(4, 1, 0), c.at3(0, 1, 0));
+
+  const std::vector<Tensor> parts = unstack_parts(stacked, {3, 1, 2});
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].vec(), a.vec());
+  EXPECT_EQ(parts[1].vec(), b.vec());
+  EXPECT_EQ(parts[2].vec(), c.vec());
+}
+
+TEST(Tensor, StackUnstackPartsRejectMalformedInput) {
+  Tensor a({2, 2});
+  Tensor b({2, 3});  // trailing-dim mismatch
+  EXPECT_THROW(stack_parts({&a, &b}), std::invalid_argument);
+  EXPECT_TRUE(stack_parts({}).empty());
+
+  Tensor s({4, 2});
+  EXPECT_THROW(unstack_parts(s, {3, 2}), std::invalid_argument);  // sum != 4
+  EXPECT_THROW(unstack_parts(s, {4, 0}), std::invalid_argument);  // zero front
 }
 
 TEST(Tensor, DiffMetrics) {
