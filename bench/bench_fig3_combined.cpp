@@ -84,10 +84,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (cli.coordinating()) {
-    const std::vector<core::MetricMap> results = bench::serve_coordinator(
-        cli, {{dist::classifier_spec("ResNet-M").to_json(), cls_plan},
-              {dist::detector_spec("FasterRCNN-ResNet").to_json(), det_plan}});
+  if (cli.dist_jobs()) {
+    const std::vector<dist::DistJob> jobs = {
+        {dist::classifier_spec("ResNet-M").to_json(), cls_plan},
+        {dist::detector_spec("FasterRCNN-ResNet").to_json(), det_plan}};
+    std::vector<core::MetricMap> results;
+    if (!bench::dist_results(cli, jobs, &results)) return 0;  // --emit-jobs
     render_and_write(
         {cls_plan.task, core::assemble_steps(cls_plan, results[0])},
         {det_plan.task, core::assemble_steps(det_plan, results[1])});

@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
       plans.push_back(plan);
       continue;
     }
-    if (cli.coordinating()) {
+    if (cli.dist_jobs()) {
       jobs.push_back({dist::detector_spec(name).to_json(), plan});
       continue;
     }
@@ -93,9 +93,9 @@ int main(int argc, char** argv) {
     bench::write_plan_file(cli, plans);
     return 0;
   }
-  if (cli.coordinating()) {
-    const std::vector<core::MetricMap> results =
-        bench::serve_coordinator(cli, jobs);
+  if (cli.dist_jobs()) {
+    std::vector<core::MetricMap> results;
+    if (!bench::dist_results(cli, jobs, &results)) return 0;  // --emit-jobs
     for (std::size_t i = 0; i < jobs.size(); ++i)
       reports.push_back(core::assemble_report(jobs[i].plan, results[i]));
     render_and_write(reports);

@@ -22,6 +22,21 @@
 //   --connect host:port    join a coordinator as a worker instead of
 //                          running anything locally
 //
+// and the resident sweep service (svc/service.h, tools/sysnoise_svc.cpp)
+// on the same seam:
+//
+//   --submit host:port [--priority N]
+//                          submit this bench's jobs to a running sweep
+//                          service instead of coordinating them here, then
+//                          watch the jobs and render the merged report —
+//                          byte-identical to the single-process run, even
+//                          when the service is killed and restarted midway
+//   --emit-jobs            write the bench's (task, plan) job list as JSON
+//                          (<results_dir>/<bench>_jobs.json) for later
+//                          `sysnoise_ctl submit`, and exit
+//   --token T              shared-secret auth for --coordinate (require it
+//                          of workers), --connect, and --submit
+//
 // Benches whose unit of work is a row/model list rather than a SweepPlan
 // (tables 1, 5-10) use the shard flags with row-level semantics (--shard
 // runs every Nth row, --merge concatenates the per-shard CSVs) and support
@@ -35,8 +50,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "core/executor.h"
 #include "core/plan.h"
@@ -44,6 +62,7 @@
 #include "dist/task_factory.h"
 #include "dist/worker.h"
 #include "net/socket.h"
+#include "svc/client.h"
 #include "util/json.h"
 
 namespace sysnoise::bench {
@@ -58,6 +77,32 @@ inline std::string results_dir() {
 inline void write_file(const std::string& name, const std::string& content) {
   std::ofstream f(results_dir() + "/" + name);
   f << content;
+}
+
+// Atomic publication for files other processes poll for (port files): write
+// a temp sibling, then rename into place, so a reader never sees a partial
+// write — either the old content, or the complete new one.
+inline void write_file_atomic(const std::string& name,
+                              const std::string& content) {
+  const std::string final_path = results_dir() + "/" + name;
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
+    f << content;
+    f.flush();
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", tmp_path.c_str());
+      std::exit(2);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot publish %s: %s\n", final_path.c_str(),
+                 ec.message().c_str());
+    std::exit(2);
+  }
 }
 
 inline std::string read_file(const std::string& path) {
@@ -102,13 +147,25 @@ struct BenchCli {
   std::vector<std::string> merge_files;
   int coordinate_port = -1;  // >= 0: serve as a distributed coordinator
   int min_workers = 1;
+  int min_workers_timeout_s = 0;  // 0 = wait forever for the quorum
   std::string connect_host;  // non-empty: join a coordinator as a worker
   int connect_port = 0;
+  std::string submit_host;   // non-empty: submit jobs to a sweep service
+  int submit_port = 0;
+  int priority = 0;          // --submit job priority
+  bool emit_jobs = false;    // write the (task, plan) job list and exit
+  std::string token;         // shared-secret auth for every dist mode
 
   bool sharded() const { return shard_count > 1; }
   bool merging() const { return !merge_files.empty(); }
   bool coordinating() const { return coordinate_port >= 0; }
   bool connecting() const { return !connect_host.empty(); }
+  bool submitting() const { return !submit_host.empty(); }
+  // Any mode that needs the (task-spec, plan) job list instead of local
+  // evaluation: coordinate it, submit it, or just write it out.
+  bool dist_jobs() const {
+    return coordinating() || submitting() || emit_jobs;
+  }
   // Suffix row-sharded benches append to their output names.
   std::string shard_suffix() const {
     return sharded() ? ".shard_" + std::to_string(shard_index) + "_of_" +
@@ -121,14 +178,20 @@ struct BenchCli {
            ".json";
   }
   std::string plan_file() const { return results_dir() + "/" + bench + "_plan.json"; }
+  std::string jobs_file() const {
+    return results_dir() + "/" + bench + "_jobs.json";
+  }
 };
 
 [[noreturn]] inline void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--emit-plan] [--shard i/N] [--merge file...]\n"
-               "       %s --coordinate <port> [--min-workers N]\n"
-               "       %s --connect host:port\n",
-               argv0, argv0, argv0);
+               "usage: %s [--emit-plan] [--emit-jobs] [--shard i/N] "
+               "[--merge file...]\n"
+               "       %s --coordinate <port> [--min-workers N] "
+               "[--min-workers-timeout-s S] [--token T]\n"
+               "       %s --connect host:port [--token T]\n"
+               "       %s --submit host:port [--priority N] [--token T]\n",
+               argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -171,11 +234,27 @@ inline BenchCli parse_cli(int argc, char** argv, const char* bench_name) {
       if (++i >= argc) usage(argv[0]);
       cli.min_workers = std::atoi(argv[i]);
       if (cli.min_workers < 1) usage(argv[0]);
+    } else if (arg == "--min-workers-timeout-s") {
+      if (++i >= argc) usage(argv[0]);
+      cli.min_workers_timeout_s = std::atoi(argv[i]);
+      if (cli.min_workers_timeout_s < 0) usage(argv[0]);
     } else if (arg == "--connect") {
       if (++i >= argc) usage(argv[0]);
       if (!net::parse_host_port(argv[i], &cli.connect_host,
                                 &cli.connect_port))
         usage(argv[0]);
+    } else if (arg == "--submit") {
+      if (++i >= argc) usage(argv[0]);
+      if (!net::parse_host_port(argv[i], &cli.submit_host, &cli.submit_port))
+        usage(argv[0]);
+    } else if (arg == "--priority") {
+      if (++i >= argc) usage(argv[0]);
+      cli.priority = std::atoi(argv[i]);
+    } else if (arg == "--emit-jobs") {
+      cli.emit_jobs = true;
+    } else if (arg == "--token") {
+      if (++i >= argc) usage(argv[0]);
+      cli.token = argv[i];
     } else {
       std::fprintf(stderr, "unknown argument \"%s\"\n", arg.c_str());
       usage(argv[0]);
@@ -191,11 +270,12 @@ inline BenchCli parse_cli(int argc, char** argv, const char* bench_name) {
   if (cli.coordinating())
     std::filesystem::remove(results_dir() + "/" + cli.bench + ".port");
   const int modes = (cli.coordinating() ? 1 : 0) + (cli.connecting() ? 1 : 0) +
+                    (cli.submitting() ? 1 : 0) + (cli.emit_jobs ? 1 : 0) +
                     ((cli.merging() || cli.sharded() || cli.emit_plan) ? 1 : 0);
   if (modes > 1) {
     std::fprintf(stderr,
-                 "--coordinate / --connect / shard-lifecycle flags are "
-                 "mutually exclusive\n");
+                 "--coordinate / --connect / --submit / --emit-jobs / "
+                 "shard-lifecycle flags are mutually exclusive\n");
     std::exit(2);
   }
   return cli;
@@ -217,6 +297,7 @@ inline int run_bench_worker(const BenchCli& cli) {
   opts.stats = &stages;
   opts.disk = disk_stage_cache_enabled() ? &disk : nullptr;
   opts.verbose = true;
+  opts.auth_token = cli.token;
   const dist::WorkerRunStats stats = dist::run_worker_retrying(
       cli.connect_host, cli.connect_port, dist::zoo_task_resolver(), opts,
       std::chrono::seconds(600));
@@ -229,12 +310,13 @@ inline int run_bench_worker(const BenchCli& cli) {
   return stats.done ? 0 : 1;
 }
 
-// Row-sharded benches have no SweepPlan for a coordinator to lease.
+// Row-sharded benches have no SweepPlan for a coordinator/service to lease.
 inline void reject_coordinate(const BenchCli& cli) {
-  if (!cli.coordinating()) return;
+  if (!cli.dist_jobs()) return;
   std::fprintf(stderr,
-               "[%s] --coordinate needs a plan-level bench (tables 2-4, "
-               "fig3); this bench only supports --connect\n",
+               "[%s] --coordinate/--submit/--emit-jobs need a plan-level "
+               "bench (tables 2-4, fig3); this bench only supports "
+               "--connect\n",
                cli.bench.c_str());
   std::exit(2);
 }
@@ -250,9 +332,14 @@ inline std::vector<core::MetricMap> serve_coordinator(
   dist::CoordinatorOptions opts;
   opts.port = cli.coordinate_port;
   opts.min_workers = cli.min_workers;
+  opts.min_workers_timeout_s = cli.min_workers_timeout_s;
+  opts.auth_token = cli.token;
   opts.verbose = true;
   dist::Coordinator coordinator(opts);
-  write_file(cli.bench + ".port", std::to_string(coordinator.port()) + "\n");
+  // Atomic: worker launchers poll for this file and must never read a
+  // half-written port number.
+  write_file_atomic(cli.bench + ".port",
+                    std::to_string(coordinator.port()) + "\n");
   std::printf("[%s] coordinating on port %d (min workers: %d; port file: "
               "%s/%s.port)\n",
               cli.bench.c_str(), coordinator.port(), cli.min_workers,
@@ -266,6 +353,75 @@ inline std::vector<core::MetricMap> serve_coordinator(
               stats.scheduler.completed, stats.scheduler.re_leases,
               stats.results_received);
   return results;
+}
+
+// --emit-jobs: write the (task-spec, plan) job list as JSON for later
+// `sysnoise_ctl submit` against a running sweep service.
+inline void write_jobs_file(const BenchCli& cli,
+                            const std::vector<dist::DistJob>& jobs) {
+  util::Json j = util::Json::object();
+  j.set("bench", cli.bench);
+  util::Json jjobs = util::Json::array();
+  for (const dist::DistJob& job : jobs) {
+    util::Json jj = util::Json::object();
+    jj.set("task", job.task_spec);
+    jj.set("plan", job.plan.to_json());
+    jjobs.push_back(std::move(jj));
+  }
+  j.set("jobs", std::move(jjobs));
+  std::ofstream f(cli.jobs_file());
+  f << j.dump(2) << "\n";
+  std::printf("wrote %s (%zu jobs)\n", cli.jobs_file().c_str(), jobs.size());
+}
+
+// --submit: hand the jobs to a resident sweep service and collect each
+// merged MetricMap by watching until done — riding out service restarts, so
+// the report a bench renders this way survives a kill -9 of the service
+// byte-identically.
+inline std::vector<core::MetricMap> submit_jobs(
+    const BenchCli& cli, const std::vector<dist::DistJob>& jobs) {
+  svc::ClientOptions copts;
+  copts.host = cli.submit_host;
+  copts.port = cli.submit_port;
+  copts.token = cli.token;
+  copts.verbose = true;
+  svc::ServiceClient client(copts);
+  std::vector<int> ids;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const std::string name = cli.bench + "#" + std::to_string(i);
+    ids.push_back(client.submit(jobs[i].task_spec, jobs[i].plan, cli.priority,
+                                name));
+    std::printf("[%s] submitted job %d (\"%s\", priority %d)\n",
+                cli.bench.c_str(), ids.back(), name.c_str(), cli.priority);
+    std::fflush(stdout);
+  }
+  std::vector<core::MetricMap> results;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    results.push_back(client.collect(ids[i], [&](const util::Json& p) {
+      std::printf("[%s] job %d: %s %d/%d units\n", cli.bench.c_str(), ids[i],
+                  p.at("state").as_string().c_str(),
+                  p.at("units_done").as_int(), p.at("units_total").as_int());
+      std::fflush(stdout);
+    }));
+    std::printf("[%s] job %d done (%zu metrics)\n", cli.bench.c_str(), ids[i],
+                results.back().size());
+  }
+  return results;
+}
+
+// Dispatch the dist_jobs() modes once the bench built its job list. Returns
+// true with `*results` filled (coordinate/submit — the caller assembles and
+// renders), or false when the invocation is complete (--emit-jobs).
+inline bool dist_results(const BenchCli& cli,
+                         const std::vector<dist::DistJob>& jobs,
+                         std::vector<core::MetricMap>* results) {
+  if (cli.emit_jobs) {
+    write_jobs_file(cli, jobs);
+    return false;
+  }
+  *results = cli.submitting() ? submit_jobs(cli, jobs)
+                              : serve_coordinator(cli, jobs);
+  return true;
 }
 
 // Row-level shard slice for benches whose unit of work is a model/row list.

@@ -16,6 +16,7 @@
 #include <sys/socket.h>
 
 #include "dist/protocol.h"
+#include "dist/result_merge.h"
 #include "net/frame.h"
 #include "net/socket.h"
 
@@ -83,55 +84,34 @@ void Coordinator::Impl::record_error(const std::string& message) {
   if (first_error.empty()) first_error = message;
 }
 
-// Merge one result frame. Returns false when the frame is malformed or
+// Merge one result frame through the shared merge/verify core
+// (dist/result_merge.h). Returns false when the frame is malformed or
 // disagrees with previously-merged metrics (both poison the run).
 bool Coordinator::Impl::merge_result(const util::Json& m, int worker_id) {
-  const util::Json* jjob = m.get("job");
-  const util::Json* junit = m.get("unit");
-  const util::Json* jmetrics = m.get("metrics");
-  if (jjob == nullptr || junit == nullptr || jmetrics == nullptr ||
-      !jmetrics->is_object()) {
-    record_error("malformed result frame from worker " +
-                 std::to_string(worker_id));
-    return false;
-  }
-  const int job = jjob->as_int();
-  const auto unit = static_cast<std::size_t>(junit->as_int());
-  if (job < 0 || job >= static_cast<int>(results.size()) ||
-      unit >= scheduler->units().size()) {
-    record_error("result for unknown job/unit from worker " +
-                 std::to_string(worker_id));
+  ParsedResult parsed;
+  std::string error = parse_result_frame(m, &parsed);
+  if (error.empty() && (parsed.job >= static_cast<int>(results.size()) ||
+                        parsed.unit >= scheduler->units().size()))
+    error = "result for unknown job/unit";
+  if (!error.empty()) {
+    record_error(error + " from worker " + std::to_string(worker_id));
     return false;
   }
   {
     // NOTE: record_error locks results_mu too — collect the failure and
     // report it after this scope.
-    std::string merge_error;
     std::lock_guard<std::mutex> lock(results_mu);
-    core::MetricMap& merged = results[static_cast<std::size_t>(job)];
-    for (const auto& [key, value] : jmetrics->items()) {
-      if (!value.is_number()) {
-        merge_error = "non-numeric metric \"" + key + "\" from worker " +
-                      std::to_string(worker_id);
-        break;
-      }
-      const auto [it, inserted] = merged.emplace(key, value.as_number());
-      if (!inserted && it->second != value.as_number()) {
-        // Executors are required to be bit-identical; a disagreement means
-        // non-determinism somewhere and must fail the run, not average out.
-        merge_error = "workers disagree on \"" + key + "\"";
-        break;
-      }
-    }
+    const std::string merge_error = merge_metrics(
+        results[static_cast<std::size_t>(parsed.job)], *parsed.metrics);
     if (!merge_error.empty()) {
       if (first_error.empty()) first_error = merge_error;
       return false;
     }
   }
   results_received.fetch_add(1);
-  const bool first = scheduler->complete(unit);
-  log("result job=%d unit=%zu from worker %d%s", job, unit, worker_id,
-      first ? "" : " (duplicate)");
+  const bool first = scheduler->complete(parsed.unit);
+  log("result job=%d unit=%zu from worker %d%s", parsed.job, parsed.unit,
+      worker_id, first ? "" : " (duplicate)");
   return true;
 }
 
@@ -169,14 +149,13 @@ void Coordinator::Impl::serve(net::TcpSocket sock) {
   int worker_id = -1;
   try {
     util::Json m;
+    std::string hello_error = "bad hello (protocol mismatch?)";
     if (!net::recv_json(sock, &m) ||
-        message_type(m) != msg::kHello ||
-        m.get("protocol") == nullptr ||
-        !m.at("protocol").is_number() ||
-        m.at("protocol").as_int() != kProtocolVersion) {
+        !(hello_error = check_hello(m, opts.auth_token)).empty()) {
       worker_errors.fetch_add(1);
+      log("rejected connection: %s", hello_error.c_str());
       util::Json err = make_message(msg::kError);
-      err.set("message", "bad hello (protocol mismatch?)");
+      err.set("message", hello_error);
       net::send_json(sock, err);
       return;
     }
@@ -304,8 +283,27 @@ std::vector<core::MetricMap> Coordinator::run(const std::vector<DistJob>& jobs) 
   // A recorded merge/protocol error poisons the run: its unit may never
   // complete (the offending worker was cut off), so stop serving and
   // surface the diagnostic instead of waiting for an all_done() that can't
-  // come.
+  // come. Same for a min-workers quorum that never arrives within the
+  // join timeout — fail loudly instead of holding leases forever.
+  const auto join_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::seconds(im.opts.min_workers_timeout_s);
+  bool quorum_met = false;
   while (!im.scheduler->all_done() && !im.has_error()) {
+    if (!quorum_met) {
+      if (im.workers_joined.load() >=
+          static_cast<std::size_t>(im.opts.min_workers)) {
+        quorum_met = true;
+      } else if (im.opts.min_workers_timeout_s > 0 &&
+                 std::chrono::steady_clock::now() >= join_deadline) {
+        im.record_error(
+            "only " + std::to_string(im.workers_joined.load()) + " of " +
+            std::to_string(im.opts.min_workers) +
+            " required workers joined within " +
+            std::to_string(im.opts.min_workers_timeout_s) + "s");
+        break;
+      }
+    }
     net::TcpSocket sock = im.listener.accept(100);
     if (!sock.valid()) continue;
     handlers.emplace_back(

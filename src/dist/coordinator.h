@@ -38,6 +38,14 @@ struct DistJob {
 struct CoordinatorOptions {
   int port = 0;          // 0 = ephemeral; port() reports the actual one
   int min_workers = 1;   // hold leases until this many workers ever joined
+  // Fail the run loudly when min_workers have not joined within this many
+  // seconds of run() starting, instead of holding leases forever for
+  // workers that will never come (a typo'd port, a dead launcher). 0 waits
+  // forever; once the quorum is ever met the timeout is disarmed.
+  int min_workers_timeout_s = 0;
+  // Shared-secret worker auth: when non-empty, a hello without a matching
+  // "token" field is rejected loudly (error frame + disconnect).
+  std::string auth_token;
   // A lease not refreshed within this window is considered abandoned and
   // goes back on offer. Workers heartbeat every heartbeat_interval, so the
   // timeout should be a few intervals.

@@ -14,6 +14,20 @@ std::string message_type(const util::Json& j) {
   return t != nullptr && t->is_string() ? t->as_string() : "";
 }
 
+std::string check_hello(const util::Json& m, const std::string& auth_token) {
+  if (message_type(m) != msg::kHello || m.get("protocol") == nullptr ||
+      !m.at("protocol").is_number() ||
+      m.at("protocol").as_int() != kProtocolVersion)
+    return "bad hello (protocol mismatch?)";
+  if (!auth_token.empty()) {
+    const util::Json* token = m.get("token");
+    if (token == nullptr || !token->is_string() ||
+        token->as_string() != auth_token)
+      return "auth rejected: bad or missing token";
+  }
+  return "";
+}
+
 util::Json TaskSpec::to_json() const {
   util::Json j = util::Json::object();
   j.set("kind", kind);

@@ -21,6 +21,31 @@
 // conversation alive with heartbeats, so a worker silent for longer than a
 // few heartbeat intervals is dead by definition — that silence (or a raw
 // disconnect) is what expires its leases back to the scheduler.
+//
+// The resident sweep service (svc/service.h) speaks a superset of this
+// vocabulary on the same framing. Worker sessions gain dynamic job
+// discovery (the service's welcome carries no jobs — a lease may name a job
+// the worker has never seen, fetched on demand):
+//
+//   job_request {job}              job_info {job, task, plan}
+//
+// and control clients (svc/client.h, sysnoise_ctl) open a connection, send
+// one request — authenticated by a "token" field when the service was
+// started with a shared secret — and read the reply:
+//
+//   client -> service              service -> client
+//   -----------------              -----------------
+//   submit {task, plan,            submitted {job}
+//           priority, name}
+//   cancel {job}                   ok {} | error {message}
+//   status {}                      status_report {queue_depth, workers,
+//                                                 jobs: [...]}
+//   fetch {job}                    job_result {job, state, metrics?}
+//   watch {job}                    progress {job, state, ...} stream, then
+//                                  job_result {job, state, metrics?}
+//
+// Worker hello frames carry the same optional "token"; a service started
+// with a secret rejects token-less or wrong-token peers loudly.
 #pragma once
 
 #include <string>
@@ -29,7 +54,9 @@
 
 namespace sysnoise::dist {
 
-// Bump on incompatible message changes; hello/welcome verify it.
+// Bump on incompatible message changes; hello/welcome verify it. (The
+// service/control additions are a compatible superset: version 1 peers
+// never send them.)
 constexpr int kProtocolVersion = 1;
 
 // Message type strings.
@@ -44,12 +71,32 @@ inline constexpr const char* kHeartbeat = "heartbeat";
 inline constexpr const char* kResult = "result";
 inline constexpr const char* kOk = "ok";
 inline constexpr const char* kError = "error";
+// Dynamic job discovery (worker <-> service).
+inline constexpr const char* kJobRequest = "job_request";
+inline constexpr const char* kJobInfo = "job_info";
+// Control plane (client <-> service).
+inline constexpr const char* kSubmit = "submit";
+inline constexpr const char* kSubmitted = "submitted";
+inline constexpr const char* kCancel = "cancel";
+inline constexpr const char* kStatus = "status";
+inline constexpr const char* kStatusReport = "status_report";
+inline constexpr const char* kFetch = "fetch";
+inline constexpr const char* kWatch = "watch";
+inline constexpr const char* kProgress = "progress";
+inline constexpr const char* kJobResult = "job_result";
 }  // namespace msg
 
 // Build a message envelope {"type": type}.
 util::Json make_message(const char* type);
 // The "type" of a parsed message ("" when absent/malformed).
 std::string message_type(const util::Json& j);
+
+// Validate a hello frame: right type, matching protocol version, and — when
+// `auth_token` is non-empty — a matching shared-secret "token" field.
+// Returns "" when acceptable, else the diagnostic for the error reply. The
+// one handshake check behind the coordinator and the sweep service, so auth
+// cannot drift between them.
+std::string check_hello(const util::Json& m, const std::string& auth_token);
 
 // What a worker needs to rebuild the coordinator's EvalTask: the task
 // family plus the zoo model name (training is deterministic and disk-

@@ -1,0 +1,31 @@
+#include "dist/result_merge.h"
+
+namespace sysnoise::dist {
+
+std::string parse_result_frame(const util::Json& m, ParsedResult* out) {
+  const util::Json* jjob = m.get("job");
+  const util::Json* junit = m.get("unit");
+  const util::Json* jmetrics = m.get("metrics");
+  if (jjob == nullptr || !jjob->is_number() || junit == nullptr ||
+      !junit->is_number() || jmetrics == nullptr || !jmetrics->is_object())
+    return "malformed result frame";
+  const int job = jjob->as_int();
+  const int unit = junit->as_int();
+  if (job < 0 || unit < 0) return "result for negative job/unit";
+  out->job = job;
+  out->unit = static_cast<std::size_t>(unit);
+  out->metrics = jmetrics;
+  return "";
+}
+
+std::string merge_metrics(core::MetricMap& merged, const util::Json& jmetrics) {
+  for (const auto& [key, value] : jmetrics.items()) {
+    if (!value.is_number()) return "non-numeric metric \"" + key + "\"";
+    const auto [it, inserted] = merged.emplace(key, value.as_number());
+    if (!inserted && it->second != value.as_number())
+      return "workers disagree on \"" + key + "\"";
+  }
+  return "";
+}
+
+}  // namespace sysnoise::dist

@@ -1,0 +1,41 @@
+// The merge/verify core shared by the one-shot Coordinator and the
+// resident sweep service (svc/service.h): validating a worker's result
+// frame and folding its metric map into the merged per-job results with
+// bit-exact disagreement detection. Executors are required to be
+// bit-identical, so two workers reporting different values for one metric
+// key means non-determinism somewhere — that must fail the sweep loudly,
+// never average out. Factored out of the coordinator so the service cannot
+// drift from the contract the tests pin.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/plan.h"
+#include "util/json.h"
+
+namespace sysnoise::dist {
+
+// The (job, unit, metrics) triple of a validated result frame. `metrics`
+// points into the frame and is only valid while it lives.
+struct ParsedResult {
+  int job = -1;
+  std::size_t unit = 0;
+  const util::Json* metrics = nullptr;
+};
+
+// Shape-check a result frame ({job, unit, metrics-object} present, job and
+// unit non-negative). Returns "" and fills *out on success, else a
+// diagnostic. Range checks (does the job/unit exist?) stay with the caller,
+// which owns that bookkeeping.
+std::string parse_result_frame(const util::Json& m, ParsedResult* out);
+
+// Fold a metrics object into `merged`, verifying every value is numeric and
+// that re-reported keys (a unit completed by both the original and a
+// replacement worker) agree bit-exactly. Returns "" on success, else the
+// diagnostic; on failure `merged` may hold a prefix of the frame's keys —
+// callers treat any failure as poisoning the job, so the partial state is
+// never served.
+std::string merge_metrics(core::MetricMap& merged, const util::Json& jmetrics);
+
+}  // namespace sysnoise::dist

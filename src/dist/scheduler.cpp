@@ -10,6 +10,16 @@ LeaseScheduler::LeaseScheduler(std::vector<WorkUnit> units,
       slots_(units_.size()),
       lease_timeout_(lease_timeout) {}
 
+std::size_t LeaseScheduler::add_units(std::vector<WorkUnit> more) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t base = units_.size();
+  for (WorkUnit& u : more) {
+    units_.push_back(std::move(u));
+    slots_.emplace_back();
+  }
+  return base;
+}
+
 std::optional<std::size_t> LeaseScheduler::acquire(int worker,
                                                    Clock::time_point now) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -22,18 +32,21 @@ std::optional<std::size_t> LeaseScheduler::acquire(int worker,
       s.worker = -1;
       ++stats_.expired;
     }
+  std::optional<std::size_t> best;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
-    Slot& s = slots_[i];
-    if (s.state != State::kPending) continue;
-    s.state = State::kLeased;
-    s.worker = worker;
-    s.deadline = now + lease_timeout_;
-    ++stats_.leases_granted;
-    if (s.ever_leased) ++stats_.re_leases;
-    s.ever_leased = true;
-    return i;
+    if (slots_[i].state != State::kPending) continue;
+    if (!best.has_value() || units_[i].priority > units_[*best].priority)
+      best = i;
   }
-  return std::nullopt;
+  if (!best.has_value()) return std::nullopt;
+  Slot& s = slots_[*best];
+  s.state = State::kLeased;
+  s.worker = worker;
+  s.deadline = now + lease_timeout_;
+  ++stats_.leases_granted;
+  if (s.ever_leased) ++stats_.re_leases;
+  s.ever_leased = true;
+  return best;
 }
 
 void LeaseScheduler::heartbeat(int worker, Clock::time_point now) {
@@ -46,6 +59,7 @@ void LeaseScheduler::heartbeat(int worker, Clock::time_point now) {
 bool LeaseScheduler::complete(std::size_t unit) {
   std::lock_guard<std::mutex> lock(mu_);
   Slot& s = slots_[unit];
+  if (s.state == State::kCanceled) return false;  // result for a voided unit
   if (s.state == State::kDone) {
     ++stats_.duplicate_results;
     return false;
@@ -66,10 +80,23 @@ void LeaseScheduler::release_worker(int worker) {
     }
 }
 
+void LeaseScheduler::drop_job(int job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (units_[i].job != job || s.state == State::kDone ||
+        s.state == State::kCanceled)
+      continue;
+    s.state = State::kCanceled;
+    s.worker = -1;
+    ++stats_.canceled;
+  }
+}
+
 bool LeaseScheduler::all_done() const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const Slot& s : slots_)
-    if (s.state != State::kDone) return false;
+    if (s.state != State::kDone && s.state != State::kCanceled) return false;
   return true;
 }
 
@@ -77,7 +104,7 @@ std::size_t LeaseScheduler::remaining() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const Slot& s : slots_)
-    if (s.state != State::kDone) ++n;
+    if (s.state != State::kDone && s.state != State::kCanceled) ++n;
   return n;
 }
 

@@ -1,13 +1,18 @@
-// Lease bookkeeping of the distributed sweep coordinator, factored out of
-// the socket handling so the scheduling policy is testable without a
-// network: work units (stage-key groups of plan config indices, tagged with
-// their job) are leased to workers on demand — work-stealing style, fast
-// workers simply come back for more — and every lease carries a deadline
-// refreshed by the owning worker's heartbeats. A unit whose worker
-// disconnects (release_worker) or falls silent past its deadline
-// (acquire-time expiry sweep) goes back on offer and is re-leased to the
-// next hungry worker; a late result from the original owner is still
-// accepted, since executors are required to be bit-identical.
+// Lease bookkeeping of the distributed sweep coordinator and the resident
+// sweep service, factored out of the socket handling so the scheduling
+// policy is testable without a network: work units (stage-key groups of
+// plan config indices, tagged with their job) are leased to workers on
+// demand — work-stealing style, fast workers simply come back for more —
+// and every lease carries a deadline refreshed by the owning worker's
+// heartbeats. A unit whose worker disconnects (release_worker) or falls
+// silent past its deadline (acquire-time expiry sweep) goes back on offer
+// and is re-leased to the next hungry worker; a late result from the
+// original owner is still accepted, since executors are required to be
+// bit-identical.
+//
+// For the service the pool is dynamic (add_units as jobs are submitted,
+// drop_job on cancel) and prioritized: acquire leases the
+// highest-priority pending unit, submission order within a priority.
 #pragma once
 
 #include <chrono>
@@ -22,6 +27,7 @@ namespace sysnoise::dist {
 struct WorkUnit {
   int job = 0;
   std::vector<std::size_t> configs;
+  int priority = 0;  // higher leases first; ties go in unit order
 };
 
 struct SchedulerStats {
@@ -31,6 +37,7 @@ struct SchedulerStats {
   std::size_t released = 0;        // units returned by disconnects
   std::size_t completed = 0;       // first completions
   std::size_t duplicate_results = 0;
+  std::size_t canceled = 0;        // units voided by drop_job
 };
 
 class LeaseScheduler {
@@ -42,29 +49,40 @@ class LeaseScheduler {
 
   const std::vector<WorkUnit>& units() const { return units_; }
 
-  // Lease the next available unit to `worker` (a connection-unique id):
-  // the first pending unit in plan order, where expired and
-  // disconnect-released units rejoin the pool before being scanned.
-  // nullopt = nothing leasable right now (the caller answers `wait` or
-  // `done` depending on all_done()).
+  // Append more leasable units (a newly-submitted service job). Returns the
+  // index of the first one, so callers can map job-local unit indices to
+  // scheduler-global ones.
+  std::size_t add_units(std::vector<WorkUnit> more);
+
+  // Lease the best available unit to `worker` (a connection-unique id):
+  // the highest-priority pending unit, first-submitted within a priority,
+  // where expired and disconnect-released units rejoin the pool before
+  // being scanned. nullopt = nothing leasable right now (the caller answers
+  // `wait` or `done` depending on all_done()).
   std::optional<std::size_t> acquire(int worker, Clock::time_point now);
 
   // Refresh the deadlines of every lease `worker` holds.
   void heartbeat(int worker, Clock::time_point now);
 
   // Mark `unit` complete. Returns true on the first completion, false for
-  // a duplicate (unit re-leased after expiry, both workers finished).
+  // a duplicate (unit re-leased after expiry, both workers finished) or a
+  // unit voided by drop_job.
   bool complete(std::size_t unit);
 
   // The worker's connection died: put its incomplete leases back on offer.
   void release_worker(int worker);
+
+  // Void every incomplete unit of `job` (service-side cancel): they are
+  // never leased again and count as terminal for all_done(). Already-done
+  // units stay done.
+  void drop_job(int job);
 
   bool all_done() const;
   std::size_t remaining() const;
   SchedulerStats stats() const;
 
  private:
-  enum class State { kPending, kLeased, kDone };
+  enum class State { kPending, kLeased, kDone, kCanceled };
   struct Slot {
     State state = State::kPending;
     int worker = -1;

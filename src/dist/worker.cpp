@@ -1,9 +1,11 @@
 #include "dist/worker.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <exception>
 #include <future>
+#include <map>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -20,9 +22,15 @@ namespace sysnoise::dist {
 
 namespace {
 
-struct WelcomeJob {
+// One job this worker knows about: preloaded from the welcome frame
+// (coordinator) or fetched on demand via job_request (service, whose jobs
+// arrive while workers are already attached). The resolved task lives here
+// too, so resolution — possibly training a model — happens at most once per
+// job.
+struct KnownJob {
   util::Json task_spec;
   core::SweepPlan plan;
+  std::optional<ResolvedWorkerTask> resolved;
 };
 
 void wlog(const WorkerOptions& opts, const std::string& line) {
@@ -54,6 +62,7 @@ WorkerRunStats run_worker(const std::string& host, int port,
   // protocol mismatch can only ever fail again) is retryable the same way.
   util::Json hello = make_message(msg::kHello);
   hello.set("protocol", kProtocolVersion);
+  if (!opts.auth_token.empty()) hello.set("token", opts.auth_token);
   util::Json welcome;
   if (!net::send_json(sock, hello) || !net::recv_json(sock, &welcome)) {
     stats.disconnected = true;
@@ -79,17 +88,16 @@ WorkerRunStats run_worker(const std::string& host, int port,
   // shape violations — all reported like any error.
   try {
     const int heartbeat_ms = welcome.at("heartbeat_ms").as_int();
-    std::vector<WelcomeJob> jobs;
+    std::map<int, KnownJob> jobs;
     const util::Json& jjobs = welcome.at("jobs");
     for (std::size_t i = 0; i < jjobs.size(); ++i)
-      jobs.push_back({jjobs.at(i).at("task"),
-                      core::SweepPlan::from_json(jjobs.at(i).at("plan"))});
+      jobs.emplace(static_cast<int>(i),
+                   KnownJob{jjobs.at(i).at("task"),
+                            core::SweepPlan::from_json(jjobs.at(i).at("plan")),
+                            std::nullopt});
     wlog(opts, "joined: " + std::to_string(jobs.size()) + " jobs, heartbeat " +
                    std::to_string(heartbeat_ms) + "ms");
 
-    // Lazily-resolved tasks (job index -> task); resolving can mean training
-    // or loading a model, so it happens at most once per job, on first lease.
-    std::vector<std::optional<ResolvedWorkerTask>> tasks(jobs.size());
     core::SweepCache cache;  // worker-wide metric memo across leases
     const core::StagedExecutor executor(opts.stats, opts.disk);
 
@@ -139,17 +147,36 @@ WorkerRunStats run_worker(const std::string& host, int port,
 
       const int job = reply.at("job").as_int();
       const int unit = reply.at("unit").as_int();
-      if (job < 0 || job >= static_cast<int>(jobs.size())) {
-        send_error(sock, "lease for unknown job");
-        stats.error = "lease for unknown job";
-        return stats;
+      auto it = jobs.find(job);
+      if (it == jobs.end()) {
+        // A service job submitted after this worker's welcome: fetch its
+        // spec and plan before evaluating the lease.
+        util::Json req = make_message(msg::kJobRequest);
+        req.set("job", job);
+        util::Json info;
+        if (!net::send_json(sock, req) || !net::recv_json(sock, &info)) {
+          stats.disconnected = true;
+          return stats;
+        }
+        if (message_type(info) != msg::kJobInfo ||
+            info.at("job").as_int() != job) {
+          send_error(sock, "lease for unknown job");
+          stats.error = "lease for unknown job " + std::to_string(job);
+          return stats;
+        }
+        it = jobs.emplace(job,
+                          KnownJob{info.at("task"),
+                                   core::SweepPlan::from_json(info.at("plan")),
+                                   std::nullopt})
+                 .first;
+        wlog(opts, "fetched job " + std::to_string(job) + " (" +
+                       it->second.plan.task + ")");
       }
       const util::Json& jconfigs = reply.at("configs");
       std::vector<std::size_t> indices;
       for (std::size_t i = 0; i < jconfigs.size(); ++i)
         indices.push_back(static_cast<std::size_t>(jconfigs.at(i).as_int()));
-      const core::SweepPlan slice =
-          jobs[static_cast<std::size_t>(job)].plan.slice(indices);
+      const core::SweepPlan slice = it->second.plan.slice(indices);
       wlog(opts, "lease job=" + std::to_string(job) + " unit=" +
                      std::to_string(unit) + " (" +
                      std::to_string(indices.size()) + " configs)");
@@ -163,8 +190,8 @@ WorkerRunStats run_worker(const std::string& host, int port,
       core::SweepOptions sweep_opts;
       sweep_opts.threads = opts.threads;
       sweep_opts.cache = &cache;
-      auto& slot = tasks[static_cast<std::size_t>(job)];
-      const util::Json& task_spec = jobs[static_cast<std::size_t>(job)].task_spec;
+      auto& slot = it->second.resolved;
+      const util::Json& task_spec = it->second.task_spec;
       std::future<core::MetricMap> fut = std::async(
           std::launch::async,
           [&executor, &slot, &resolver, &task_spec, &cache, &slice,
@@ -229,18 +256,28 @@ WorkerRunStats run_worker_retrying(const std::string& host, int port,
                                    const WorkerOptions& opts,
                                    std::chrono::seconds connect_timeout) {
   const auto deadline = std::chrono::steady_clock::now() + connect_timeout;
+  // Capped exponential backoff: quick retries while a coordinator is still
+  // binding, without hammering a host that is down for minutes.
+  std::chrono::milliseconds delay{250};
+  constexpr std::chrono::milliseconds kMaxDelay{5000};
+  int attempts = 0;
   while (true) {
     try {
       return run_worker(host, port, resolver, opts);
     } catch (const std::exception& e) {
+      ++attempts;
       if (std::chrono::steady_clock::now() >= deadline) {
         WorkerRunStats stats;
         stats.error = std::string(e.what()) + " (gave up after " +
+                      std::to_string(attempts) + " attempts over " +
                       std::to_string(connect_timeout.count()) + "s)";
         return stats;
       }
-      wlog(opts, std::string(e.what()) + "; retrying...");
-      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      wlog(opts, std::string(e.what()) + "; attempt " +
+                     std::to_string(attempts) + ", retrying in " +
+                     std::to_string(delay.count()) + "ms...");
+      std::this_thread::sleep_for(delay);
+      delay = std::min(delay * 2, kMaxDelay);
     }
   }
 }

@@ -1,6 +1,8 @@
 // The worker half of the distributed sweep runtime: connect to a
-// coordinator, reconstruct the jobs' EvalTasks from the task specs in the
-// welcome frame, then pull leases until the coordinator says done. Each
+// coordinator (or a resident sweep service), reconstruct the jobs'
+// EvalTasks from the task specs in the welcome frame — or fetch them on
+// demand with job_request when a lease names a job submitted after this
+// worker joined — then pull leases until the server says done. Each
 // lease (a stage-key work unit: plan config indices) is evaluated through
 // the existing StagedExecutor — optionally backed by the shared disk
 // StageCache, so workers on one machine (or one shared filesystem) reuse
@@ -43,6 +45,9 @@ struct WorkerOptions {
   int threads = 0;  // SweepOptions::threads for lease evaluation
   core::StageStats* stats = nullptr;    // optional stage-cache accounting
   core::DiskStageCache* disk = nullptr; // optional shared product store
+  // Shared-secret sent in the hello frame (sweep services on untrusted
+  // networks require it; coordinators/services without one ignore it).
+  std::string auth_token;
   // The coordinator answers every request promptly (wait/lease/ok are
   // immediate; only the worker itself computes for long), so a reply this
   // late means the coordinator host died without closing the connection —
@@ -75,11 +80,12 @@ WorkerRunStats run_worker(const std::string& host, int port,
                           const WorkerOptions& opts = {});
 
 // run_worker with connection retries: TCP connect failures (the coordinator
-// may still be training/loading the models it is about to serve) retry
-// every 500ms until `connect_timeout` elapses, then report the connect
-// error through stats.error instead of throwing. Everything else behaves
-// like run_worker. The one retry loop behind the worker binary and every
-// bench --connect mode.
+// may still be training/loading the models it is about to serve) retry with
+// capped exponential backoff (250ms doubling to 5s) until `connect_timeout`
+// elapses, then report the connect error — including the attempt count —
+// through stats.error instead of throwing. Everything else behaves like
+// run_worker. The one retry loop behind the worker binary and every bench
+// --connect mode.
 WorkerRunStats run_worker_retrying(const std::string& host, int port,
                                    const TaskResolver& resolver,
                                    const WorkerOptions& opts,

@@ -49,6 +49,19 @@ bool parse_host_port(const std::string& hostport, std::string* host,
 
 TcpSocket::~TcpSocket() { close(); }
 
+std::string TcpSocket::peer() const {
+  if (fd_ < 0) return "?";
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+      addr.sin_family != AF_INET)
+    return "?";
+  char ip[INET_ADDRSTRLEN] = {0};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip)) == nullptr)
+    return "?";
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
 TcpSocket::TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) {
   other.fd_ = -1;
 }

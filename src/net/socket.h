@@ -35,6 +35,10 @@ class TcpSocket {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
+  // The peer's "ip:port" (for logs and the sweep service's worker roster);
+  // "?" when the socket is invalid or the peer is already gone.
+  std::string peer() const;
+
   // Cap how long a recv may wait for bytes (0 = wait forever). The
   // coordinator uses this as its dead-worker tripwire: a live worker is
   // never silent for longer than its heartbeat interval.

@@ -1,0 +1,179 @@
+#include "svc/client.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "dist/protocol.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace sysnoise::svc {
+
+using dist::make_message;
+using dist::message_type;
+namespace msg = dist::msg;
+
+namespace {
+
+void clog(const ClientOptions& opts, const std::string& line) {
+  if (!opts.verbose) return;
+  std::printf("[ctl] %s\n", line.c_str());
+  std::fflush(stdout);
+}
+
+[[noreturn]] void throw_error_reply(const util::Json& reply) {
+  const util::Json* message = reply.get("message");
+  throw std::runtime_error("service error: " +
+                           (message != nullptr && message->is_string()
+                                ? message->as_string()
+                                : std::string("(no message)")));
+}
+
+// Connect with capped exponential backoff until `deadline`: the service may
+// still be binding, or may be mid-restart after a crash.
+net::TcpSocket connect_retrying(const ClientOptions& opts,
+                                std::chrono::steady_clock::time_point deadline) {
+  std::chrono::milliseconds delay{250};
+  constexpr std::chrono::milliseconds kMaxDelay{5000};
+  int attempts = 0;
+  while (true) {
+    try {
+      return net::TcpSocket::connect(opts.host, opts.port);
+    } catch (const std::exception& e) {
+      ++attempts;
+      if (std::chrono::steady_clock::now() >= deadline)
+        throw std::runtime_error(
+            std::string(e.what()) + " (gave up after " +
+            std::to_string(attempts) + " attempts over " +
+            std::to_string(opts.retry_timeout.count()) + "s)");
+      clog(opts, std::string(e.what()) + "; attempt " +
+                     std::to_string(attempts) + ", retrying in " +
+                     std::to_string(delay.count()) + "ms...");
+      std::this_thread::sleep_for(delay);
+      delay = std::min(delay * 2, kMaxDelay);
+    }
+  }
+}
+
+}  // namespace
+
+util::Json ServiceClient::request(const util::Json& message) {
+  const auto deadline = std::chrono::steady_clock::now() + opts_.retry_timeout;
+  util::Json framed = message;
+  if (!opts_.token.empty()) framed.set("token", opts_.token);
+  while (true) {
+    net::TcpSocket sock = connect_retrying(opts_, deadline);
+    util::Json reply;
+    if (net::send_json(sock, framed) && net::recv_json(sock, &reply)) {
+      if (message_type(reply) == msg::kError) throw_error_reply(reply);
+      return reply;
+    }
+    // Connected but the reply never came: the service died between accept
+    // and answer. The requests here are either idempotent (status, fetch,
+    // cancel-that-will-now-error) or safe to repeat against a journaled
+    // service that never acked them (submit) — retry like a refused connect.
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw std::runtime_error("service at " + opts_.host + ":" +
+                               std::to_string(opts_.port) +
+                               " dropped the connection before replying");
+    clog(opts_, "connection dropped mid-request, retrying...");
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
+}
+
+int ServiceClient::submit(const util::Json& task_spec,
+                          const core::SweepPlan& plan, int priority,
+                          const std::string& name) {
+  util::Json req = make_message(msg::kSubmit);
+  req.set("task", task_spec);
+  req.set("plan", plan.to_json());
+  req.set("priority", priority);
+  req.set("name", name);
+  const util::Json reply = request(req);
+  if (message_type(reply) != msg::kSubmitted)
+    throw std::runtime_error("unexpected reply \"" + message_type(reply) +
+                             "\" to submit");
+  const int job = reply.at("job").as_int();
+  clog(opts_, "submitted job " + std::to_string(job) + " (\"" + name +
+                  "\", priority " + std::to_string(priority) + ")");
+  return job;
+}
+
+util::Json ServiceClient::status() {
+  util::Json reply = request(make_message(msg::kStatus));
+  if (message_type(reply) != msg::kStatusReport)
+    throw std::runtime_error("unexpected reply \"" + message_type(reply) +
+                             "\" to status");
+  return reply;
+}
+
+void ServiceClient::cancel(int job) {
+  util::Json req = make_message(msg::kCancel);
+  req.set("job", job);
+  request(req);  // ok or thrown error
+}
+
+util::Json ServiceClient::fetch(int job) {
+  util::Json req = make_message(msg::kFetch);
+  req.set("job", job);
+  util::Json reply = request(req);
+  if (message_type(reply) != msg::kJobResult)
+    throw std::runtime_error("unexpected reply \"" + message_type(reply) +
+                             "\" to fetch");
+  return reply;
+}
+
+util::Json ServiceClient::watch(
+    int job, const std::function<void(const util::Json&)>& on_progress) {
+  util::Json req = make_message(msg::kWatch);
+  req.set("job", job);
+  if (!opts_.token.empty()) req.set("token", opts_.token);
+  auto deadline = std::chrono::steady_clock::now() + opts_.retry_timeout;
+  while (true) {
+    net::TcpSocket sock = connect_retrying(opts_, deadline);
+    // Progress frames only flow on change, so a quiet stretch is normal:
+    // treat a long silence like a drop and re-watch (idempotent) rather
+    // than hanging forever on a wedged service.
+    sock.set_recv_timeout_ms(10000);
+    if (!net::send_json(sock, req)) continue;
+    util::Json frame;
+    while (net::recv_json(sock, &frame)) {
+      // A live frame proves the service is up: restart the ride-out budget.
+      deadline = std::chrono::steady_clock::now() + opts_.retry_timeout;
+      const std::string type = message_type(frame);
+      if (type == msg::kError) throw_error_reply(frame);
+      if (type == msg::kJobResult) return frame;
+      if (type == msg::kProgress && on_progress) on_progress(frame);
+    }
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw std::runtime_error("watch of job " + std::to_string(job) +
+                               " lost the service at " + opts_.host + ":" +
+                               std::to_string(opts_.port) + " for over " +
+                               std::to_string(opts_.retry_timeout.count()) +
+                               "s");
+    clog(opts_, "watch stream dropped (service restarting?), re-watching "
+                "job " + std::to_string(job) + "...");
+  }
+}
+
+core::MetricMap ServiceClient::collect(
+    int job, const std::function<void(const util::Json&)>& on_progress) {
+  const util::Json final_frame = watch(job, on_progress);
+  const std::string state = final_frame.at("state").as_string();
+  if (state != "done") {
+    const util::Json* error = final_frame.get("error");
+    throw std::runtime_error(
+        "job " + std::to_string(job) + " ended " + state +
+        (error != nullptr && error->is_string() ? ": " + error->as_string()
+                                                : std::string()));
+  }
+  core::MetricMap metrics;
+  for (const auto& [key, value] : final_frame.at("metrics").items())
+    metrics[key] = value.as_number();
+  return metrics;
+}
+
+}  // namespace sysnoise::svc

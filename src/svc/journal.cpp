@@ -1,0 +1,102 @@
+#include "svc/journal.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace sysnoise::svc {
+
+Journal::Journal(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw std::runtime_error("Journal: cannot open " + path_ + ": " +
+                             std::strerror(errno));
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::append(const util::Json& record, bool sync) {
+  // One write() call per record: O_APPEND makes concurrent appends from
+  // this process land whole, and the torn-tail tolerance in replay() covers
+  // the one write a crash can interrupt.
+  const std::string line = record.dump() + "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("Journal: write to " + path_ + " failed: " +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (sync && ::fsync(fd_) != 0)
+    throw std::runtime_error("Journal: fsync of " + path_ + " failed: " +
+                             std::strerror(errno));
+  ++appended_;
+}
+
+std::size_t Journal::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+ReplayResult Journal::replay(const std::string& path) {
+  ReplayResult out;
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return out;  // no journal yet: a fresh service
+  std::ostringstream os;
+  os << f.rdbuf();
+  const std::string text = os.str();
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    const std::size_t nl = text.find('\n', pos);
+    // A line without its terminating newline is the write a crash cut off.
+    const bool torn = nl == std::string::npos;
+    const std::string line =
+        text.substr(pos, torn ? std::string::npos : nl - pos);
+    pos = torn ? text.size() : nl + 1;
+    try {
+      util::Json record = util::Json::parse(line);
+      if (!record.is_object()) throw std::runtime_error("not an object");
+      if (torn) throw std::runtime_error("missing newline");
+      out.records.push_back(std::move(record));
+    } catch (const std::exception& e) {
+      if (pos >= text.size()) {
+        // Torn tail: the expected crash artifact. Drop it — the unit (or
+        // submission) it would have recorded is simply redone.
+        out.dropped_torn_tail = true;
+        std::fprintf(stderr,
+                     "[journal] dropping torn final record (line %zu) of %s\n",
+                     line_no, path.c_str());
+        return out;
+      }
+      throw std::runtime_error("Journal: " + path + " line " +
+                               std::to_string(line_no) +
+                               " is corrupt (not a crash artifact — later "
+                               "records follow): " +
+                               e.what());
+    }
+  }
+  return out;
+}
+
+util::Json Journal::make_record(const char* rec) {
+  util::Json j = util::Json::object();
+  j.set("rec", rec);
+  return j;
+}
+
+}  // namespace sysnoise::svc

@@ -1,0 +1,76 @@
+// Write-ahead journal of the resident sweep service: an append-only file of
+// newline-delimited compact JSON records (util/json.h), fsync'd per append,
+// so a service killed at any instant can replay exactly the submissions,
+// cancellations and completed work-unit results it had durably recorded and
+// resume every in-flight sweep without re-running completed units.
+//
+// Crash tolerance is asymmetric by design: a torn FINAL record (the append
+// the crash interrupted) is expected and silently dropped on replay — the
+// unit it would have recorded is simply re-evaluated, and bit-identical
+// executors make that invisible in the merged report. Corruption anywhere
+// EARLIER is not a crash artifact but a damaged file, and replay throws
+// rather than resuming from a silently-wrong history.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace sysnoise::svc {
+
+// Record type strings (the "rec" field; "type" is the wire vocabulary).
+namespace rec {
+inline constexpr const char* kSubmit = "submit";
+inline constexpr const char* kLease = "lease";
+inline constexpr const char* kResult = "result";
+inline constexpr const char* kCancel = "cancel";
+}  // namespace rec
+
+// The outcome of replaying a journal file.
+struct ReplayResult {
+  std::vector<util::Json> records;
+  bool dropped_torn_tail = false;  // final record was incomplete/unparseable
+};
+
+class Journal {
+ public:
+  // Opens (creating if absent) `path` for appending. Throws
+  // std::runtime_error when the file cannot be opened.
+  explicit Journal(std::string path);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  // Append one record as a single compact-JSON line. `sync` fsyncs before
+  // returning — mandatory for records the service must not lose (submit,
+  // result, cancel); lease grants are observability-only and may skip it.
+  // Thread-safe. Appends are best-effort durable: a failed write is
+  // reported by throwing, since silently dropping a submit would break the
+  // resume contract.
+  void append(const util::Json& record, bool sync = true);
+
+  std::size_t appended() const;
+
+  // Parse `path` into records. A missing file replays as empty (a fresh
+  // service). A torn final record is dropped (ReplayResult::
+  // dropped_torn_tail); a malformed record anywhere earlier throws
+  // std::runtime_error naming the offending line.
+  static ReplayResult replay(const std::string& path);
+
+  // Convenience record builders, so every journal site spells fields the
+  // same way.
+  static util::Json make_record(const char* rec);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  mutable std::mutex mu_;
+  std::size_t appended_ = 0;
+};
+
+}  // namespace sysnoise::svc

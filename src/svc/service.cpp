@@ -1,0 +1,738 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <sys/socket.h>
+
+#include "dist/protocol.h"
+#include "dist/result_merge.h"
+#include "dist/scheduler.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "svc/journal.h"
+
+namespace sysnoise::svc {
+
+using dist::LeaseScheduler;
+using dist::WorkUnit;
+using dist::make_message;
+using dist::message_type;
+namespace msg = dist::msg;
+
+namespace {
+
+util::Json metrics_to_json(const core::MetricMap& metrics) {
+  util::Json j = util::Json::object();
+  for (const auto& [key, value] : metrics) j.set(key, value);
+  return j;
+}
+
+}  // namespace
+
+// One submitted sweep. Unit indices are scheduler-global on the wire
+// (workers echo what their lease said) but job-local in the journal, so a
+// replayed journal is valid no matter how unit_base shifts across restarts
+// (terminal jobs' units are still re-added, but order could drift if that
+// ever changes).
+struct JobState {
+  int id = 0;
+  std::string name;
+  int priority = 0;
+  util::Json task_spec;
+  core::SweepPlan plan;
+
+  std::size_t unit_base = 0;  // scheduler index of this job's first unit
+  std::vector<bool> unit_done;
+  std::size_t units_done = 0;
+  std::size_t configs_total = 0;
+  std::size_t configs_done = 0;
+  core::MetricMap merged;
+  bool canceled = false;
+  std::string error;  // non-empty = failed (e.g. workers disagreed)
+
+  std::size_t unit_count() const { return unit_done.size(); }
+  bool terminal() const {
+    return canceled || !error.empty() || units_done == unit_count();
+  }
+  const char* state() const {
+    if (canceled) return "canceled";
+    if (!error.empty()) return "failed";
+    if (units_done == unit_count()) return "done";
+    return units_done > 0 ? "running" : "queued";
+  }
+};
+
+struct SweepService::Impl {
+  ServiceOptions opts;
+  net::TcpListener listener;
+  std::unique_ptr<Journal> journal;  // null = volatile service
+  std::unique_ptr<LeaseScheduler> scheduler;
+
+  mutable std::mutex mu;  // jobs, next_job_id, roster
+  std::map<int, JobState> jobs;
+  int next_job_id = 1;
+  std::map<int, std::string> roster;  // worker id -> peer "ip:port"
+
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> stopped{false};
+  std::atomic<bool> crashed{false};
+  std::atomic<int> next_worker_id{0};
+  std::atomic<std::size_t> workers_joined{0};
+  std::atomic<std::size_t> workers_active{0};
+  std::atomic<std::size_t> results_received{0};
+  std::atomic<std::size_t> auth_rejections{0};
+  std::atomic<std::size_t> worker_errors{0};
+  std::size_t results_replayed = 0;  // written once before serving starts
+
+  std::mutex conns_mu;
+  std::set<int> conns;
+  std::atomic<int> active_handlers{0};
+  std::thread accept_thread;
+  std::vector<std::thread> handlers;  // touched only by accept loop / stop()
+
+  void log(const char* fmt, ...) const;
+  void replay();
+  int register_job(std::string name, int priority, util::Json task_spec,
+                   core::SweepPlan plan, int forced_id, bool journal_it);
+  void crash_now();
+  util::Json status_json() const;
+  util::Json job_result_json(const JobState& job) const;
+  util::Json progress_json(const JobState& job) const;
+
+  void accept_loop();
+  void handle(net::TcpSocket sock);
+  void serve_worker(net::TcpSocket& sock, const util::Json& hello);
+  void serve_control(net::TcpSocket& sock, const util::Json& request);
+  // Returns false when the connection must be dropped (protocol/merge
+  // failure already reported, or the crash hook fired mid-result).
+  bool handle_result(const util::Json& m, int worker_id);
+};
+
+void SweepService::Impl::log(const char* fmt, ...) const {
+  if (!opts.verbose) return;
+  va_list args;
+  va_start(args, fmt);
+  std::printf("[svc] ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  std::fflush(stdout);
+  va_end(args);
+}
+
+// Register a job (fresh submission or journal replay) and put its units on
+// offer. Caller must NOT hold mu.
+int SweepService::Impl::register_job(std::string name, int priority,
+                                     util::Json task_spec, core::SweepPlan plan,
+                                     int forced_id, bool journal_it) {
+  core::WorkUnitOptions unit_opts;
+  unit_opts.merge_batch_compatible = true;
+  std::vector<std::vector<std::size_t>> groups =
+      core::plan_work_units(plan, unit_opts);
+
+  std::lock_guard<std::mutex> lock(mu);
+  const int id = forced_id > 0 ? forced_id : next_job_id;
+  next_job_id = std::max(next_job_id, id + 1);
+
+  // Journal the submission BEFORE it becomes leasable: once a client sees
+  // `submitted`, a restart must still know the job.
+  if (journal_it && journal != nullptr) {
+    util::Json rec = Journal::make_record(rec::kSubmit);
+    rec.set("job", id);
+    rec.set("name", name);
+    rec.set("priority", priority);
+    rec.set("task", task_spec);
+    rec.set("plan", plan.to_json());
+    journal->append(rec);
+  }
+
+  JobState job;
+  job.id = id;
+  job.name = std::move(name);
+  job.priority = priority;
+  job.task_spec = std::move(task_spec);
+  job.plan = std::move(plan);
+  job.configs_total = job.plan.configs.size();
+  job.unit_done.assign(groups.size(), false);
+
+  std::vector<WorkUnit> units;
+  units.reserve(groups.size());
+  for (std::vector<std::size_t>& group : groups)
+    units.push_back({id, std::move(group), priority});
+  job.unit_base = scheduler->add_units(std::move(units));
+
+  log("job %d \"%s\" registered: %zu units, %zu configs, priority %d", id,
+      job.name.c_str(), job.unit_count(), job.configs_total, priority);
+  jobs.emplace(id, std::move(job));
+  return id;
+}
+
+void SweepService::Impl::replay() {
+  const ReplayResult rr = Journal::replay(opts.journal_path);
+  for (const util::Json& record : rr.records) {
+    const util::Json* recp = record.get("rec");
+    const std::string rec =
+        recp != nullptr && recp->is_string() ? recp->as_string() : "";
+    if (rec == rec::kSubmit) {
+      register_job(record.at("name").as_string(),
+                   record.at("priority").as_int(), record.at("task"),
+                   core::SweepPlan::from_json(record.at("plan")),
+                   record.at("job").as_int(), /*journal_it=*/false);
+    } else if (rec == rec::kLease) {
+      // Lease grants are observability-only; the units they name are either
+      // re-leased (no result record followed) or covered by one.
+    } else if (rec == rec::kResult || rec == rec::kCancel) {
+      const int id = record.at("job").as_int();
+      std::lock_guard<std::mutex> lock(mu);
+      const auto it = jobs.find(id);
+      if (it == jobs.end())
+        throw std::runtime_error("SweepService: journal " + opts.journal_path +
+                                 " references unknown job " +
+                                 std::to_string(id));
+      JobState& job = it->second;
+      if (rec == rec::kCancel) {
+        job.canceled = true;
+        scheduler->drop_job(id);
+        continue;
+      }
+      const std::size_t local =
+          static_cast<std::size_t>(record.at("unit").as_int());
+      if (local >= job.unit_count())
+        throw std::runtime_error("SweepService: journal " + opts.journal_path +
+                                 " has out-of-range unit for job " +
+                                 std::to_string(id));
+      if (job.unit_done[local]) continue;  // duplicate record: idempotent
+      const std::string merge_error =
+          dist::merge_metrics(job.merged, record.at("metrics"));
+      if (!merge_error.empty())
+        throw std::runtime_error(
+            "SweepService: journal replay of job " + std::to_string(id) +
+            " failed: " + merge_error);
+      scheduler->complete(job.unit_base + local);
+      job.unit_done[local] = true;
+      ++job.units_done;
+      job.configs_done +=
+          scheduler->units()[job.unit_base + local].configs.size();
+      ++results_replayed;
+    } else {
+      throw std::runtime_error("SweepService: journal " + opts.journal_path +
+                               " has unknown record type \"" + rec + "\"");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  log("replayed %zu journal records: %zu jobs, %zu completed units%s",
+      rr.records.size(), jobs.size(), results_replayed,
+      rr.dropped_torn_tail ? " (dropped torn tail)" : "");
+}
+
+// The kill -9 stand-in: everything already journaled stays, everything else
+// — in-flight results, attached workers, pending replies — is dropped on
+// the floor with no goodbye of any kind.
+void SweepService::Impl::crash_now() {
+  crashed.store(true);
+  stopping.store(true);
+  listener.close();
+  std::lock_guard<std::mutex> lock(conns_mu);
+  for (const int fd : conns) ::shutdown(fd, SHUT_RDWR);
+  log("crash hook fired: dropped %zu connections", conns.size());
+}
+
+util::Json SweepService::Impl::progress_json(const JobState& job) const {
+  util::Json j = make_message(msg::kProgress);
+  j.set("job", job.id);
+  j.set("name", job.name);
+  j.set("state", job.state());
+  j.set("units_done", job.units_done);
+  j.set("units_total", job.unit_count());
+  j.set("configs_done", job.configs_done);
+  j.set("configs_total", job.configs_total);
+  return j;
+}
+
+util::Json SweepService::Impl::job_result_json(const JobState& job) const {
+  util::Json j = make_message(msg::kJobResult);
+  j.set("job", job.id);
+  j.set("state", job.state());
+  if (!job.error.empty()) j.set("error", job.error);
+  if (job.terminal() && job.error.empty() && !job.canceled)
+    j.set("metrics", metrics_to_json(job.merged));
+  return j;
+}
+
+util::Json SweepService::Impl::status_json() const {
+  util::Json j = make_message(msg::kStatusReport);
+  j.set("queue_depth", scheduler->remaining());
+  std::lock_guard<std::mutex> lock(mu);
+  util::Json workers = util::Json::object();
+  workers.set("joined", workers_joined.load());
+  workers.set("active", workers_active.load());
+  util::Json peers = util::Json::array();
+  for (const auto& [id, peer] : roster) {
+    util::Json w = util::Json::object();
+    w.set("worker", id);
+    w.set("peer", peer);
+    peers.push_back(std::move(w));
+  }
+  workers.set("peers", std::move(peers));
+  j.set("workers", std::move(workers));
+  util::Json jjobs = util::Json::array();
+  for (const auto& [id, job] : jobs) {
+    util::Json jj = util::Json::object();
+    jj.set("job", id);
+    jj.set("name", job.name);
+    jj.set("priority", job.priority);
+    jj.set("state", job.state());
+    jj.set("units_done", job.units_done);
+    jj.set("units_total", job.unit_count());
+    jj.set("configs_done", job.configs_done);
+    jj.set("configs_total", job.configs_total);
+    jjobs.push_back(std::move(jj));
+  }
+  j.set("jobs", std::move(jjobs));
+  return j;
+}
+
+bool SweepService::Impl::handle_result(const util::Json& m, int worker_id) {
+  dist::ParsedResult parsed;
+  std::string error = dist::parse_result_frame(m, &parsed);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    JobState* job = nullptr;
+    if (error.empty()) {
+      const auto it = jobs.find(parsed.job);
+      if (it == jobs.end() ||
+          parsed.unit < it->second.unit_base ||
+          parsed.unit >= it->second.unit_base + it->second.unit_count())
+        error = "result for unknown job/unit";
+      else
+        job = &it->second;
+    }
+    if (error.empty() && job->canceled) {
+      // The job was canceled while this worker was evaluating: accept the
+      // frame politely (the worker did nothing wrong) and drop the result.
+      log("dropping result for canceled job %d from worker %d", parsed.job,
+          worker_id);
+      return true;
+    }
+    if (error.empty()) {
+      const std::string merge_error =
+          dist::merge_metrics(job->merged, *parsed.metrics);
+      if (!merge_error.empty()) {
+        // Bit-exactness violation: fail THIS JOB loudly (the merged map is
+        // poisoned) but keep serving the others.
+        job->error = merge_error;
+        scheduler->drop_job(job->id);
+        error = merge_error;
+      }
+    }
+    if (!error.empty()) {
+      log("result from worker %d rejected: %s", worker_id, error.c_str());
+      return false;
+    }
+    if (scheduler->complete(parsed.unit)) {
+      const std::size_t local = parsed.unit - job->unit_base;
+      if (journal != nullptr) {
+        util::Json rec = Journal::make_record(rec::kResult);
+        rec.set("job", job->id);
+        rec.set("unit", local);
+        rec.set("metrics", *parsed.metrics);
+        journal->append(rec);  // fsync'd: the resume contract depends on it
+      }
+      job->unit_done[local] = true;
+      ++job->units_done;
+      job->configs_done += scheduler->units()[parsed.unit].configs.size();
+      results_received.fetch_add(1);
+      log("result job=%d unit=%zu from worker %d (%zu/%zu units)", job->id,
+          parsed.unit, worker_id, job->units_done, job->unit_count());
+    } else {
+      log("duplicate result job=%d unit=%zu from worker %d", parsed.job,
+          parsed.unit, worker_id);
+    }
+  }
+  if (opts.crash_after_results >= 0 && !crashed.load() &&
+      results_received.load() >=
+          static_cast<std::size_t>(opts.crash_after_results)) {
+    crash_now();
+    return false;  // no ok reply: the worker never learns we took it
+  }
+  return true;
+}
+
+void SweepService::Impl::serve_worker(net::TcpSocket& sock,
+                                      const util::Json& hello) {
+  using Clock = LeaseScheduler::Clock;
+  const std::string hello_error = dist::check_hello(hello, opts.auth_token);
+  if (!hello_error.empty()) {
+    if (hello_error.find("auth rejected") != std::string::npos)
+      auth_rejections.fetch_add(1);
+    else
+      worker_errors.fetch_add(1);
+    std::fprintf(stderr, "[svc] rejected worker %s: %s\n",
+                 sock.peer().c_str(), hello_error.c_str());
+    util::Json err = make_message(msg::kError);
+    err.set("message", hello_error);
+    net::send_json(sock, err);
+    return;
+  }
+  const int worker_id = next_worker_id.fetch_add(1);
+  workers_joined.fetch_add(1);
+  workers_active.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    roster[worker_id] = sock.peer();
+  }
+  log("worker %d joined from %s", worker_id, sock.peer().c_str());
+
+  // Unlike the coordinator, the welcome carries no jobs: they arrive while
+  // workers are already attached, fetched on demand via job_request.
+  util::Json welcome = make_message(msg::kWelcome);
+  welcome.set("protocol", dist::kProtocolVersion);
+  welcome.set("heartbeat_ms",
+              static_cast<int>(opts.heartbeat_interval.count()));
+  welcome.set("jobs", util::Json::array());
+
+  const int wait_ms = static_cast<int>(opts.heartbeat_interval.count());
+  util::Json m;
+  if (net::send_json(sock, welcome)) {
+    while (true) {
+      if (!net::recv_json(sock, &m)) break;
+      const std::string type = message_type(m);
+      if (type == msg::kLeaseRequest) {
+        util::Json reply;
+        if (stopping.load()) {
+          net::send_json(sock, make_message(msg::kDone));
+          break;
+        }
+        if (const std::optional<std::size_t> unit =
+                scheduler->acquire(worker_id, Clock::now())) {
+          const WorkUnit& wu = scheduler->units()[*unit];
+          reply = make_message(msg::kLease);
+          reply.set("job", wu.job);
+          reply.set("unit", static_cast<int>(*unit));
+          util::Json configs = util::Json::array();
+          for (const std::size_t c : wu.configs)
+            configs.push_back(static_cast<int>(c));
+          reply.set("configs", std::move(configs));
+          std::lock_guard<std::mutex> lock(mu);
+          const auto it = jobs.find(wu.job);
+          log("lease unit %zu (job %d, %zu configs) -> worker %d", *unit,
+              wu.job, wu.configs.size(), worker_id);
+          if (journal != nullptr && it != jobs.end()) {
+            util::Json rec = Journal::make_record(rec::kLease);
+            rec.set("job", wu.job);
+            rec.set("unit", *unit - it->second.unit_base);
+            rec.set("worker", worker_id);
+            // Observability-only (priority-order audits, post-mortems):
+            // losing a grant to a crash costs nothing, so skip the fsync.
+            journal->append(rec, /*sync=*/false);
+          }
+        } else {
+          // A drained queue is NOT "done" for a resident service — the next
+          // submission may be seconds away. Workers idle on wait forever.
+          reply = make_message(msg::kWait);
+          reply.set("ms", wait_ms);
+        }
+        if (!net::send_json(sock, reply)) break;
+      } else if (type == msg::kHeartbeat) {
+        scheduler->heartbeat(worker_id, Clock::now());
+        if (!net::send_json(sock, make_message(msg::kOk))) break;
+      } else if (type == msg::kResult) {
+        if (!handle_result(m, worker_id)) {
+          if (!crashed.load()) {
+            worker_errors.fetch_add(1);
+            util::Json err = make_message(msg::kError);
+            err.set("message", "result rejected");
+            net::send_json(sock, err);
+          }
+          break;
+        }
+        if (!net::send_json(sock, make_message(msg::kOk))) break;
+      } else if (type == msg::kJobRequest) {
+        util::Json reply;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          const auto it = jobs.find(m.at("job").as_int());
+          if (it == jobs.end()) {
+            reply = make_message(msg::kError);
+            reply.set("message", "unknown job");
+          } else {
+            reply = make_message(msg::kJobInfo);
+            reply.set("job", it->second.id);
+            reply.set("task", it->second.task_spec);
+            reply.set("plan", it->second.plan.to_json());
+          }
+        }
+        if (!net::send_json(sock, reply)) break;
+      } else if (type == msg::kError) {
+        const util::Json* message = m.get("message");
+        log("worker %d error: %s", worker_id,
+            message != nullptr ? message->as_string().c_str() : "?");
+        worker_errors.fetch_add(1);
+        break;
+      } else {
+        worker_errors.fetch_add(1);
+        break;  // protocol violation
+      }
+    }
+  }
+  scheduler->release_worker(worker_id);
+  workers_active.fetch_sub(1);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    roster.erase(worker_id);
+  }
+  log("worker %d left", worker_id);
+}
+
+void SweepService::Impl::serve_control(net::TcpSocket& sock,
+                                       const util::Json& request) {
+  const std::string type = message_type(request);
+  auto reply_error = [&](const std::string& message) {
+    util::Json err = make_message(msg::kError);
+    err.set("message", message);
+    net::send_json(sock, err);
+  };
+
+  if (!opts.auth_token.empty()) {
+    const util::Json* token = request.get("token");
+    if (token == nullptr || !token->is_string() ||
+        token->as_string() != opts.auth_token) {
+      auth_rejections.fetch_add(1);
+      std::fprintf(stderr,
+                   "[svc] rejected control request \"%s\" from %s: bad or "
+                   "missing token\n",
+                   type.c_str(), sock.peer().c_str());
+      reply_error("auth rejected: bad or missing token");
+      return;
+    }
+  }
+
+  if (type == msg::kSubmit) {
+    int id = -1;
+    try {
+      const util::Json* name = request.get("name");
+      const util::Json* priority = request.get("priority");
+      id = register_job(
+          name != nullptr && name->is_string() ? name->as_string() : "",
+          priority != nullptr && priority->is_number() ? priority->as_int()
+                                                       : 0,
+          request.at("task"), core::SweepPlan::from_json(request.at("plan")),
+          /*forced_id=*/0, /*journal_it=*/true);
+    } catch (const std::exception& e) {
+      // A malformed plan must come back as a diagnostic, not a dropped
+      // connection the client would pointlessly retry.
+      reply_error(std::string("submit rejected: ") + e.what());
+      return;
+    }
+    util::Json reply = make_message(msg::kSubmitted);
+    reply.set("job", id);
+    net::send_json(sock, reply);
+  } else if (type == msg::kCancel) {
+    const int id = request.at("job").as_int();
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = jobs.find(id);
+    if (it == jobs.end()) {
+      reply_error("unknown job " + std::to_string(id));
+      return;
+    }
+    if (it->second.terminal()) {
+      reply_error("job " + std::to_string(id) + " already " +
+                  it->second.state());
+      return;
+    }
+    if (journal != nullptr) {
+      util::Json rec = Journal::make_record(rec::kCancel);
+      rec.set("job", id);
+      journal->append(rec);
+    }
+    it->second.canceled = true;
+    scheduler->drop_job(id);
+    log("job %d canceled", id);
+    net::send_json(sock, make_message(msg::kOk));
+  } else if (type == msg::kStatus) {
+    net::send_json(sock, status_json());
+  } else if (type == msg::kFetch) {
+    const int id = request.at("job").as_int();
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = jobs.find(id);
+    if (it == jobs.end())
+      reply_error("unknown job " + std::to_string(id));
+    else
+      net::send_json(sock, job_result_json(it->second));
+  } else if (type == msg::kWatch) {
+    const int id = request.at("job").as_int();
+    std::string last_sent;
+    while (!stopping.load()) {
+      util::Json frame;
+      bool terminal = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        const auto it = jobs.find(id);
+        if (it == jobs.end()) {
+          reply_error("unknown job " + std::to_string(id));
+          return;
+        }
+        terminal = it->second.terminal();
+        frame = terminal ? job_result_json(it->second)
+                         : progress_json(it->second);
+      }
+      const std::string bytes = frame.dump();
+      if (bytes != last_sent) {
+        if (!net::send_json(sock, frame)) return;
+        last_sent = bytes;
+      }
+      if (terminal) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  } else {
+    reply_error("unknown request \"" + type + "\"");
+  }
+}
+
+void SweepService::Impl::handle(net::TcpSocket sock) {
+  const int recv_timeout_ms = static_cast<int>(
+      std::max<std::int64_t>(opts.lease_timeout.count() * 2, 1000));
+  sock.set_recv_timeout_ms(recv_timeout_ms);
+
+  active_handlers.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    conns.insert(sock.fd());
+  }
+  struct ConnGuard {
+    Impl* im;
+    int fd;
+    ~ConnGuard() {
+      {
+        std::lock_guard<std::mutex> lock(im->conns_mu);
+        im->conns.erase(fd);
+      }
+      im->active_handlers.fetch_sub(1);
+    }
+  } guard{this, sock.fd()};
+
+  // Peers are untrusted: recv_json throws on a length-valid non-JSON frame
+  // and field accessors throw on shape violations. An escaped exception in
+  // a handler thread would take down the whole service — contain them here.
+  try {
+    util::Json first;
+    if (!net::recv_json(sock, &first)) return;
+    if (message_type(first) == msg::kHello)
+      serve_worker(sock, first);
+    else
+      serve_control(sock, first);
+  } catch (const std::exception& e) {
+    worker_errors.fetch_add(1);
+    log("connection error: %s", e.what());
+  }
+}
+
+void SweepService::Impl::accept_loop() {
+  while (!stopping.load()) {
+    net::TcpSocket sock = listener.accept(100);
+    if (!sock.valid()) continue;
+    handlers.emplace_back([this](net::TcpSocket s) { handle(std::move(s)); },
+                          std::move(sock));
+  }
+}
+
+SweepService::SweepService(ServiceOptions opts) : impl_(new Impl) {
+  Impl& im = *impl_;
+  im.opts = std::move(opts);
+  im.scheduler = std::make_unique<LeaseScheduler>(std::vector<WorkUnit>{},
+                                                  im.opts.lease_timeout);
+  if (!im.opts.journal_path.empty()) {
+    try {
+      im.replay();  // resume everything the previous incarnation recorded
+      im.journal = std::make_unique<Journal>(im.opts.journal_path);
+    } catch (...) {
+      delete impl_;
+      throw;
+    }
+  }
+  try {
+    im.listener = net::TcpListener::listen(im.opts.port);
+  } catch (...) {
+    delete impl_;
+    throw;
+  }
+  im.log("serving on port %d (journal: %s)", im.listener.port(),
+         im.opts.journal_path.empty() ? "none" : im.opts.journal_path.c_str());
+  im.accept_thread = std::thread([&im] { im.accept_loop(); });
+}
+
+SweepService::~SweepService() {
+  stop();
+  delete impl_;
+}
+
+int SweepService::port() const { return impl_->listener.port(); }
+
+void SweepService::stop() {
+  Impl& im = *impl_;
+  if (im.stopped.exchange(true)) return;
+  im.stopping.store(true);
+  im.listener.close();
+  if (im.accept_thread.joinable()) im.accept_thread.join();
+  // Attached workers get `done` on their next request (at most a heartbeat
+  // interval away); give them that window, then nudge whatever is left off
+  // its blocking recv. A crash_now() skipped the courtesy on purpose.
+  if (!im.crashed.load()) {
+    const auto grace_deadline =
+        std::chrono::steady_clock::now() +
+        std::max<std::chrono::milliseconds>(3 * im.opts.heartbeat_interval,
+                                            std::chrono::milliseconds(500));
+    while (im.active_handlers.load() > 0 &&
+           std::chrono::steady_clock::now() < grace_deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  {
+    std::lock_guard<std::mutex> lock(im.conns_mu);
+    for (const int fd : im.conns) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : im.handlers) t.join();
+  im.handlers.clear();
+}
+
+util::Json SweepService::status() const { return impl_->status_json(); }
+
+bool SweepService::wait_idle(std::chrono::milliseconds timeout) const {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      bool idle = true;
+      for (const auto& [id, job] : impl_->jobs)
+        if (!job.terminal()) idle = false;
+      if (idle) return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+ServiceStats SweepService::stats() const {
+  ServiceStats s;
+  s.workers_joined = impl_->workers_joined.load();
+  s.workers_active = impl_->workers_active.load();
+  s.results_received = impl_->results_received.load();
+  s.results_replayed = impl_->results_replayed;
+  s.auth_rejections = impl_->auth_rejections.load();
+  s.worker_errors = impl_->worker_errors.load();
+  s.crash_hook_fired = impl_->crashed.load();
+  return s;
+}
+
+}  // namespace sysnoise::svc

@@ -266,6 +266,46 @@ TEST(Distributed, MinWorkersHoldsLeasesUntilQuorum) {
   EXPECT_EQ(stats.workers_joined, 2u);
 }
 
+TEST(Distributed, MinWorkersTimeoutFailsLoudly) {
+  // A quorum that never arrives must fail the run with a diagnostic, not
+  // hold leases forever.
+  const SyntheticStagedTask task(TaskKind::kClassification, false);
+  CoordinatorOptions opts = fast_opts();
+  opts.min_workers = 2;
+  opts.min_workers_timeout_s = 1;
+  const SweepPlan plan = core::plan_sweep(task, AxisRegistry::global());
+  Coordinator coordinator(opts);
+  EXPECT_THROW(
+      {
+        try {
+          coordinator.run({DistJob{util::Json::object(), plan}});
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(
+              std::string(e.what()).find("required workers joined within"),
+              std::string::npos)
+              << e.what();
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(Distributed, WorkerRetryReportsAttemptCount) {
+  const SyntheticStagedTask task(TaskKind::kClassification, false);
+  // Grab an ephemeral port, then close it: connecting gets refused, and the
+  // retry loop must give up after the timeout naming its attempt count.
+  int dead_port = 0;
+  {
+    net::TcpListener probe = net::TcpListener::listen(0);
+    dead_port = probe.port();
+  }
+  const WorkerRunStats stats = run_worker_retrying(
+      "127.0.0.1", dead_port, fixed_resolver(task), {},
+      std::chrono::seconds(1));
+  EXPECT_FALSE(stats.done);
+  EXPECT_NE(stats.error.find("attempt"), std::string::npos) << stats.error;
+}
+
 TEST(Distributed, MultipleJobsMergePerJob) {
   const SyntheticStagedTask det(TaskKind::kDetection, true);
   const SyntheticStagedTask seg(TaskKind::kSegmentation, false, 2, 2, 2);

@@ -1,0 +1,134 @@
+// sysnoise_svc — the resident sweep service daemon.
+//
+// Runs a svc::SweepService (journaled job queue + lease scheduler + control
+// plane) until SIGINT/SIGTERM:
+//
+//   sysnoise_svc --port P --journal PATH [--token T] [--port-file PATH]
+//                [--lease-timeout-ms N] [--heartbeat-ms N]
+//                [--crash-after-results N] [--quiet]
+//
+// Start it, point workers at it (sysnoise_worker --connect ... --reconnect),
+// and submit sweeps with sysnoise_ctl or any bench's --submit. Restarting
+// the daemon with the same --journal resumes every in-flight job without
+// re-running completed work units — kill -9 included, which is exactly what
+// --crash-after-results simulates deterministically for the CI resume test
+// (the process exits with status 3 once the hook fires).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "svc/service.h"
+
+using namespace sysnoise;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P --journal PATH [--token T] "
+               "[--port-file PATH] [--lease-timeout-ms N] "
+               "[--heartbeat-ms N] [--crash-after-results N] [--quiet]\n",
+               argv0);
+  std::exit(2);
+}
+
+// Temp + rename, so launchers polling for the file never read a partial
+// port number.
+void write_port_file(const std::string& path, int port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "sysnoise_svc: cannot write %s\n", tmp.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "%d\n", port);
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "sysnoise_svc: cannot publish %s\n", path.c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  svc::ServiceOptions opts;
+  opts.verbose = true;
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port") {
+      if (++i >= argc) usage(argv[0]);
+      opts.port = std::atoi(argv[i]);
+      if (opts.port < 0 || opts.port > 65535) usage(argv[0]);
+    } else if (arg == "--journal") {
+      if (++i >= argc) usage(argv[0]);
+      opts.journal_path = argv[i];
+    } else if (arg == "--token") {
+      if (++i >= argc) usage(argv[0]);
+      opts.auth_token = argv[i];
+    } else if (arg == "--port-file") {
+      if (++i >= argc) usage(argv[0]);
+      port_file = argv[i];
+    } else if (arg == "--lease-timeout-ms") {
+      if (++i >= argc) usage(argv[0]);
+      opts.lease_timeout = std::chrono::milliseconds(std::atoi(argv[i]));
+    } else if (arg == "--heartbeat-ms") {
+      if (++i >= argc) usage(argv[0]);
+      opts.heartbeat_interval = std::chrono::milliseconds(std::atoi(argv[i]));
+    } else if (arg == "--crash-after-results") {
+      if (++i >= argc) usage(argv[0]);
+      opts.crash_after_results = std::atoi(argv[i]);
+    } else if (arg == "--quiet") {
+      opts.verbose = false;
+    } else {
+      std::fprintf(stderr, "unknown argument \"%s\"\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (opts.journal_path.empty())
+    std::fprintf(stderr,
+                 "sysnoise_svc: WARNING: no --journal; jobs will NOT survive "
+                 "a restart\n");
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  try {
+    svc::SweepService service(std::move(opts));
+    if (!port_file.empty()) write_port_file(port_file, service.port());
+    std::printf("[svc] sysnoise_svc serving on port %d (pid %d)\n",
+                service.port(), static_cast<int>(::getpid()));
+    std::fflush(stdout);
+    while (!g_stop.load()) {
+      if (service.stats().crash_hook_fired) {
+        std::fprintf(stderr, "[svc] crash hook fired; exiting hard\n");
+        return 3;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::printf("[svc] signal received, stopping...\n");
+    std::fflush(stdout);
+    service.stop();
+    const svc::ServiceStats stats = service.stats();
+    std::printf("[svc] stopped: %zu workers ever, %zu results this run, "
+                "%zu replayed from journal, %zu auth rejections\n",
+                stats.workers_joined, stats.results_received,
+                stats.results_replayed, stats.auth_rejections);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sysnoise_svc: %s\n", e.what());
+    return 1;
+  }
+}

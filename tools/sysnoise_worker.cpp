@@ -6,16 +6,23 @@
 // is complete:
 //
 //   sysnoise_worker --connect host:port [--threads N]
-//                   [--connect-timeout-s S] [--quiet]
+//                   [--connect-timeout-s S] [--token T] [--reconnect]
+//                   [--quiet]
 //
-// Connection attempts retry for --connect-timeout-s (default 120s) so
-// workers can be launched before/while the coordinator is still training or
-// loading its models. Exit status: 0 when the coordinator reported the
-// sweep done, 2 on usage errors, 1 otherwise.
+// Connection attempts retry for --connect-timeout-s (default 120s) with
+// capped exponential backoff, so workers can be launched before/while the
+// coordinator is still training or loading its models. --token presents the
+// shared secret a coordinator/service started with one requires.
+// --reconnect keeps serving across disconnects (the resident sweep service
+// being killed and restarted mid-sweep) instead of exiting — the worker
+// only stops on `done`, a rejection, or an evaluation error. Exit status: 0
+// when the coordinator reported the sweep done, 2 on usage errors, 1
+// otherwise.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "core/disk_stage_cache.h"
 #include "dist/task_factory.h"
@@ -29,7 +36,8 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --connect host:port [--threads N] "
-               "[--connect-timeout-s S] [--quiet]\n",
+               "[--connect-timeout-s S] [--token T] [--reconnect] "
+               "[--quiet]\n",
                argv0);
   std::exit(2);
 }
@@ -42,6 +50,7 @@ int main(int argc, char** argv) {
   dist::WorkerOptions opts;
   opts.verbose = true;
   int connect_timeout_s = 120;
+  bool reconnect = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -54,6 +63,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--connect-timeout-s") {
       if (++i >= argc) usage(argv[0]);
       connect_timeout_s = std::atoi(argv[i]);
+    } else if (arg == "--token") {
+      if (++i >= argc) usage(argv[0]);
+      opts.auth_token = argv[i];
+    } else if (arg == "--reconnect") {
+      reconnect = true;
     } else if (arg == "--quiet") {
       opts.verbose = false;
     } else {
@@ -68,9 +82,27 @@ int main(int argc, char** argv) {
   opts.stats = &stages;
   opts.disk = core::DiskStageCache::enabled_by_env() ? &disk : nullptr;
 
-  const dist::WorkerRunStats stats =
-      dist::run_worker_retrying(host, port, dist::zoo_task_resolver(), opts,
-                                std::chrono::seconds(connect_timeout_s));
+  dist::WorkerRunStats stats;
+  std::size_t sessions = 0;
+  while (true) {
+    ++sessions;
+    const dist::WorkerRunStats session =
+        dist::run_worker_retrying(host, port, dist::zoo_task_resolver(), opts,
+                                  std::chrono::seconds(connect_timeout_s));
+    stats.leases_completed += session.leases_completed;
+    stats.configs_evaluated += session.configs_evaluated;
+    stats.heartbeats_sent += session.heartbeats_sent;
+    stats.done = session.done;
+    stats.disconnected = session.disconnected;
+    stats.error = session.error;
+    // Only a mid-session disconnect is worth re-serving: `done` means the
+    // sweep is over, and a rejection/evaluation error would just repeat.
+    if (!reconnect || !session.disconnected) break;
+    std::fprintf(stderr,
+                 "[worker] disconnected (session %zu); reconnecting...\n",
+                 sessions);
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
 
   std::printf("[worker] %s: %zu leases, %zu configs, %zu heartbeats; "
               "stage cache: %zu pre loaded / %zu computed, %zu fwd loaded / "
