@@ -36,7 +36,11 @@
 //   client -> service              service -> client
 //   -----------------              -----------------
 //   submit {task, plan,            submitted {job}
-//           priority, name}
+//           priority, name,
+//           idem?}
+//     (idem: optional idempotency key, journaled with the submission; a
+//      retried submit with a known key returns the job it registered the
+//      first time instead of creating a duplicate sweep)
 //   cancel {job}                   ok {} | error {message}
 //   status {}                      status_report {queue_depth, workers,
 //                                                 jobs: [...]}

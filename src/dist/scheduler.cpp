@@ -10,6 +10,11 @@ LeaseScheduler::LeaseScheduler(std::vector<WorkUnit> units,
       slots_(units_.size()),
       lease_timeout_(lease_timeout) {}
 
+WorkUnit LeaseScheduler::unit_at(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return units_[i];
+}
+
 std::size_t LeaseScheduler::add_units(std::vector<WorkUnit> more) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::size_t base = units_.size();

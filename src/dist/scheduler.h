@@ -47,7 +47,14 @@ class LeaseScheduler {
   LeaseScheduler(std::vector<WorkUnit> units,
                  std::chrono::milliseconds lease_timeout);
 
+  // Unsynchronized view of the pool: safe ONLY while no add_units can run
+  // concurrently (the coordinator's fixed pool). With a dynamic pool,
+  // add_units may reallocate the vector mid-read — use unit_at() instead.
   const std::vector<WorkUnit>& units() const { return units_; }
+
+  // A copy of unit `i`, taken under the scheduler lock — the safe way to
+  // read a unit while submissions may be growing the pool.
+  WorkUnit unit_at(std::size_t i) const;
 
   // Append more leasable units (a newly-submitted service job). Returns the
   // index of the first one, so callers can map job-local unit indices to

@@ -1,7 +1,9 @@
 #include "svc/client.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <random>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -58,6 +60,15 @@ net::TcpSocket connect_retrying(const ClientOptions& opts,
   }
 }
 
+// 128 bits from the system entropy source: a collision would silently alias
+// two different submissions to one job, so /dev/urandom-grade it is.
+std::string random_nonce() {
+  std::random_device rd;
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%08x%08x%08x%08x", rd(), rd(), rd(), rd());
+  return buf;
+}
+
 }  // namespace
 
 util::Json ServiceClient::request(const util::Json& message) {
@@ -72,9 +83,11 @@ util::Json ServiceClient::request(const util::Json& message) {
       return reply;
     }
     // Connected but the reply never came: the service died between accept
-    // and answer. The requests here are either idempotent (status, fetch,
-    // cancel-that-will-now-error) or safe to repeat against a journaled
-    // service that never acked them (submit) — retry like a refused connect.
+    // and answer. Retrying is safe for every request type: status and fetch
+    // are read-only, a cancel the first attempt already applied comes back
+    // as a clean "already canceled" error, and submits carry an idempotency
+    // key the service dedupes on (journaled, so it holds even when the
+    // first attempt was registered and the crash ate the reply).
     if (std::chrono::steady_clock::now() >= deadline)
       throw std::runtime_error("service at " + opts_.host + ":" +
                                std::to_string(opts_.port) +
@@ -92,6 +105,11 @@ int ServiceClient::submit(const util::Json& task_spec,
   req.set("plan", plan.to_json());
   req.set("priority", priority);
   req.set("name", name);
+  // One nonce per submit call, reused verbatim by every retry inside
+  // request(): the service dedupes on it, so a retried submit whose first
+  // reply was lost resolves to the job already registered instead of a
+  // duplicate sweep.
+  req.set("idem", name + "#" + random_nonce());
   const util::Json reply = request(req);
   if (message_type(reply) != msg::kSubmitted)
     throw std::runtime_error("unexpected reply \"" + message_type(reply) +

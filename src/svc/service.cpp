@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include <poll.h>
 #include <sys/socket.h>
 
 #include "dist/protocol.h"
@@ -56,6 +57,7 @@ struct JobState {
 
   std::size_t unit_base = 0;  // scheduler index of this job's first unit
   std::vector<bool> unit_done;
+  std::vector<std::size_t> unit_configs;  // config count per local unit
   std::size_t units_done = 0;
   std::size_t configs_total = 0;
   std::size_t configs_done = 0;
@@ -81,10 +83,14 @@ struct SweepService::Impl {
   std::unique_ptr<Journal> journal;  // null = volatile service
   std::unique_ptr<LeaseScheduler> scheduler;
 
-  mutable std::mutex mu;  // jobs, next_job_id, roster
+  mutable std::mutex mu;  // jobs, next_job_id, roster, idem_to_job
   std::map<int, JobState> jobs;
   int next_job_id = 1;
   std::map<int, std::string> roster;  // worker id -> peer "ip:port"
+  // Submit idempotency keys -> job ids, rebuilt from the journal on replay:
+  // a client retrying a submit whose reply was lost (even to a crash) gets
+  // the job the first attempt registered instead of a duplicate sweep.
+  std::map<std::string, int> idem_to_job;
 
   std::atomic<bool> stopping{false};
   std::atomic<bool> stopped{false};
@@ -101,18 +107,28 @@ struct SweepService::Impl {
   std::set<int> conns;
   std::atomic<int> active_handlers{0};
   std::thread accept_thread;
-  std::vector<std::thread> handlers;  // touched only by accept loop / stop()
+  // Handler threads, touched only by the accept loop and stop() (which runs
+  // after the accept loop is joined). A finished handler flips its `done`
+  // flag and is joined by the accept loop's next pass — a resident service
+  // must not accumulate one dead std::thread per connection it ever served.
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Handler> handlers;
 
   void log(const char* fmt, ...) const;
   void replay();
   int register_job(std::string name, int priority, util::Json task_spec,
-                   core::SweepPlan plan, int forced_id, bool journal_it);
+                   core::SweepPlan plan, int forced_id, bool journal_it,
+                   const std::string& idem);
   void crash_now();
   util::Json status_json() const;
   util::Json job_result_json(const JobState& job) const;
   util::Json progress_json(const JobState& job) const;
 
   void accept_loop();
+  void reap_handlers();
   void handle(net::TcpSocket sock);
   void serve_worker(net::TcpSocket& sock, const util::Json& hello);
   void serve_control(net::TcpSocket& sock, const util::Json& request);
@@ -136,13 +152,24 @@ void SweepService::Impl::log(const char* fmt, ...) const {
 // offer. Caller must NOT hold mu.
 int SweepService::Impl::register_job(std::string name, int priority,
                                      util::Json task_spec, core::SweepPlan plan,
-                                     int forced_id, bool journal_it) {
+                                     int forced_id, bool journal_it,
+                                     const std::string& idem) {
   core::WorkUnitOptions unit_opts;
   unit_opts.merge_batch_compatible = true;
   std::vector<std::vector<std::size_t>> groups =
       core::plan_work_units(plan, unit_opts);
 
   std::lock_guard<std::mutex> lock(mu);
+  if (!idem.empty()) {
+    const auto dup = idem_to_job.find(idem);
+    if (dup != idem_to_job.end()) {
+      // A retried submit whose original reply was lost: hand back the job
+      // the first attempt registered instead of starting a duplicate sweep.
+      log("submit with known idempotency key \"%s\" -> existing job %d",
+          idem.c_str(), dup->second);
+      return dup->second;
+    }
+  }
   const int id = forced_id > 0 ? forced_id : next_job_id;
   next_job_id = std::max(next_job_id, id + 1);
 
@@ -153,10 +180,12 @@ int SweepService::Impl::register_job(std::string name, int priority,
     rec.set("job", id);
     rec.set("name", name);
     rec.set("priority", priority);
+    if (!idem.empty()) rec.set("idem", idem);
     rec.set("task", task_spec);
     rec.set("plan", plan.to_json());
     journal->append(rec);
   }
+  if (!idem.empty()) idem_to_job[idem] = id;
 
   JobState job;
   job.id = id;
@@ -166,6 +195,9 @@ int SweepService::Impl::register_job(std::string name, int priority,
   job.plan = std::move(plan);
   job.configs_total = job.plan.configs.size();
   job.unit_done.assign(groups.size(), false);
+  job.unit_configs.reserve(groups.size());
+  for (const std::vector<std::size_t>& group : groups)
+    job.unit_configs.push_back(group.size());
 
   std::vector<WorkUnit> units;
   units.reserve(groups.size());
@@ -186,10 +218,13 @@ void SweepService::Impl::replay() {
     const std::string rec =
         recp != nullptr && recp->is_string() ? recp->as_string() : "";
     if (rec == rec::kSubmit) {
+      const util::Json* idem = record.get("idem");
       register_job(record.at("name").as_string(),
                    record.at("priority").as_int(), record.at("task"),
                    core::SweepPlan::from_json(record.at("plan")),
-                   record.at("job").as_int(), /*journal_it=*/false);
+                   record.at("job").as_int(), /*journal_it=*/false,
+                   idem != nullptr && idem->is_string() ? idem->as_string()
+                                                        : "");
     } else if (rec == rec::kLease) {
       // Lease grants are observability-only; the units they name are either
       // re-leased (no result record followed) or covered by one.
@@ -223,8 +258,7 @@ void SweepService::Impl::replay() {
       scheduler->complete(job.unit_base + local);
       job.unit_done[local] = true;
       ++job.units_done;
-      job.configs_done +=
-          scheduler->units()[job.unit_base + local].configs.size();
+      job.configs_done += job.unit_configs[local];
       ++results_replayed;
     } else {
       throw std::runtime_error("SweepService: journal " + opts.journal_path +
@@ -242,8 +276,10 @@ void SweepService::Impl::replay() {
 // the floor with no goodbye of any kind.
 void SweepService::Impl::crash_now() {
   crashed.store(true);
+  // The accept thread owns the listener fd and closes it on its way out
+  // (within one 100 ms poll tick of seeing `stopping`): closing it from
+  // this thread would race the accept loop's concurrent poll/accept.
   stopping.store(true);
-  listener.close();
   std::lock_guard<std::mutex> lock(conns_mu);
   for (const int fd : conns) ::shutdown(fd, SHUT_RDWR);
   log("crash hook fired: dropped %zu connections", conns.size());
@@ -352,7 +388,7 @@ bool SweepService::Impl::handle_result(const util::Json& m, int worker_id) {
       }
       job->unit_done[local] = true;
       ++job->units_done;
-      job->configs_done += scheduler->units()[parsed.unit].configs.size();
+      job->configs_done += job->unit_configs[local];
       results_received.fetch_add(1);
       log("result job=%d unit=%zu from worker %d (%zu/%zu units)", job->id,
           parsed.unit, worker_id, job->units_done, job->unit_count());
@@ -417,7 +453,9 @@ void SweepService::Impl::serve_worker(net::TcpSocket& sock,
         }
         if (const std::optional<std::size_t> unit =
                 scheduler->acquire(worker_id, Clock::now())) {
-          const WorkUnit& wu = scheduler->units()[*unit];
+          // Copy, not a reference: a concurrent submit's add_units may
+          // reallocate the scheduler's unit vector while we read.
+          const WorkUnit wu = scheduler->unit_at(*unit);
           reply = make_message(msg::kLease);
           reply.set("job", wu.job);
           reply.set("unit", static_cast<int>(*unit));
@@ -524,12 +562,14 @@ void SweepService::Impl::serve_control(net::TcpSocket& sock,
     try {
       const util::Json* name = request.get("name");
       const util::Json* priority = request.get("priority");
+      const util::Json* idem = request.get("idem");
       id = register_job(
           name != nullptr && name->is_string() ? name->as_string() : "",
           priority != nullptr && priority->is_number() ? priority->as_int()
                                                        : 0,
           request.at("task"), core::SweepPlan::from_json(request.at("plan")),
-          /*forced_id=*/0, /*journal_it=*/true);
+          /*forced_id=*/0, /*journal_it=*/true,
+          idem != nullptr && idem->is_string() ? idem->as_string() : "");
     } catch (const std::exception& e) {
       // A malformed plan must come back as a diagnostic, not a dropped
       // connection the client would pointlessly retry.
@@ -573,7 +613,14 @@ void SweepService::Impl::serve_control(net::TcpSocket& sock,
       net::send_json(sock, job_result_json(it->second));
   } else if (type == msg::kWatch) {
     const int id = request.at("job").as_int();
+    // Re-send the current frame at least every kKeepaliveTicks sleeps even
+    // when nothing changed: the keepalive is what detects a dead watcher of
+    // a stalled job (a send into a reset connection fails) so its handler
+    // thread and fd are reclaimed long before stop(), and it keeps a live
+    // watcher's ride-out deadline fresh while a job waits for workers.
+    constexpr int kKeepaliveTicks = 20;  // x 50 ms sleep = 1 s
     std::string last_sent;
+    int ticks_since_send = 0;
     while (!stopping.load()) {
       util::Json frame;
       bool terminal = false;
@@ -589,11 +636,16 @@ void SweepService::Impl::serve_control(net::TcpSocket& sock,
                          : progress_json(it->second);
       }
       const std::string bytes = frame.dump();
-      if (bytes != last_sent) {
+      if (bytes != last_sent || ++ticks_since_send >= kKeepaliveTicks) {
         if (!net::send_json(sock, frame)) return;
         last_sent = bytes;
+        ticks_since_send = 0;
       }
       if (terminal) return;
+      // Watchers never speak again after the request, so a readable socket
+      // is an EOF/reset (or protocol garbage) — the watcher is gone.
+      struct pollfd pfd = {sock.fd(), POLLIN, 0};
+      if (::poll(&pfd, 1, 0) > 0) return;
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
   } else {
@@ -639,13 +691,38 @@ void SweepService::Impl::handle(net::TcpSocket sock) {
   }
 }
 
+// Join handler threads whose handler already returned (their `done` flag is
+// up, so the join is immediate). Runs on every accept pass — including the
+// 100 ms accept timeouts — so an idle service carries no thread backlog.
+void SweepService::Impl::reap_handlers() {
+  for (auto it = handlers.begin(); it != handlers.end();) {
+    if (it->done->load()) {
+      it->thread.join();
+      it = handlers.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void SweepService::Impl::accept_loop() {
   while (!stopping.load()) {
     net::TcpSocket sock = listener.accept(100);
+    reap_handlers();
+    if (stopping.load()) break;  // raced with stop/crash: drop sock unserved
     if (!sock.valid()) continue;
-    handlers.emplace_back([this](net::TcpSocket s) { handle(std::move(s)); },
-                          std::move(sock));
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread(
+        [this, done](net::TcpSocket s) {
+          handle(std::move(s));
+          done->store(true);
+        },
+        std::move(sock));
+    handlers.push_back({std::move(thread), std::move(done)});
   }
+  // This thread owns the listener: stop()/crash_now() never touch it, they
+  // only raise `stopping`, so the close cannot race a concurrent accept.
+  listener.close();
 }
 
 SweepService::SweepService(ServiceOptions opts) : impl_(new Impl) {
@@ -684,7 +761,8 @@ void SweepService::stop() {
   Impl& im = *impl_;
   if (im.stopped.exchange(true)) return;
   im.stopping.store(true);
-  im.listener.close();
+  // The accept loop notices `stopping` within one 100 ms poll tick, closes
+  // the listener (it owns the fd — see accept_loop) and exits.
   if (im.accept_thread.joinable()) im.accept_thread.join();
   // Attached workers get `done` on their next request (at most a heartbeat
   // interval away); give them that window, then nudge whatever is left off
@@ -702,7 +780,7 @@ void SweepService::stop() {
     std::lock_guard<std::mutex> lock(im.conns_mu);
     for (const int fd : im.conns) ::shutdown(fd, SHUT_RDWR);
   }
-  for (std::thread& t : im.handlers) t.join();
+  for (Impl::Handler& h : im.handlers) h.thread.join();
   im.handlers.clear();
 }
 
@@ -731,6 +809,7 @@ ServiceStats SweepService::stats() const {
   s.results_replayed = impl_->results_replayed;
   s.auth_rejections = impl_->auth_rejections.load();
   s.worker_errors = impl_->worker_errors.load();
+  s.handlers_live = static_cast<std::size_t>(impl_->active_handlers.load());
   s.crash_hook_fired = impl_->crashed.load();
   return s;
 }

@@ -48,6 +48,7 @@ struct ServiceStats {
   std::size_t results_replayed = 0; // units restored from the journal
   std::size_t auth_rejections = 0;
   std::size_t worker_errors = 0;
+  std::size_t handlers_live = 0;  // connection handlers currently running
   bool crash_hook_fired = false;
 };
 

@@ -272,6 +272,115 @@ TEST(Service, HighPriorityJobLeasesBeforeEarlierLowPriorityJob) {
   std::remove(journal.c_str());
 }
 
+TEST(Service, SubmitsWhileWorkersAreLeasingStaySafe) {
+  // Grow the scheduler's unit pool while a worker is actively acquiring
+  // leases: submissions land mid-lease-stream, which is exactly the
+  // vector-reallocation window the scheduler's locked copy-out accessor
+  // exists for (TSan in CI is the real referee here; the assertions below
+  // just pin the end-to-end results).
+  const SyntheticStagedTask task(TaskKind::kClassification, false);
+  const SweepPlan plan = core::plan_sweep(task, AxisRegistry::global());
+  const MetricMap expected = core::ThreadPoolExecutor().execute(task, plan);
+
+  SweepService service(fast_svc());
+  std::thread worker([&] {
+    const WorkerRunStats stats = dist::run_worker(
+        "127.0.0.1", service.port(), fixed_resolver(task), {});
+    EXPECT_TRUE(stats.done);
+  });
+  ClientOptions copts;
+  copts.port = service.port();
+  ServiceClient client(copts);
+  std::vector<int> jobs;
+  for (int i = 0; i < 4; ++i)
+    jobs.push_back(client.submit(util::Json::object(), plan, i, "burst"));
+  for (const int job : jobs) EXPECT_EQ(client.collect(job), expected);
+  service.stop();
+  worker.join();
+  EXPECT_EQ(service.stats().worker_errors, 0u);
+}
+
+// Raw submit frame with an explicit idempotency key, the way a client whose
+// reply was lost retries: same key, byte-identical request.
+int raw_submit(int port, const SweepPlan& plan, const std::string& idem) {
+  net::TcpSocket sock = net::TcpSocket::connect("127.0.0.1", port);
+  util::Json req = dist::make_message(dist::msg::kSubmit);
+  req.set("task", util::Json::object());
+  req.set("plan", plan.to_json());
+  req.set("priority", 0);
+  req.set("name", "retried");
+  req.set("idem", idem);
+  EXPECT_TRUE(net::send_json(sock, req));
+  util::Json reply;
+  EXPECT_TRUE(net::recv_json(sock, &reply));
+  EXPECT_EQ(dist::message_type(reply), dist::msg::kSubmitted);
+  return reply.at("job").as_int();
+}
+
+TEST(Service, RetriedSubmitWithSameIdempotencyKeyRegistersOneJob) {
+  const SyntheticStagedTask task(TaskKind::kClassification, false);
+  const SweepPlan plan = core::plan_sweep(task, AxisRegistry::global());
+  const std::string journal = temp_path("svc_idem");
+  std::remove(journal.c_str());
+
+  int first = 0;
+  {
+    ServiceOptions opts = fast_svc();
+    opts.journal_path = journal;
+    SweepService service(opts);
+    first = raw_submit(service.port(), plan, "key-1");
+    EXPECT_EQ(raw_submit(service.port(), plan, "key-1"), first);  // dedup
+    EXPECT_NE(raw_submit(service.port(), plan, "key-2"), first);
+    ClientOptions copts;
+    copts.port = service.port();
+    EXPECT_EQ(ServiceClient(copts).status().at("jobs").size(), 2u);
+    service.stop();
+  }
+  // The key is journaled with the submission, so dedup survives a restart —
+  // the lost-reply-then-crash case the key exists for.
+  {
+    ServiceOptions opts = fast_svc();
+    opts.journal_path = journal;
+    SweepService service(opts);
+    EXPECT_EQ(raw_submit(service.port(), plan, "key-1"), first);
+    ClientOptions copts;
+    copts.port = service.port();
+    EXPECT_EQ(ServiceClient(copts).status().at("jobs").size(), 2u);
+    service.stop();
+  }
+  std::remove(journal.c_str());
+}
+
+TEST(Service, AbandonedWatcherOfStalledJobIsReaped) {
+  // A job with no workers stalls in "queued"; a watcher that disconnects
+  // mid-stall must have its handler thread and fd reclaimed promptly (EOF
+  // poll + keepalive), not held until service stop().
+  const SyntheticStagedTask task(TaskKind::kClassification, false);
+  const SweepPlan plan = core::plan_sweep(task, AxisRegistry::global());
+  SweepService service(fast_svc());
+  ClientOptions copts;
+  copts.port = service.port();
+  const int job =
+      ServiceClient(copts).submit(util::Json::object(), plan, 0, "stalled");
+  {
+    net::TcpSocket sock = net::TcpSocket::connect("127.0.0.1", service.port());
+    util::Json req = dist::make_message(dist::msg::kWatch);
+    req.set("job", job);
+    ASSERT_TRUE(net::send_json(sock, req));
+    util::Json frame;
+    ASSERT_TRUE(net::recv_json(sock, &frame));
+    EXPECT_EQ(dist::message_type(frame), dist::msg::kProgress);
+    EXPECT_EQ(frame.at("state").as_string(), "queued");
+  }  // watcher hangs up without a word, job still stalled
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.stats().handlers_live > 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(service.stats().handlers_live, 0u);
+  service.stop();
+}
+
 TEST(Service, CancelVoidsQueuedJobAndRefusesTerminalOnes) {
   const SyntheticStagedTask task(TaskKind::kClassification, false);
   const SweepPlan plan = core::plan_sweep(task, AxisRegistry::global());
