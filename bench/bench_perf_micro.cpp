@@ -13,13 +13,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "color/yuv.h"
@@ -31,7 +34,10 @@
 #include "image/synthetic.h"
 #include "jpeg/codec.h"
 #include "models/classifiers.h"
+#include "nn/tape.h"
 #include "resize/resize.h"
+#include "tensor/backend.h"
+#include "tensor/gemm.h"
 #include "tensor/rng.h"
 
 using namespace sysnoise;
@@ -79,6 +85,26 @@ void BM_ColorRoundTrip(benchmark::State& state) {
   state.SetLabel(color_mode_name(mode));
 }
 BENCHMARK(BM_ColorRoundTrip)->DenseRange(0, kNumColorModes - 1);
+
+// GEMM kernel throughput per compute backend at an im2col-shaped problem
+// (m = output channels, n = spatial positions, k = patch size).
+void BM_Gemm(benchmark::State& state) {
+  const auto backend = static_cast<ComputeBackend>(state.range(0));
+  const BackendScope scope(backend);
+  constexpr int kM = 64, kN = 784, kK = 576;
+  Rng rng(7);
+  std::vector<float> a(kM * kK), b(kK * kN), c(kM * kN);
+  for (float& v : a) v = rng.uniform_f(-1.0f, 1.0f);
+  for (float& v : b) v = rng.uniform_f(-1.0f, 1.0f);
+  for (auto _ : state) {
+    gemm(kM, kN, kK, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(backend_name(backend));
+}
+BENCHMARK(BM_Gemm)
+    ->DenseRange(0, kNumComputeBackends - 1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ClassifierForward(benchmark::State& state) {
   Rng rng(3);
@@ -335,15 +361,93 @@ std::string perf_json_disk_cache() {
   return os.str();
 }
 
+// Per-backend compute-kernel microbench. The GEMM shape mirrors the im2col
+// matmul of a 3x3 conv over 64 channels at 28x28 spatial resolution — the
+// hot shape of the zoo's forward passes — and the classifier timing runs a
+// real ResNet-XS forward (conv + linear through the same backend seam). The
+// CI perf-gate asserts the blocked and simd kernels are strictly faster than
+// reference and that every backend is bit-exactly repeatable, so the gated
+// GEMM timings take the best of extra repetitions.
+std::string perf_json_backends() {
+  constexpr int kM = 64, kN = 784, kK = 576;
+  constexpr int kKernelReps = 7;
+
+  Rng rng(11);
+  std::vector<float> a(static_cast<std::size_t>(kM) * kK);
+  std::vector<float> b(static_cast<std::size_t>(kK) * kN);
+  for (float& v : a) v = rng.uniform_f(-1.0f, 1.0f);
+  for (float& v : b) v = rng.uniform_f(-1.0f, 1.0f);
+  std::vector<float> c(static_cast<std::size_t>(kM) * kN);
+  std::vector<float> c2(c.size()), ref_c(c.size());
+
+  Rng model_rng(3);
+  auto model = models::make_classifier("ResNet-XS", 10, model_rng);
+  Tensor x({4, 3, 32, 32});
+  for (float& v : x.vec()) v = model_rng.uniform_f(-1.0f, 1.0f);
+
+  double ref_gemm_ms = 0.0, ref_fwd_ms = 0.0;
+  std::ostringstream os;
+  os << "  \"compute_backends\": {\n"
+     << "    \"simd_isa\": \"" << simd_isa_name() << "\",\n"
+     << "    \"gemm_shape\": {\"m\": " << kM << ", \"n\": " << kN
+     << ", \"k\": " << kK << "},\n"
+     << "    \"backends\": [\n";
+  for (int bi = 0; bi < kNumComputeBackends; ++bi) {
+    const auto backend = static_cast<ComputeBackend>(bi);
+    const BackendScope scope(backend);
+
+    const double gemm_ms = time_ms(
+        [&] { gemm(kM, kN, kK, a.data(), b.data(), c.data()); }, kKernelReps);
+    gemm(kM, kN, kK, a.data(), b.data(), c2.data());
+    const bool repeatable =
+        std::memcmp(c.data(), c2.data(), c.size() * sizeof(float)) == 0;
+    if (backend == ComputeBackend::kReference) ref_c = c;
+    float max_diff = 0.0f;
+    for (std::size_t i = 0; i < c.size(); ++i)
+      max_diff = std::max(max_diff, std::abs(c[i] - ref_c[i]));
+
+    const double fwd_ms = time_ms([&] {
+      nn::Tape t;
+      t.ctx.backend = backend;
+      model->forward(t, t.input(x), nn::BnMode::kEval);
+    });
+    if (backend == ComputeBackend::kReference) {
+      ref_gemm_ms = gemm_ms;
+      ref_fwd_ms = fwd_ms;
+    }
+
+    os << "      {\"backend\": \"" << backend_name(backend) << "\",\n"
+       << "       \"gemm_ms\": " << gemm_ms << ",\n"
+       << "       \"gemm_speedup_vs_reference\": " << ref_gemm_ms / gemm_ms
+       << ",\n"
+       << "       \"gemm_strictly_faster_than_reference\": "
+       << (backend != ComputeBackend::kReference && gemm_ms < ref_gemm_ms
+               ? "true"
+               : "false")
+       << ",\n"
+       << "       \"gemm_bit_identical_across_repeats\": "
+       << (repeatable ? "true" : "false") << ",\n"
+       << "       \"gemm_max_abs_diff_vs_reference\": " << max_diff << ",\n"
+       << "       \"classifier_forward_ms\": " << fwd_ms << ",\n"
+       << "       \"classifier_forward_speedup_vs_reference\": "
+       << ref_fwd_ms / fwd_ms << "}"
+       << (bi + 1 < kNumComputeBackends ? ",\n" : "\n");
+  }
+  os << "    ]\n  }";
+  return os.str();
+}
+
 bool write_perf_json() {
   std::ostringstream os;
   os << "{\n  \"bench\": \"sweep_engine\",\n"
      << "  \"hardware_threads\": " << pool_threads() << ",\n"
+     << "  \"simd_isa\": \"" << simd_isa_name() << "\",\n"
      << "  \"workloads\": [\n"
      << perf_json_workload("classification", core::TaskKind::kClassification)
      << ",\n"
      << perf_json_workload("detection", core::TaskKind::kDetection) << "\n"
      << "  ],\n"
+     << perf_json_backends() << ",\n"
      << perf_json_disk_cache() << "\n}\n";
 
   const char* override_path = std::getenv("SYSNOISE_PERF_JSON");

@@ -186,6 +186,34 @@ std::vector<NoiseAxis> builtin_axes() {
   }
   {
     NoiseAxis a;
+    a.name = "Backend";
+    a.key = "backend";
+    const auto backends = backend_noise_options();
+    for (auto b : backends) a.option_labels.push_back(backend_name(b));
+    a.apply = [backends](SysNoiseConfig& cfg, int i) {
+      cfg.backend = backends[static_cast<std::size_t>(i)];
+    };
+    a.per_option = true;  // each kernel family is its own deployment column
+    // The vectorized kernel is what a real deployment runtime would ship —
+    // FMA contraction and lane-wise partial sums are the representative
+    // hardware/implementation drift for Combined/Fig. 3. When simd *is* the
+    // process default (SYSNOISE_BACKEND=simd) it is not an alternate; fall
+    // back to the first option.
+    const auto simd_it =
+        std::find(backends.begin(), backends.end(), ComputeBackend::kSimd);
+    a.combined_option =
+        simd_it != backends.end()
+            ? static_cast<int>(simd_it - backends.begin())
+            : 0;
+    a.step_label = "SIMD";
+    a.stage = "Model inference";
+    a.tasks_label = "Cls/Det/Seg";
+    a.input_dependent = true;
+    a.effect_level = "Low";
+    axes.push_back(std::move(a));
+  }
+  {
+    NoiseAxis a;
     a.name = "Ceil Mode";
     a.key = "ceil";
     a.option_labels = {"ceil"};

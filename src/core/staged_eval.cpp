@@ -13,7 +13,11 @@ std::string forward_key_suffix(const SysNoiseConfig& cfg) {
   std::ostringstream os;
   os << "|prec=" << nn::precision_name(cfg.precision)
      << "|ceil=" << (cfg.ceil_mode ? 1 : 0)
-     << "|up=" << nn::upsample_mode_name(cfg.upsample);
+     << "|up=" << nn::upsample_mode_name(cfg.upsample)
+     // Different kernel families legitimately produce different floats, so
+     // forward products (memory and disk StageCache alike) never mix across
+     // backends.
+     << "|be=" << backend_name(cfg.backend);
   return os.str();
 }
 

@@ -35,6 +35,7 @@ std::string SysNoiseConfig::describe() const {
      << " prec=" << nn::precision_name(precision)
      << " ceil=" << (ceil_mode ? "1" : "0")
      << " upsample=" << nn::upsample_mode_name(upsample)
+     << " backend=" << backend_name(backend)
      << " offset=" << proposal_offset;
   return os.str();
 }
@@ -50,6 +51,7 @@ util::Json SysNoiseConfig::to_json() const {
   j.set("precision", nn::precision_name(precision));
   j.set("ceil_mode", ceil_mode);
   j.set("upsample", nn::upsample_mode_name(upsample));
+  j.set("backend", backend_name(backend));
   j.set("proposal_offset", static_cast<double>(proposal_offset));
   return j;
 }
@@ -68,6 +70,9 @@ SysNoiseConfig SysNoiseConfig::from_json(const util::Json& j) {
   cfg.precision = precision_from_name(j.at("precision").as_string());
   cfg.ceil_mode = j.at("ceil_mode").as_bool();
   cfg.upsample = upsample_mode_from_name(j.at("upsample").as_string());
+  // Absent in pre-backend-axis serializations: keep the process default.
+  if (const util::Json* b = j.get("backend"))
+    cfg.backend = backend_from_name(b->as_string());
   cfg.proposal_offset = static_cast<float>(j.at("proposal_offset").as_number());
   return cfg;
 }
@@ -163,6 +168,18 @@ std::vector<NormStats> norm_noise_options() {
 
 std::vector<ChannelLayout> layout_noise_options() {
   return {ChannelLayout::kNHWCRoundTrip};
+}
+
+std::vector<ComputeBackend> backend_noise_options() {
+  // The two kernel families the training default doesn't use — relative to
+  // the process default, so SYSNOISE_BACKEND=blocked makes reference and
+  // simd the deployment-side alternates.
+  std::vector<ComputeBackend> out;
+  for (int i = 0; i < kNumComputeBackends; ++i) {
+    const auto b = static_cast<ComputeBackend>(i);
+    if (b != SysNoiseConfig{}.backend) out.push_back(b);
+  }
+  return out;
 }
 
 }  // namespace sysnoise

@@ -57,6 +57,11 @@ struct SysNoiseConfig {
   nn::Precision precision = nn::Precision::kFP32;
   bool ceil_mode = false;
   nn::UpsampleMode upsample = nn::UpsampleMode::kNearest;
+  // GEMM/conv kernel family (tensor/backend.h). The training side runs the
+  // process default ($SYSNOISE_BACKEND, reference when unset); deployment
+  // swapping in a different kernel family is the hardware/implementation
+  // noise of Table 1 measured on our own engine.
+  ComputeBackend backend = default_backend();
   // Post-processing (detection only).
   float proposal_offset = 0.0f;  // ALIGNED_FLAG.offset: 0 or 1
 
@@ -70,6 +75,7 @@ struct SysNoiseConfig {
     ctx.precision = precision;
     ctx.ceil_mode = ceil_mode;
     ctx.upsample = upsample;
+    ctx.backend = backend;
     ctx.ranges = ranges;
     return ctx;
   }
@@ -103,5 +109,6 @@ std::vector<ColorMode> color_noise_options();               // 1 alternate (NV12
 std::vector<nn::Precision> precision_noise_options();       // FP16, INT8
 std::vector<NormStats> norm_noise_options();                // rounded-u8, 0.5/0.5
 std::vector<ChannelLayout> layout_noise_options();          // NHWC round trip
+std::vector<ComputeBackend> backend_noise_options();        // the 2 non-default kernels
 
 }  // namespace sysnoise

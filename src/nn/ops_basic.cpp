@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/ops.h"
+#include "tensor/backend.h"
 #include "tensor/gemm.h"
 
 namespace sysnoise::nn {
@@ -32,6 +33,7 @@ Node* linear(Tape& t, Node* x, Param& w, Param* bias, const std::string& layer_i
   std::vector<int> out_shape(x->value.shape());
   out_shape.back() = out_f;
   Tensor out(out_shape);
+  const BackendScope backend_scope(t.ctx.backend);
   // out[rows x out_f] = xin[rows x in] * Wq^T (W stored [out_f x in])
   gemm_bt_acc(rows, out_f, in, xin.data(), wq.data(), out.data());
   if (bias != nullptr)
@@ -44,7 +46,9 @@ Node* linear(Tape& t, Node* x, Param& w, Param* bias, const std::string& layer_i
   Node* xn = x;
   Param* wp = &w;
   Param* bp = bias;
-  y->backprop = [y, xn, wp, bp, rows, in, out_f]() {
+  const ComputeBackend backend = t.ctx.backend;
+  y->backprop = [y, xn, wp, bp, rows, in, out_f, backend]() {
+    const BackendScope bw_scope(backend);
     // grad_w += gout^T [out_f x rows] * x [rows x in]
     gemm_at_acc(out_f, in, rows, y->grad.data(), xn->value.data(), wp->grad.data());
     if (xn->requires_grad) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "nn/ops.h"
+#include "tensor/backend.h"
 #include "tensor/gemm.h"
 
 namespace sysnoise::nn {
@@ -80,17 +81,32 @@ Node* conv2d(Tape& t, Node* x, Param& w, Param* bias, const Conv2dSpec& spec,
   apply_activation_precision(t.ctx, layer_id + ".in", xin);
   const Tensor wq = apply_weight_precision(t.ctx, w.value);
 
+  const BackendScope backend_scope(t.ctx.backend);
   Tensor out({n, oc, oh, ow});
-  std::vector<float> col(static_cast<std::size_t>(col_rows) * oh * ow);
-  for (int ni = 0; ni < n; ++ni) {
-    for (int g = 0; g < groups; ++g) {
-      im2col(xin, ni, g * icg, icg, k, spec.stride, spec.pad, oh, ow, col.data());
-      // out[ni, g*ocg : (g+1)*ocg] = Wg[ocg x col_rows] * col[col_rows x oh*ow]
-      float* out_ptr = &out.at4(ni, g * ocg, 0, 0);
-      const float* w_ptr = wq.data() + static_cast<std::size_t>(g) * ocg * col_rows;
-      gemm(ocg, oh * ow, col_rows, w_ptr, col.data(), out_ptr);
-    }
-  }
+  // im2col columns come from the thread-local scratch arena (slot 2): sized
+  // once per (shape, groups) high-water mark, reused across the whole batch
+  // loop and across forward calls instead of a fresh vector per invocation.
+  const std::size_t col_floats = static_cast<std::size_t>(col_rows) * oh * ow;
+  auto conv_one = [&](int idx) {
+    const int ni = idx / groups, g = idx % groups;
+    float* col = tls_scratch(col_floats, /*slot=*/2);
+    im2col(xin, ni, g * icg, icg, k, spec.stride, spec.pad, oh, ow, col);
+    // out[ni, g*ocg : (g+1)*ocg] = Wg[ocg x col_rows] * col[col_rows x oh*ow]
+    float* out_ptr = &out.at4(ni, g * ocg, 0, 0);
+    const float* w_ptr = wq.data() + static_cast<std::size_t>(g) * ocg * col_rows;
+    gemm(ocg, oh * ow, col_rows, w_ptr, col, out_ptr);
+  };
+  // With a parallelism grant (batched executor stacking configs), split the
+  // (image, group) space across the pool — each worker im2cols into its own
+  // scratch and writes a disjoint output slab, so results are bit-identical
+  // at any worker count. A single (image, group) instead lets the GEMM split
+  // its output-channel rows.
+  if (gemm_workers() > 1 && n * groups > 1)
+    parallel_ranges(n * groups, /*align=*/1, [&](int begin, int end) {
+      for (int idx = begin; idx < end; ++idx) conv_one(idx);
+    });
+  else
+    for (int idx = 0; idx < n * groups; ++idx) conv_one(idx);
   if (bias != nullptr) {
     for (int ni = 0; ni < n; ++ni)
       for (int ci = 0; ci < oc; ++ci) {
@@ -105,24 +121,27 @@ Node* conv2d(Tape& t, Node* x, Param& w, Param* bias, const Conv2dSpec& spec,
   Param* wp = &w;
   Param* bp = bias;
   const Conv2dSpec sp = spec;
+  const ComputeBackend backend = t.ctx.backend;
   // Backward uses the full-precision weights/input (straight-through).
-  y->backprop = [&tape = t, y, xn, wp, bp, sp, n, icg, k, oh, ow, ocg, groups,
-                 col_rows]() {
-    std::vector<float> col(static_cast<std::size_t>(col_rows) * oh * ow);
-    std::vector<float> gcol(static_cast<std::size_t>(col_rows) * oh * ow);
+  y->backprop = [y, xn, wp, bp, sp, n, icg, k, oh, ow, ocg, groups, col_rows,
+                 backend]() {
+    const BackendScope bw_scope(backend);
+    const std::size_t col_floats = static_cast<std::size_t>(col_rows) * oh * ow;
+    float* col = tls_scratch(col_floats, /*slot=*/2);
+    float* gcol = tls_scratch(col_floats, /*slot=*/3);
     for (int ni = 0; ni < n; ++ni) {
       for (int g = 0; g < groups; ++g) {
-        im2col(xn->value, ni, g * icg, icg, k, sp.stride, sp.pad, oh, ow, col.data());
+        im2col(xn->value, ni, g * icg, icg, k, sp.stride, sp.pad, oh, ow, col);
         const float* gout = &y->grad.at4(ni, g * ocg, 0, 0);
         // grad_w += gout [ocg x ohw] * col^T  (col is [col_rows x ohw])
         float* gw = wp->grad.data() + static_cast<std::size_t>(g) * ocg * col_rows;
-        gemm_bt_acc(ocg, col_rows, oh * ow, gout, col.data(), gw);
+        gemm_bt_acc(ocg, col_rows, oh * ow, gout, col, gw);
         if (xn->requires_grad) {
           // gcol = W^T [col_rows x ocg] * gout
           const float* w_ptr =
               wp->value.data() + static_cast<std::size_t>(g) * ocg * col_rows;
-          gemm_at(col_rows, oh * ow, ocg, w_ptr, gout, gcol.data());
-          col2im_acc(gcol.data(), ni, g * icg, icg, k, sp.stride, sp.pad, oh, ow,
+          gemm_at(col_rows, oh * ow, ocg, w_ptr, gout, gcol);
+          col2im_acc(gcol, ni, g * icg, icg, k, sp.stride, sp.pad, oh, ow,
                      xn->grad);
         }
       }

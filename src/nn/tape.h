@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "quant/quantize.h"
+#include "tensor/backend.h"
 #include "tensor/tensor.h"
 
 namespace sysnoise::nn {
@@ -48,6 +49,10 @@ struct InferenceCtx {
   bool ceil_mode = false;                       // max-pool deployment mode
   UpsampleMode upsample = UpsampleMode::kNearest;
   bool upsample_align_corners = false;
+  // Kernel family for GEMM/conv (tensor/backend.h) — ops open a BackendScope
+  // around their kernel calls so a parallel sweep can run configs with
+  // different backends concurrently.
+  ComputeBackend backend = default_backend();
   bool calibrating = false;   // record activation ranges instead of quantizing
   ActRanges* ranges = nullptr;
 };

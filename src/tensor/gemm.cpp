@@ -1,22 +1,60 @@
+// GEMM kernel family behind the ComputeBackend seam (tensor/backend.h).
+//
+// Three implementations of every variant:
+//  - reference: the seed's scalar loops, bit-identical to the historical
+//    output. Keeps the zero-skip (`if (av == 0.0f) continue;`) as a
+//    documented reference-only property — it drops 0 x inf = NaN
+//    propagation, so results depend on the sparsity of A when B holds
+//    non-finite values. The other backends do NOT skip.
+//  - blocked: one packed-panel engine for all variants. A and B tiles are
+//    packed into k-major micro-panels and a register-tiled MR x NR
+//    micro-kernel accumulates in a fixed, strictly k-ascending order into
+//    fresh accumulators that are added to C once — deterministic at any
+//    tile boundary or worker count.
+//  - simd: the same packed engine with an AVX2+FMA (x86) or NEON (ARM)
+//    micro-kernel, chosen by runtime CPU detection; tails and unsupported
+//    CPUs fall back to the blocked scalar micro-kernel. FMA's single
+//    rounding makes this a genuinely different float profile — which is
+//    the point: the backend is a measured noise axis.
+//
+// All public entry points additionally split large-M row ranges across the
+// worker pool when the caller granted parallelism (GemmParallelScope); row
+// ranges are disjoint and accumulation order per element is unchanged, so
+// results are bit-identical at every worker count.
 #include "tensor/gemm.h"
 
 #include <algorithm>
 #include <cstring>
 #include <vector>
 
+#include "tensor/backend.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define SYSNOISE_GEMM_X86 1
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define SYSNOISE_GEMM_NEON 1
+#endif
+
 namespace sysnoise {
 
 namespace {
-constexpr int kBlockK = 128;
-constexpr int kBlockN = 256;
-}  // namespace
 
-void gemm_acc(int m, int n, int k, const float* a, const float* b, float* c) {
+// ---------------------------------------------------------------------------
+// Reference backend: the seed's loops, preserved verbatim.
+// ---------------------------------------------------------------------------
+
+constexpr int kRefBlockK = 128;
+constexpr int kRefBlockN = 256;
+
+void ref_gemm_acc(int m, int n, int k, const float* a, const float* b,
+                  float* c) {
   // i-k-j loop order with k/n blocking: B rows stream through cache.
-  for (int k0 = 0; k0 < k; k0 += kBlockK) {
-    const int k1 = std::min(k, k0 + kBlockK);
-    for (int n0 = 0; n0 < n; n0 += kBlockN) {
-      const int n1 = std::min(n, n0 + kBlockN);
+  for (int k0 = 0; k0 < k; k0 += kRefBlockK) {
+    const int k1 = std::min(k, k0 + kRefBlockK);
+    for (int n0 = 0; n0 < n; n0 += kRefBlockN) {
+      const int n1 = std::min(n, n0 + kRefBlockN);
       for (int i = 0; i < m; ++i) {
         float* crow = c + static_cast<std::ptrdiff_t>(i) * n;
         const float* arow = a + static_cast<std::ptrdiff_t>(i) * k;
@@ -31,17 +69,8 @@ void gemm_acc(int m, int n, int k, const float* a, const float* b, float* c) {
   }
 }
 
-void gemm(int m, int n, int k, const float* a, const float* b, float* c) {
-  std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
-  gemm_acc(m, n, k, a, b, c);
-}
-
-void gemm_at(int m, int n, int k, const float* a, const float* b, float* c) {
-  std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
-  gemm_at_acc(m, n, k, a, b, c);
-}
-
-void gemm_at_acc(int m, int n, int k, const float* a, const float* b, float* c) {
+void ref_gemm_at_acc(int m, int n, int k, const float* a, const float* b,
+                     float* c) {
   // A is k x m; iterate kk outer so both A and B stream row-wise.
   for (int kk = 0; kk < k; ++kk) {
     const float* arow = a + static_cast<std::ptrdiff_t>(kk) * m;
@@ -55,7 +84,8 @@ void gemm_at_acc(int m, int n, int k, const float* a, const float* b, float* c) 
   }
 }
 
-void gemm_bt_acc(int m, int n, int k, const float* a, const float* b, float* c) {
+void ref_gemm_bt_acc(int m, int n, int k, const float* a, const float* b,
+                     float* c) {
   // B is n x k; dot products of A rows with B rows.
   for (int i = 0; i < m; ++i) {
     const float* arow = a + static_cast<std::ptrdiff_t>(i) * k;
@@ -67,6 +97,271 @@ void gemm_bt_acc(int m, int n, int k, const float* a, const float* b, float* c) 
       crow[j] += acc;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Packed-panel engine shared by the blocked and simd backends
+// ---------------------------------------------------------------------------
+
+// Micro-tile: MR rows of C by NR columns, accumulators live in registers
+// across the whole k loop (one panel pass), then spill into C exactly once.
+constexpr int MR = 4;
+constexpr int NR = 16;
+
+// How the engine reads its operands. The packing gathers normalize every
+// variant to the same k-major micro-panels, so one micro-kernel serves
+// gemm_acc (A m x k, B k x n), gemm_at_acc (A k x m) and gemm_bt_acc
+// (B n x k).
+enum class AMode { kNormal, kTransposed };
+enum class BMode { kNormal, kTransposed };
+
+inline float a_at(AMode mode, const float* a, int m, int k, int i, int kk) {
+  return mode == AMode::kNormal ? a[static_cast<std::ptrdiff_t>(i) * k + kk]
+                                : a[static_cast<std::ptrdiff_t>(kk) * m + i];
+}
+
+inline float b_at(BMode mode, const float* b, int n, int k, int kk, int j) {
+  return mode == BMode::kNormal ? b[static_cast<std::ptrdiff_t>(kk) * n + j]
+                                : b[static_cast<std::ptrdiff_t>(j) * k + kk];
+}
+
+// Scalar micro-kernel: acc[MR x NR] = ap panel * bp panel over k steps in
+// strictly ascending order, starting from fresh zero accumulators (like the
+// vector kernels' registers). The tile is computed as two 8-column passes so
+// the local accumulator array is small enough for the compiler to promote to
+// SIMD registers across the k loop (8 accumulators + 2 operand vectors fits
+// the 16-register SSE file); per-element accumulation order is still strict
+// k-ascending, so the split is bit-invisible.
+void micro_scalar(int k, const float* ap, const float* bp, float* acc) {
+  constexpr int kHalf = NR / 2;
+  for (int jh = 0; jh < NR; jh += kHalf) {
+    float t[MR * kHalf];
+    for (int i = 0; i < MR * kHalf; ++i) t[i] = 0.0f;
+    for (int kk = 0; kk < k; ++kk) {
+      const float* arow = ap + static_cast<std::ptrdiff_t>(kk) * MR;
+      const float* brow = bp + static_cast<std::ptrdiff_t>(kk) * NR + jh;
+      for (int i = 0; i < MR; ++i) {
+        const float av = arow[i];
+        for (int j = 0; j < kHalf; ++j) t[i * kHalf + j] += av * brow[j];
+      }
+    }
+    for (int i = 0; i < MR; ++i)
+      for (int j = 0; j < kHalf; ++j) acc[i * NR + jh + j] = t[i * kHalf + j];
+  }
+}
+
+#if defined(SYSNOISE_GEMM_X86)
+__attribute__((target("avx2,fma"))) void micro_avx2(int k, const float* ap,
+                                                    const float* bp,
+                                                    float* acc) {
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = ap + static_cast<std::ptrdiff_t>(kk) * MR;
+    const float* brow = bp + static_cast<std::ptrdiff_t>(kk) * NR;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    __m256 av = _mm256_broadcast_ss(arow + 0);
+    c00 = _mm256_fmadd_ps(av, b0, c00);
+    c01 = _mm256_fmadd_ps(av, b1, c01);
+    av = _mm256_broadcast_ss(arow + 1);
+    c10 = _mm256_fmadd_ps(av, b0, c10);
+    c11 = _mm256_fmadd_ps(av, b1, c11);
+    av = _mm256_broadcast_ss(arow + 2);
+    c20 = _mm256_fmadd_ps(av, b0, c20);
+    c21 = _mm256_fmadd_ps(av, b1, c21);
+    av = _mm256_broadcast_ss(arow + 3);
+    c30 = _mm256_fmadd_ps(av, b0, c30);
+    c31 = _mm256_fmadd_ps(av, b1, c31);
+  }
+  _mm256_storeu_ps(acc + 0 * NR, c00);
+  _mm256_storeu_ps(acc + 0 * NR + 8, c01);
+  _mm256_storeu_ps(acc + 1 * NR, c10);
+  _mm256_storeu_ps(acc + 1 * NR + 8, c11);
+  _mm256_storeu_ps(acc + 2 * NR, c20);
+  _mm256_storeu_ps(acc + 2 * NR + 8, c21);
+  _mm256_storeu_ps(acc + 3 * NR, c30);
+  _mm256_storeu_ps(acc + 3 * NR + 8, c31);
+}
+#endif
+
+#if defined(SYSNOISE_GEMM_NEON)
+void micro_neon(int k, const float* ap, const float* bp, float* acc) {
+  float32x4_t c[MR][NR / 4];
+  for (int i = 0; i < MR; ++i)
+    for (int q = 0; q < NR / 4; ++q) c[i][q] = vdupq_n_f32(0.0f);
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = ap + static_cast<std::ptrdiff_t>(kk) * MR;
+    const float* brow = bp + static_cast<std::ptrdiff_t>(kk) * NR;
+    float32x4_t b[NR / 4];
+    for (int q = 0; q < NR / 4; ++q) b[q] = vld1q_f32(brow + 4 * q);
+    for (int i = 0; i < MR; ++i) {
+      const float32x4_t av = vdupq_n_f32(arow[i]);
+      for (int q = 0; q < NR / 4; ++q) c[i][q] = vfmaq_f32(c[i][q], av, b[q]);
+    }
+  }
+  for (int i = 0; i < MR; ++i)
+    for (int q = 0; q < NR / 4; ++q) vst1q_f32(acc + i * NR + 4 * q, c[i][q]);
+}
+#endif
+
+using MicroKernel = void (*)(int, const float*, const float*, float*);
+
+MicroKernel simd_micro_kernel() {
+#if defined(SYSNOISE_GEMM_X86)
+  static const MicroKernel kernel =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")
+          ? &micro_avx2
+          : &micro_scalar;
+  return kernel;
+#elif defined(SYSNOISE_GEMM_NEON)
+  return &micro_neon;
+#else
+  return &micro_scalar;
+#endif
+}
+
+// C[i0:i0+mb) rows += op(A) * op(B) over the full k range through packed
+// panels. Packing cost: A once per call (k-major MR panels, zero-padded
+// tail rows), B once per NR column strip (reused across all row panels).
+// Zero padding is only ever multiplied into accumulator lanes that are
+// never stored, so it cannot leak NaNs into C.
+void packed_gemm_rows(MicroKernel micro, int i0, int mb, int n, int k,
+                      AMode amode, const float* a, int m_full, BMode bmode,
+                      const float* b, float* c) {
+  const int mpanels = (mb + MR - 1) / MR;
+  float* apack =
+      tls_scratch(static_cast<std::size_t>(mpanels) * MR * k, /*slot=*/0);
+  for (int p = 0; p < mpanels; ++p) {
+    float* panel = apack + static_cast<std::ptrdiff_t>(p) * MR * k;
+    const int ib = std::min(MR, mb - p * MR);
+    const int row0 = i0 + p * MR;
+    if (ib == MR && amode == AMode::kNormal) {
+      // Full panel from row-major A: transpose four contiguous rows.
+      const float* r = a + static_cast<std::ptrdiff_t>(row0) * k;
+      for (int kk = 0; kk < k; ++kk) {
+        float* dst = panel + static_cast<std::ptrdiff_t>(kk) * MR;
+        dst[0] = r[kk];
+        dst[1] = r[k + kk];
+        dst[2] = r[2 * static_cast<std::ptrdiff_t>(k) + kk];
+        dst[3] = r[3 * static_cast<std::ptrdiff_t>(k) + kk];
+      }
+    } else if (ib == MR && amode == AMode::kTransposed) {
+      // Full panel from k x m A: each k step is already MR contiguous floats.
+      for (int kk = 0; kk < k; ++kk)
+        std::memcpy(panel + static_cast<std::ptrdiff_t>(kk) * MR,
+                    a + static_cast<std::ptrdiff_t>(kk) * m_full + row0,
+                    MR * sizeof(float));
+    } else {
+      for (int kk = 0; kk < k; ++kk)
+        for (int i = 0; i < MR; ++i)
+          panel[static_cast<std::ptrdiff_t>(kk) * MR + i] =
+              i < ib ? a_at(amode, a, m_full, k, row0 + i, kk) : 0.0f;
+    }
+  }
+
+  float* bpack = tls_scratch(static_cast<std::size_t>(k) * NR, /*slot=*/1);
+  float acc[MR * NR];
+  for (int j0 = 0; j0 < n; j0 += NR) {
+    const int jb = std::min(NR, n - j0);
+    if (jb == NR && bmode == BMode::kNormal) {
+      // Full strip from row-major B: NR contiguous floats per k step.
+      for (int kk = 0; kk < k; ++kk)
+        std::memcpy(bpack + static_cast<std::ptrdiff_t>(kk) * NR,
+                    b + static_cast<std::ptrdiff_t>(kk) * n + j0,
+                    NR * sizeof(float));
+    } else if (jb == NR && bmode == BMode::kTransposed) {
+      // Full strip from n x k B: stream each B row, scatter into the strip.
+      for (int j = 0; j < NR; ++j) {
+        const float* brow = b + static_cast<std::ptrdiff_t>(j0 + j) * k;
+        for (int kk = 0; kk < k; ++kk)
+          bpack[static_cast<std::ptrdiff_t>(kk) * NR + j] = brow[kk];
+      }
+    } else {
+      for (int kk = 0; kk < k; ++kk)
+        for (int j = 0; j < NR; ++j)
+          bpack[static_cast<std::ptrdiff_t>(kk) * NR + j] =
+              j < jb ? b_at(bmode, b, n, k, kk, j0 + j) : 0.0f;
+    }
+    for (int p = 0; p < mpanels; ++p) {
+      micro(k, apack + static_cast<std::ptrdiff_t>(p) * MR * k, bpack, acc);
+      const int ib = std::min(MR, mb - p * MR);
+      for (int i = 0; i < ib; ++i) {
+        float* crow =
+            c + static_cast<std::ptrdiff_t>(i0 + p * MR + i) * n + j0;
+        for (int j = 0; j < jb; ++j) crow[j] += acc[i * NR + j];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+// Row ranges below this skip the fork/join entirely.
+constexpr int kParallelMinRows = 2 * MR;
+
+void dispatch_acc(int m, int n, int k, AMode amode, const float* a,
+                  BMode bmode, const float* b, float* c) {
+  const ComputeBackend backend = active_backend();
+  const MicroKernel micro = backend == ComputeBackend::kSimd
+                                ? simd_micro_kernel()
+                                : &micro_scalar;
+  auto rows = [&](int begin, int end) {
+    switch (backend) {
+      case ComputeBackend::kReference:
+        // The reference loops read A rows / write C rows relative to row 0;
+        // offset the operand bases so each range is self-contained.
+        if (amode == AMode::kNormal && bmode == BMode::kNormal)
+          ref_gemm_acc(end - begin, n, k,
+                       a + static_cast<std::ptrdiff_t>(begin) * k, b,
+                       c + static_cast<std::ptrdiff_t>(begin) * n);
+        else if (amode == AMode::kTransposed)
+          ref_gemm_at_acc(end - begin, n, k, a + begin, b,
+                          c + static_cast<std::ptrdiff_t>(begin) * n);
+        else
+          ref_gemm_bt_acc(end - begin, n, k,
+                          a + static_cast<std::ptrdiff_t>(begin) * k, b,
+                          c + static_cast<std::ptrdiff_t>(begin) * n);
+        break;
+      case ComputeBackend::kBlocked:
+      case ComputeBackend::kSimd:
+        packed_gemm_rows(micro, begin, end - begin, n, k, amode, a, m, bmode,
+                         b, c);
+        break;
+    }
+  };
+  if (gemm_workers() > 1 && m >= kParallelMinRows)
+    parallel_ranges(m, MR, rows);
+  else
+    rows(0, m);
+}
+
+}  // namespace
+
+void gemm_acc(int m, int n, int k, const float* a, const float* b, float* c) {
+  dispatch_acc(m, n, k, AMode::kNormal, a, BMode::kNormal, b, c);
+}
+
+void gemm(int m, int n, int k, const float* a, const float* b, float* c) {
+  std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
+  gemm_acc(m, n, k, a, b, c);
+}
+
+void gemm_at(int m, int n, int k, const float* a, const float* b, float* c) {
+  std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
+  gemm_at_acc(m, n, k, a, b, c);
+}
+
+void gemm_at_acc(int m, int n, int k, const float* a, const float* b, float* c) {
+  dispatch_acc(m, n, k, AMode::kTransposed, a, BMode::kNormal, b, c);
+}
+
+void gemm_bt_acc(int m, int n, int k, const float* a, const float* b, float* c) {
+  dispatch_acc(m, n, k, AMode::kNormal, a, BMode::kTransposed, b, c);
 }
 
 }  // namespace sysnoise

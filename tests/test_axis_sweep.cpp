@@ -35,12 +35,13 @@ void expect_reports_identical(const AxisReport& a, const AxisReport& b) {
 
 TEST(AxisRegistry, MatchesTable1Taxonomy) {
   const auto& axes = AxisRegistry::global().axes();
-  ASSERT_EQ(axes.size(), 10u);
+  ASSERT_EQ(axes.size(), 11u);
   const std::vector<std::string> names = {"Decode",    "Resize",
                                           "Crop",       "Color Mode",
                                           "Normalize",  "Layout",
-                                          "Precision",  "Ceil Mode",
-                                          "Upsample",   "Post-proc"};
+                                          "Precision",  "Backend",
+                                          "Ceil Mode",  "Upsample",
+                                          "Post-proc"};
   for (std::size_t i = 0; i < names.size(); ++i) EXPECT_EQ(axes[i].name, names[i]);
 
   // Option counts mirror the implemented option sets (Table 1 categories
@@ -66,6 +67,11 @@ TEST(AxisRegistry, MatchesTable1Taxonomy) {
   EXPECT_EQ(AxisRegistry::global().find("Layout")->stage, "Pre-processing");
   EXPECT_EQ(AxisRegistry::global().find("Crop")->option_labels,
             (std::vector<std::string>{"center-0.875"}));
+  // Backend options are relative to the process default (reference under
+  // the test harness): the two kernel families training doesn't use.
+  EXPECT_EQ(AxisRegistry::global().find("Backend")->option_labels,
+            (std::vector<std::string>{"blocked", "simd"}));
+  EXPECT_EQ(AxisRegistry::global().find("Backend")->stage, "Model inference");
   // Every axis carries taxonomy metadata for the Table 1 bench.
   for (const NoiseAxis& a : axes) {
     EXPECT_FALSE(a.stage.empty()) << a.name;
@@ -83,15 +89,17 @@ TEST(AxisRegistry, ApplicabilityFollowsTaskTraits) {
   const auto& reg = AxisRegistry::global();
   EXPECT_EQ(names(reg.applicable({TaskKind::kClassification, false})),
             (std::vector<std::string>{"Decode", "Resize", "Crop", "Color Mode",
-                                      "Normalize", "Layout", "Precision"}));
+                                      "Normalize", "Layout", "Precision",
+                                      "Backend"}));
   EXPECT_EQ(names(reg.applicable({TaskKind::kDetection, true})),
             (std::vector<std::string>{"Decode", "Resize", "Color Mode",
                                       "Normalize", "Layout", "Precision",
-                                      "Ceil Mode", "Upsample", "Post-proc"}));
+                                      "Backend", "Ceil Mode", "Upsample",
+                                      "Post-proc"}));
   EXPECT_EQ(names(reg.applicable({TaskKind::kSegmentation, false})),
             (std::vector<std::string>{"Decode", "Resize", "Color Mode",
                                       "Normalize", "Layout", "Precision",
-                                      "Upsample"}));
+                                      "Backend", "Upsample"}));
 }
 
 TEST(AxisRegistry, CombinedConfigMatchesLegacyFlags) {
@@ -171,8 +179,9 @@ TEST(SweepEngine, SeededCacheSkipsTrainedBaselineEval) {
   SweepCache cache;
   const AxisReport report = models::sweep_seeded(task, trained, cache);
   // Options: 3 decode + 10 resize + 1 crop + 1 color + 2 norm + 1 layout +
-  // 2 precision + combined = 21; the baseline itself came from the seed.
-  EXPECT_EQ(task.evals() - base_evals, 21);
+  // 2 precision + 2 backend + combined = 23; the baseline itself came from
+  // the seed.
+  EXPECT_EQ(task.evals() - base_evals, 23);
   EXPECT_EQ(report.trained, trained);
 }
 
@@ -197,8 +206,8 @@ TEST(SweepEngine, StepwiseAccumulatesInRegistryOrder) {
   const auto steps = stepwise(task);
   const std::vector<std::string> expected = {
       "Decode",     "+Resize",    "+Color Mode",      "+Normalize",
-      "+NHWC",      "+INT8",      "+Ceil Mode",       "+Upsample",
-      "+Post processing"};
+      "+NHWC",      "+INT8",      "+SIMD",            "+Ceil Mode",
+      "+Upsample",  "+Post processing"};
   ASSERT_EQ(steps.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i)
     EXPECT_EQ(steps[i].step, expected[i]);

@@ -130,7 +130,7 @@ TEST(Runner, StepwiseUsesCumulativeConfigs) {
   auto tc = models::get_classifier("MCUNet");
   models::ClassifierTask task(tc);
   const auto steps = stepwise(task);
-  ASSERT_EQ(steps.size(), 7u);  // no ceil step for MCUNet
+  ASSERT_EQ(steps.size(), 8u);  // no ceil step for MCUNet
   EXPECT_EQ(steps[0].step, "Decode");
   EXPECT_EQ(steps[1].step, "+Resize");
   EXPECT_EQ(steps[2].step, "+Crop");
@@ -138,6 +138,7 @@ TEST(Runner, StepwiseUsesCumulativeConfigs) {
   EXPECT_EQ(steps[4].step, "+Normalize");
   EXPECT_EQ(steps[5].step, "+NHWC");
   EXPECT_EQ(steps[6].step, "+INT8");
+  EXPECT_EQ(steps[7].step, "+SIMD");
 }
 
 TEST(Mitigation, MixPreprocessorVariesOutput) {

@@ -141,22 +141,22 @@ TEST(StagedEngine, PreprocessOncePerKeyAndPostprocReusesForward) {
   staged_sweep(task, {}, &stats);
 
   // Detection full-table plan: base + 3 decode + 10 resize + 1 color +
-  // 2 norm + 1 layout + 2 precision + 1 ceil + 1 upsample + 1 post-proc +
-  // combined = 24 planned evaluations.
-  EXPECT_EQ(stats.evaluations, 24u);
+  // 2 norm + 1 layout + 2 precision + 2 backend + 1 ceil + 1 upsample +
+  // 1 post-proc + combined = 26 planned evaluations.
+  EXPECT_EQ(stats.evaluations, 26u);
   // Distinct preprocess keys: the default pipeline (shared by base,
-  // precision, ceil, upsample and post-proc configs) + 3+10+1+2+1 pre-
-  // processing options + combined = 19.
+  // precision, backend, ceil, upsample and post-proc configs) + 3+10+1+2+1
+  // pre-processing options + combined = 19.
   EXPECT_EQ(task.pre_runs(), 19);
   EXPECT_EQ(stats.preprocess_misses, 19u);
-  EXPECT_EQ(stats.preprocess_hits, 24u - 19u);
+  EXPECT_EQ(stats.preprocess_hits, 26u - 19u);
   // Distinct forward keys: every config forwards once except the post-proc
-  // option, which shares the training-default forward pass = 23.
-  EXPECT_EQ(task.fwd_runs(), 23);
-  EXPECT_EQ(stats.forward_misses, 23u);
+  // option, which shares the training-default forward pass = 25.
+  EXPECT_EQ(task.fwd_runs(), 25);
+  EXPECT_EQ(stats.forward_misses, 25u);
   EXPECT_EQ(stats.forward_hits, 1u);
   // Post-processing runs once per planned evaluation.
-  EXPECT_EQ(task.post_runs(), 24);
+  EXPECT_EQ(task.post_runs(), 26);
 }
 
 TEST(StagedEngine, StepwiseSharesStagesAcrossCumulativeSteps) {
@@ -165,13 +165,13 @@ TEST(StagedEngine, StepwiseSharesStagesAcrossCumulativeSteps) {
   StageStats stats;
   staged_stepwise(task, {}, &stats);
 
-  // base + 9 cumulative steps; the four inference/post-processing steps
+  // base + 10 cumulative steps; the five inference/post-processing steps
   // re-use the pre-processing of the last pre-processing step (+NHWC), and
   // the final post-proc step re-uses the previous step's forward outputs.
-  EXPECT_EQ(stats.evaluations, 10u);
+  EXPECT_EQ(stats.evaluations, 11u);
   EXPECT_EQ(task.pre_runs(), 6);
-  EXPECT_EQ(task.fwd_runs(), 9);
-  EXPECT_EQ(task.post_runs(), 10);
+  EXPECT_EQ(task.fwd_runs(), 10);
+  EXPECT_EQ(task.post_runs(), 11);
 }
 
 TEST(StagedEngine, SharedSweepCacheStillMemoizesAcrossCalls) {
