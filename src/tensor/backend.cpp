@@ -47,7 +47,20 @@ class WorkerPool {
     return pool;
   }
 
-  int helpers() const { return static_cast<int>(threads_.size()); }
+  int helpers() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(threads_.size());
+  }
+
+  // Grow the pool to at least `n` helper threads (capped at the fan-out
+  // bound). Lets tests force a real split on hosts where
+  // hardware_concurrency() == 1, so the worker fan-out tests can never be
+  // vacuously green. Threads are only ever added, never removed.
+  void ensure_helpers(int n) {
+    n = std::min(n, kMaxGemmWorkers - 1);
+    std::lock_guard<std::mutex> lock(mu_);
+    while (static_cast<int>(threads_.size()) < n) spawn_helper();
+  }
 
   void run(const std::vector<std::pair<int, int>>& ranges,
            const std::function<void(int, int)>& fn) {
@@ -55,13 +68,14 @@ class WorkerPool {
     // evaluated on different sweep threads) queue here instead of racing on
     // the job slot. The holder always participates, so this cannot deadlock.
     std::lock_guard<std::mutex> run_lock(run_mu_);
+    std::uint64_t gen;
     {
       std::unique_lock<std::mutex> lock(mu_);
       job_ranges_ = &ranges;
       job_fn_ = &fn;
-      next_.store(0, std::memory_order_relaxed);
+      next_ = 0;
       pending_ = static_cast<int>(ranges.size());
-      ++generation_;
+      gen = ++generation_;
       cv_.notify_all();
     }
     {
@@ -70,7 +84,7 @@ class WorkerPool {
       // (which would re-enter run() on this thread and deadlock on run_mu_).
       const bool was_worker = tls_in_pool_worker;
       tls_in_pool_worker = true;
-      work();
+      work(gen);
       tls_in_pool_worker = was_worker;
     }
     std::unique_lock<std::mutex> lock(mu_);
@@ -85,20 +99,26 @@ class WorkerPool {
         std::min<int>(kMaxGemmWorkers,
                       std::max(1u, std::thread::hardware_concurrency())) -
         1;
-    for (int i = 0; i < n; ++i)
-      threads_.emplace_back([this] {
-        tls_in_pool_worker = true;
-        std::uint64_t seen = 0;
-        for (;;) {
-          {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
-            if (stop_) return;
-            seen = generation_;
-          }
-          work();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < n; ++i) spawn_helper();
+  }
+
+  // Requires mu_ held (threads_ is guarded by mu_ once ensure_helpers can
+  // grow the pool after construction).
+  void spawn_helper() {
+    threads_.emplace_back([this] {
+      tls_in_pool_worker = true;
+      std::uint64_t seen = 0;
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lock(mu_);
+          cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+          if (stop_) return;
+          seen = generation_;
         }
-      });
+        work(seen);
+      }
+    });
   }
 
   ~WorkerPool() {
@@ -110,17 +130,26 @@ class WorkerPool {
     for (std::thread& t : threads_) t.join();
   }
 
-  void work() {
+  // Drain ranges of job `gen`. The index handout and the generation check
+  // happen under one mu_ hold, so a worker preempted between jobs can never
+  // carry a stale index into a newer job (which would execute that range
+  // twice and keep accumulating into C after run() returned). A claimed
+  // range always belongs to `gen`: run() cannot retire the job until
+  // pending_ — which counts exactly the claimed ranges — hits zero.
+  void work(std::uint64_t gen) {
     for (;;) {
-      const int i = next_.fetch_add(1, std::memory_order_relaxed);
       const std::vector<std::pair<int, int>>* ranges;
       const std::function<void(int, int)>* fn;
+      int i;
       {
         std::unique_lock<std::mutex> lock(mu_);
+        if (generation_ != gen || job_ranges_ == nullptr ||
+            next_ >= static_cast<int>(job_ranges_->size()))
+          return;
+        i = next_++;
         ranges = job_ranges_;
         fn = job_fn_;
       }
-      if (ranges == nullptr || i >= static_cast<int>(ranges->size())) return;
       (*fn)((*ranges)[static_cast<std::size_t>(i)].first,
             (*ranges)[static_cast<std::size_t>(i)].second);
       std::unique_lock<std::mutex> lock(mu_);
@@ -135,7 +164,7 @@ class WorkerPool {
   std::vector<std::thread> threads_;
   const std::vector<std::pair<int, int>>* job_ranges_ = nullptr;
   const std::function<void(int, int)>* job_fn_ = nullptr;
-  std::atomic<int> next_{0};
+  int next_ = 0;  // guarded by mu_
   int pending_ = 0;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
@@ -192,6 +221,10 @@ GemmParallelScope::GemmParallelScope(int workers) : prev_(tls_workers) {
 }
 
 GemmParallelScope::~GemmParallelScope() { tls_workers = prev_; }
+
+void ensure_gemm_pool_helpers(int n) {
+  if (n > 0) WorkerPool::instance().ensure_helpers(n);
+}
 
 void parallel_ranges(int total, int align,
                      const std::function<void(int, int)>& fn) {

@@ -98,6 +98,15 @@ class GemmParallelScope {
   int prev_;
 };
 
+// Grow the process worker pool to at least `n` helper threads (capped at
+// the pool's fan-out bound; threads are only ever added). The pool normally
+// sizes itself to hardware_concurrency() - 1, which is zero on a
+// single-core host — every fan-out then collapses to one inline range and
+// the split path is never exercised. Tests and benches that assert
+// split-vs-serial behavior call this first so they are never vacuously
+// green on small machines.
+void ensure_gemm_pool_helpers(int n);
+
 // Split [0, total) into at most gemm_workers() contiguous chunks (aligned
 // down to `align` boundaries) and run fn(begin, end) for each, across the
 // process worker pool plus the calling thread. Ranges are disjoint, so any

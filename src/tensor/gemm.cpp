@@ -69,11 +69,14 @@ void ref_gemm_acc(int m, int n, int k, const float* a, const float* b,
   }
 }
 
-void ref_gemm_at_acc(int m, int n, int k, const float* a, const float* b,
-                     float* c) {
-  // A is k x m; iterate kk outer so both A and B stream row-wise.
+void ref_gemm_at_acc(int m, int n, int k, const float* a, int a_stride,
+                     const float* b, float* c) {
+  // A is k x a_stride and this call covers m of its columns starting at
+  // `a` (a_stride == m for a whole-matrix call; a row-split passes the
+  // full output width so each k step strides over the entire A row).
+  // Iterate kk outer so both A and B stream row-wise.
   for (int kk = 0; kk < k; ++kk) {
-    const float* arow = a + static_cast<std::ptrdiff_t>(kk) * m;
+    const float* arow = a + static_cast<std::ptrdiff_t>(kk) * a_stride;
     const float* brow = b + static_cast<std::ptrdiff_t>(kk) * n;
     for (int i = 0; i < m; ++i) {
       const float av = arow[i];
@@ -320,7 +323,9 @@ void dispatch_acc(int m, int n, int k, AMode amode, const float* a,
                        a + static_cast<std::ptrdiff_t>(begin) * k, b,
                        c + static_cast<std::ptrdiff_t>(begin) * n);
         else if (amode == AMode::kTransposed)
-          ref_gemm_at_acc(end - begin, n, k, a + begin, b,
+          // A is k x m (full width): offset to the range's first column but
+          // keep striding k steps by the full m, not the range width.
+          ref_gemm_at_acc(end - begin, n, k, a + begin, m, b,
                           c + static_cast<std::ptrdiff_t>(begin) * n);
         else
           ref_gemm_bt_acc(end - begin, n, k,

@@ -205,7 +205,28 @@ TEST(BackendParity, EachBackendIsBitExactlyRepeatable) {
   }
 }
 
+// The pool sizes itself to hardware_concurrency() - 1, which is zero on a
+// single-core host: every fan-out then collapses to one inline range, and
+// any split-only bug sails through green. Split tests force a real pool
+// first and assert the split actually happened.
+constexpr int kForcedHelpers = 3;
+
+TEST(Backend, ForcedPoolActuallySplitsRanges) {
+  ensure_gemm_pool_helpers(kForcedHelpers);
+  const GemmParallelScope fan(kForcedHelpers + 1);
+  std::mutex mu;
+  std::vector<std::pair<int, int>> seen;
+  parallel_ranges(64, 4, [&](int begin, int end) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.emplace_back(begin, end);
+  });
+  ASSERT_GT(seen.size(), 1u)
+      << "worker pool cannot split even after ensure_gemm_pool_helpers(); "
+         "every worker fan-out test in this binary would be vacuous";
+}
+
 TEST(BackendParity, WorkerFanOutIsBitIdenticalToSerialAtAnyWorkerCount) {
+  ensure_gemm_pool_helpers(kForcedHelpers);
   Rng rng(11);
   const int m = 61, n = 37, k = 29;
   for (const Variant v : kAllVariants) {
@@ -310,6 +331,7 @@ TEST(BackendNonFinite, NonReferenceBackendsPropagateNaNInputs) {
 // ---------------------------------------------------------------------------
 
 TEST(Backend, ParallelRangesCoversTotalExactlyOnceWithAlignment) {
+  ensure_gemm_pool_helpers(kForcedHelpers);
   const GemmParallelScope fan(0);
   for (const int total : {1, 7, 64, 129}) {
     for (const int align : {1, 4, 16}) {
@@ -331,6 +353,24 @@ TEST(Backend, ParallelRangesCoversTotalExactlyOnceWithAlignment) {
       EXPECT_EQ(next, total) << total << "/" << align;
     }
   }
+}
+
+TEST(Backend, BackToBackJobsExecuteEachRangeExactlyOnce) {
+  // Cross-job integrity: a worker preempted between jobs must never carry a
+  // stale range index into the next job. Alternate a 2-range job with a
+  // 4-range job so a stale overrun index from the small job (2 or 3) would
+  // be in range for the big one — the old race then executes that range
+  // twice, which shows up here as an over-count.
+  ensure_gemm_pool_helpers(kForcedHelpers);
+  constexpr int kTotal = 64, kJobs = 500;
+  std::vector<int> counts(kTotal, 0);
+  for (int j = 0; j < kJobs; ++j) {
+    const GemmParallelScope fan(j % 2 == 0 ? 2 : 4);
+    parallel_ranges(kTotal, 1, [&](int begin, int end) {
+      for (int i = begin; i < end; ++i) ++counts[i];
+    });
+  }
+  for (int i = 0; i < kTotal; ++i) EXPECT_EQ(counts[i], kJobs) << "i=" << i;
 }
 
 TEST(Backend, ParallelRangesRunsInlineWithoutAGrant) {
@@ -426,6 +466,7 @@ TEST(BackendConv, Im2colEdgeCasesMatchDirectConvolutionPerBackend) {
 }
 
 TEST(BackendConv, ForwardIsBitExactPerBackendAcrossRepeatsAndFanOut) {
+  ensure_gemm_pool_helpers(kForcedHelpers);
   Rng rng(321);
   const Tensor x = random_tensor({3, 4, 9, 9}, rng);
   const Tensor w = random_tensor({6, 2, 3, 3}, rng);
