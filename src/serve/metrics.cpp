@@ -1,0 +1,119 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sysnoise::serve {
+
+namespace {
+
+// Quarter-octave geometric grid from 1 microsecond to ~2 minutes: bound[i] =
+// 0.001 * 2^(i/4) ms. 108 bounds puts the last finite one at
+// 0.001 * 2^26.75 ≈ 1.1e5 ms; anything slower lands in the overflow bucket.
+constexpr int kNumBounds = 108;
+
+std::vector<double> make_bounds() {
+  std::vector<double> bounds;
+  bounds.reserve(kNumBounds);
+  for (int i = 0; i < kNumBounds; ++i)
+    bounds.push_back(0.001 * std::pow(2.0, static_cast<double>(i) / 4.0));
+  return bounds;
+}
+
+}  // namespace
+
+const std::vector<double>& LatencyHistogram::bucket_bounds() {
+  static const std::vector<double> bounds = make_bounds();
+  return bounds;
+}
+
+LatencyHistogram::LatencyHistogram()
+    : counts_(bucket_bounds().size() + 1, 0) {}
+
+void LatencyHistogram::record(double ms) {
+  const auto& bounds = bucket_bounds();
+  // First bucket whose upper bound is >= ms; values above every finite
+  // bound land in the overflow bucket at index bounds.size().
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), ms);
+  counts_[static_cast<std::size_t>(it - bounds.begin())] += 1;
+  total_ += 1;
+  sum_ms_ += ms;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ms_ += other.sum_ms_;
+}
+
+double LatencyHistogram::quantile_bound(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based: ceil(q * total), at least 1.
+  const auto rank = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(total_))));
+  const auto& bounds = bucket_bounds();
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank)
+      return i < bounds.size() ? bounds[i] : bounds.back();
+  }
+  return bounds.back();
+}
+
+util::Json LatencyHistogram::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("total", total_);
+  j.set("sum_ms", sum_ms_);
+  j.set("mean_ms", mean_ms());
+  j.set("p50_ms", quantile_bound(0.50));
+  j.set("p95_ms", quantile_bound(0.95));
+  j.set("p99_ms", quantile_bound(0.99));
+  const auto& bounds = bucket_bounds();
+  util::Json buckets = util::Json::array();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    util::Json b = util::Json::object();
+    b.set("le_ms", i < bounds.size() ? bounds[i] : -1.0);  // -1 = overflow
+    b.set("count", counts_[i]);
+    buckets.push_back(std::move(b));
+  }
+  j.set("buckets", std::move(buckets));
+  return j;
+}
+
+void GaugeStats::add(double v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  count += 1;
+  sum += v;
+}
+
+void GaugeStats::merge(const GaugeStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+util::Json GaugeStats::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("count", count);
+  j.set("min", min);
+  j.set("mean", mean());
+  j.set("max", max);
+  return j;
+}
+
+}  // namespace sysnoise::serve

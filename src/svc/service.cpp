@@ -24,6 +24,7 @@
 #include "net/frame.h"
 #include "net/socket.h"
 #include "svc/journal.h"
+#include "tensor/backend.h"
 
 namespace sysnoise::svc {
 
@@ -310,6 +311,17 @@ util::Json SweepService::Impl::job_result_json(const JobState& job) const {
 util::Json SweepService::Impl::status_json() const {
   util::Json j = make_message(msg::kStatusReport);
   j.set("queue_depth", scheduler->remaining());
+  // Runtime fingerprint of the machine the service computes on: which SIMD
+  // ISA the kSimd backend dispatches to, how many hardware threads exist,
+  // and the process-default compute backend — so `sysnoise_ctl status`
+  // answers "what will these jobs actually run on" without a shell on the
+  // box.
+  util::Json runtime = util::Json::object();
+  runtime.set("simd_isa", simd_isa_name());
+  runtime.set("hardware_threads",
+              static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+  runtime.set("default_backend", backend_name(default_backend()));
+  j.set("runtime", std::move(runtime));
   std::lock_guard<std::mutex> lock(mu);
   util::Json workers = util::Json::object();
   workers.set("joined", workers_joined.load());

@@ -29,6 +29,7 @@
 #include "svc/client.h"
 #include "svc/journal.h"
 #include "svc/service.h"
+#include "tensor/backend.h"
 #include "util/json.h"
 
 namespace sysnoise::svc {
@@ -224,6 +225,12 @@ TEST(Service, SubmitWatchFetchLifecycleMatchesLocalExecution) {
   ASSERT_EQ(status.at("jobs").size(), 1u);
   EXPECT_EQ(status.at("jobs").at(0).at("state").as_string(), "done");
   EXPECT_EQ(status.at("jobs").at(0).at("name").as_string(), "lifecycle");
+  // The runtime fingerprint: what machine the service computes on.
+  const util::Json& runtime = status.at("runtime");
+  EXPECT_EQ(runtime.at("simd_isa").as_string(), simd_isa_name());
+  EXPECT_GE(runtime.at("hardware_threads").as_int(), 1);
+  EXPECT_EQ(runtime.at("default_backend").as_string(),
+            backend_name(default_backend()));
 
   service.stop();  // workers get `done` on their next request
   worker.join();
