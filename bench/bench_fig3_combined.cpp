@@ -40,6 +40,7 @@ void render_and_write(const core::StepReport& cls, const core::StepReport& det) 
 int main(int argc, char** argv) {
   const bench::BenchCli cli = bench::parse_cli(argc, argv, "fig3_combined");
   bench::banner("Fig. 3 — stepwise combined SysNoise", "Sec. 4.2, Fig. 3");
+  bench::BenchTrace trace(cli);
 
   if (cli.connecting()) return bench::run_bench_worker(cli);
 
@@ -89,7 +90,7 @@ int main(int argc, char** argv) {
         {dist::classifier_spec("ResNet-M").to_json(), cls_plan},
         {dist::detector_spec("FasterRCNN-ResNet").to_json(), det_plan}};
     std::vector<core::MetricMap> results;
-    if (!bench::dist_results(cli, jobs, &results)) return 0;  // --emit-jobs
+    if (!bench::dist_results(cli, jobs, &results, &trace)) return 0;  // --emit-jobs
     render_and_write(
         {cls_plan.task, core::assemble_steps(cls_plan, results[0])},
         {det_plan.task, core::assemble_steps(det_plan, results[1])});
@@ -113,6 +114,8 @@ int main(int argc, char** argv) {
   std::printf("[fig3] ResNet-M trained ACC %.2f%%\n", tc.trained_acc);
   const auto det_metrics = staged.execute(det_task, det_plan, opts);
   std::printf("[fig3] FasterRCNN-ResNet trained mAP %.2f\n", td.trained_map);
+  bench::print_stage_cache_stats(cli, stages, cache.hits());
+  trace.finish(&stages);
   render_and_write({cls_plan.task, core::assemble_steps(cls_plan, cls_metrics)},
                    {det_plan.task, core::assemble_steps(det_plan, det_metrics)});
   return 0;

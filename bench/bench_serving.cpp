@@ -20,7 +20,8 @@
 // every machine; the factor-2.0 cells are where the gate checks that
 // micro-batching beats cap-1 throughput at the same offered load.
 //
-// Flags: --slo-ms X (sizing SLO, default 50), --skip-wall-clock.
+// Flags: --slo-ms X (sizing SLO, default 50), --skip-wall-clock,
+// --trace DIR (span trace + metrics snapshot; SYSNOISE_TRACE=DIR works too).
 // Env: SYSNOISE_SERVING_JSON overrides the output path (default
 // $SYSNOISE_RESULTS_DIR/BENCH_serving.json); SYSNOISE_FAST=1 trims the grid.
 #include <algorithm>
@@ -141,17 +142,26 @@ double wall_ms(const std::function<void()>& fn) {
 int main(int argc, char** argv) {
   double slo_ms = 50.0;
   bool wall_clock_cells = true;
+  std::string trace_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--slo-ms") == 0 && i + 1 < argc) {
       slo_ms = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--skip-wall-clock") == 0) {
       wall_clock_cells = false;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--slo-ms X] [--skip-wall-clock]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--slo-ms X] [--skip-wall-clock] [--trace DIR]\n",
                    argv[0]);
       return 2;
     }
   }
+  // Span trace + metrics snapshot for the serving grid (obs/trace.h);
+  // --trace wins over SYSNOISE_TRACE, both off by default and inert.
+  obs::TraceSession trace =
+      trace_dir.empty() ? obs::TraceSession::from_env("serving")
+                        : obs::TraceSession(trace_dir, "serving");
 
   bench::banner("serving benchmark (trace-driven latency/throughput grid)",
                 "deployment-noise serving study (secs 3, 5: backend and "

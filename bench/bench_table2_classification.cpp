@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
       bench::parse_cli(argc, argv, "table2_classification");
   bench::banner("Table 2 — ImageNet-substitute classification",
                 "Sec. 4.2, Table 2");
+  bench::BenchTrace trace(cli);
 
   if (cli.connecting()) return bench::run_bench_worker(cli);
 
@@ -96,19 +97,14 @@ int main(int argc, char** argv) {
   }
   if (cli.dist_jobs()) {
     std::vector<core::MetricMap> results;
-    if (!bench::dist_results(cli, jobs, &results)) return 0;  // --emit-jobs
+    if (!bench::dist_results(cli, jobs, &results, &trace)) return 0;  // --emit-jobs
     for (std::size_t i = 0; i < jobs.size(); ++i)
       reports.push_back(core::assemble_report(jobs[i].plan, results[i]));
     render_and_write(reports);
     return 0;
   }
-  std::printf("[table2] stage cache: %zu/%zu preprocess evals reused, "
-              "%zu/%zu forwards reused; %zu loaded from disk, %zu computed "
-              "(%zu persisted); metric memo %zu hits\n",
-              stages.preprocess_hits, stages.evaluations, stages.forward_hits,
-              stages.evaluations, stages.preprocess_disk_hits,
-              stages.preprocess_computed, stages.preprocess_persisted,
-              cache.hits());
+  bench::print_stage_cache_stats(cli, stages, cache.hits());
+  trace.finish(&stages);
   if (cli.sharded()) {
     bench::write_shard_file(cli, shard_runs);
     return 0;

@@ -36,6 +36,11 @@
 //                          `sysnoise_ctl submit`, and exit
 //   --token T              shared-secret auth for --coordinate (require it
 //                          of workers), --connect, and --submit
+//   --trace DIR            flight recorder (obs/trace.h): record a span
+//                          trace + metrics snapshot for this run into DIR
+//                          (SYSNOISE_TRACE=DIR is the env spelling); off by
+//                          default and provably inert — report bytes are
+//                          identical either way
 //
 // Benches whose unit of work is a row/model list rather than a SweepPlan
 // (tables 1, 5-10) use the shard flags with row-level semantics (--shard
@@ -48,6 +53,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <system_error>
@@ -58,6 +64,9 @@
 
 #include "core/executor.h"
 #include "core/plan.h"
+#include "core/staged_eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "dist/coordinator.h"
 #include "dist/task_factory.h"
 #include "dist/worker.h"
@@ -155,6 +164,7 @@ struct BenchCli {
   int priority = 0;          // --submit job priority
   bool emit_jobs = false;    // write the (task, plan) job list and exit
   std::string token;         // shared-secret auth for every dist mode
+  std::string trace_dir;     // --trace DIR: record a span trace (obs/trace.h)
 
   bool sharded() const { return shard_count > 1; }
   bool merging() const { return !merge_files.empty(); }
@@ -186,7 +196,7 @@ struct BenchCli {
 [[noreturn]] inline void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--emit-plan] [--emit-jobs] [--shard i/N] "
-               "[--merge file...]\n"
+               "[--merge file...] [--trace DIR]\n"
                "       %s --coordinate <port> [--min-workers N] "
                "[--min-workers-timeout-s S] [--token T]\n"
                "       %s --connect host:port [--token T]\n"
@@ -255,6 +265,9 @@ inline BenchCli parse_cli(int argc, char** argv, const char* bench_name) {
     } else if (arg == "--token") {
       if (++i >= argc) usage(argv[0]);
       cli.token = argv[i];
+    } else if (arg == "--trace") {
+      if (++i >= argc) usage(argv[0]);
+      cli.trace_dir = argv[i];
     } else {
       std::fprintf(stderr, "unknown argument \"%s\"\n", arg.c_str());
       usage(argv[0]);
@@ -279,6 +292,76 @@ inline BenchCli parse_cli(int argc, char** argv, const char* bench_name) {
     std::exit(2);
   }
   return cli;
+}
+
+// ---------------------------------------------------------------------------
+// Observability (obs/trace.h): --trace DIR or SYSNOISE_TRACE=DIR
+// ---------------------------------------------------------------------------
+
+// Per-bench flight recorder. Construct right after parse_cli: when tracing
+// was requested (--trace DIR wins over SYSNOISE_TRACE=DIR) it resets the
+// tracer + metrics registry, opens a top-level "bench.<name>" span covering
+// the whole run, and finish() flushes <dir>/<bench>_<pid>_{trace,metrics,
+// summary}.json — attaching the run's StageStats to the summary when given.
+// When neither source is set, every member is an inert no-op, so benches
+// construct it unconditionally (the report bytes are identical either way).
+class BenchTrace {
+ public:
+  explicit BenchTrace(const BenchCli& cli)
+      : label_("bench." + cli.bench),
+        session_(cli.trace_dir.empty()
+                     ? obs::TraceSession::from_env(cli.bench)
+                     : obs::TraceSession(cli.trace_dir, cli.bench)) {
+    if (session_.active())
+      top_ = std::make_unique<obs::TraceSpan>(label_.c_str());
+  }
+  ~BenchTrace() { finish(nullptr); }
+  BenchTrace(const BenchTrace&) = delete;
+  BenchTrace& operator=(const BenchTrace&) = delete;
+
+  bool active() const { return session_.active(); }
+
+  // Extra summary sections (e.g. "fleet_metrics" from a coordinator run).
+  void add_summary(const std::string& key, util::Json value) {
+    if (session_.active()) session_.add_summary(key, std::move(value));
+  }
+
+  // Close the top-level span and flush the trace files; idempotent (the
+  // destructor calls it with no stats for early-exit paths).
+  void finish(const core::StageStats* stages) {
+    top_.reset();
+    if (!session_.active()) return;
+    if (stages != nullptr)
+      session_.add_summary("stage_stats", stages->to_json());
+    const std::string path = session_.trace_path();
+    session_.finish();
+    std::printf("[trace] wrote %s (+ metrics/summary siblings)\n",
+                path.c_str());
+  }
+
+ private:
+  // label_ outlives session_ (declaration order): the drain inside
+  // session_.finish() reads the span-name pointer top_ handed it.
+  std::string label_;
+  obs::TraceSession session_;
+  std::unique_ptr<obs::TraceSpan> top_;
+};
+
+// The one-line stage-cache summary every staged bench prints — one shape for
+// all tables so eyes (and greps) can compare runs, now covering the forward
+// disk cache too.
+inline void print_stage_cache_stats(const BenchCli& cli,
+                                    const core::StageStats& s,
+                                    std::size_t memo_hits) {
+  std::printf(
+      "[%s] stage cache: %zu/%zu preprocess evals reused, %zu/%zu forwards "
+      "reused; disk: %zu pre hits / %zu computed (%zu persisted), %zu fwd "
+      "hits / %zu computed; %zu batched forward calls; metric memo %zu "
+      "hits\n",
+      cli.bench.c_str(), s.preprocess_hits, s.evaluations, s.forward_hits,
+      s.evaluations, s.preprocess_disk_hits, s.preprocess_computed,
+      s.preprocess_persisted, s.forward_disk_hits, s.forward_computed,
+      s.batched_forward_calls, memo_hits);
 }
 
 // ---------------------------------------------------------------------------
@@ -328,7 +411,8 @@ inline void reject_coordinate(const BenchCli& cli) {
 // printed AND written to <results_dir>/<bench>.port so scripts launching
 // workers can read it instead of hard-coding a collision-prone number.
 inline std::vector<core::MetricMap> serve_coordinator(
-    const BenchCli& cli, const std::vector<dist::DistJob>& jobs) {
+    const BenchCli& cli, const std::vector<dist::DistJob>& jobs,
+    BenchTrace* trace = nullptr) {
   dist::CoordinatorOptions opts;
   opts.port = cli.coordinate_port;
   opts.min_workers = cli.min_workers;
@@ -346,6 +430,15 @@ inline std::vector<core::MetricMap> serve_coordinator(
               results_dir().c_str(), cli.bench.c_str());
   std::fflush(stdout);
   std::vector<core::MetricMap> results = coordinator.run(jobs);
+  if (trace != nullptr && trace->active()) {
+    // One fleet-wide view for the summary: this process's instruments plus
+    // the cumulative snapshots the workers shipped with their results. The
+    // per-process metrics file stays coordinator-local, so sysnoise_trace
+    // can sum the fleet's files without double counting.
+    trace->add_summary("fleet_metrics",
+                       obs::merge_snapshots(obs::metrics().snapshot(),
+                                            coordinator.worker_metrics()));
+  }
   const dist::CoordinatorStats stats = coordinator.stats();
   std::printf("[%s] distributed sweep done: %zu workers, %zu units "
               "(%zu re-leased after expiry/death), %zu results\n",
@@ -414,13 +507,14 @@ inline std::vector<core::MetricMap> submit_jobs(
 // renders), or false when the invocation is complete (--emit-jobs).
 inline bool dist_results(const BenchCli& cli,
                          const std::vector<dist::DistJob>& jobs,
-                         std::vector<core::MetricMap>* results) {
+                         std::vector<core::MetricMap>* results,
+                         BenchTrace* trace = nullptr) {
   if (cli.emit_jobs) {
     write_jobs_file(cli, jobs);
     return false;
   }
   *results = cli.submitting() ? submit_jobs(cli, jobs)
-                              : serve_coordinator(cli, jobs);
+                              : serve_coordinator(cli, jobs, trace);
   return true;
 }
 

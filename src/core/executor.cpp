@@ -8,6 +8,8 @@
 
 #include "core/disk_stage_cache.h"
 #include "core/sweep_detail.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/backend.h"
 
 namespace sysnoise::core {
@@ -19,6 +21,8 @@ std::vector<double> monolithic_eval(
     const SweepOptions& opts) {
   std::vector<double> values(pending.size(), 0.0);
   detail::parallel_for_n(opts.threads, pending.size(), [&](std::size_t i) {
+    obs::TraceSpan span("pool.evaluate");
+    if (span.active()) span.attr("key", pending[i]->metric_key);
     values[i] = task.evaluate(pending[i]->cfg);
   });
   return values;
@@ -110,6 +114,8 @@ std::vector<double> staged_eval(const StagedEvalTask& task,
   // otherwise materialize the group's stage-1 product through pre_cache.
   detail::parallel_for_n(opts.threads, groups.size(), [&](std::size_t g) {
     const ForwardGroup& group = groups[g];
+    obs::TraceSpan span("staged.preprocess");
+    if (span.active()) span.attr("pre_key", group.pre_key);
     const SysNoiseConfig& lead_cfg = pending[group.members.front()]->cfg;
     if (disk != nullptr) {
       std::string bytes;
@@ -150,6 +156,11 @@ std::vector<double> staged_eval(const StagedEvalTask& task,
     for (const std::size_t g : sets[s])
       if (fwd_of[g] == nullptr) need.push_back(g);
     if (!need.empty()) {
+      obs::TraceSpan span("staged.forward");
+      if (span.active()) {
+        span.attr("fwd_key", groups[need.front()].fwd_key);
+        span.attr("batched_groups", need.size());
+      }
       if (need.size() == 1) {
         const std::size_t g = need.front();
         fwd_of[g] =
@@ -197,6 +208,7 @@ std::vector<double> staged_eval(const StagedEvalTask& task,
         }
       }
     }
+    obs::TraceSpan post_span("staged.postprocess");
     for (const std::size_t g : sets[s])
       for (const std::size_t i : groups[g].members)
         values[i] = task.run_postprocess(pending[i]->cfg, fwd_of[g]);
@@ -221,6 +233,27 @@ std::vector<double> staged_eval(const StagedEvalTask& task,
     s.batched_forward_configs = batch_cfgs.load();
     s.max_configs_per_batch = batch_max.load();
     *stats += s;
+  }
+  if (obs::trace_enabled()) {
+    // Once per evaluation batch (cold path): cache effectiveness counters
+    // for the flight-recorder summary. Purely observational — never read
+    // back by any computation.
+    obs::MetricsRegistry& m = obs::metrics();
+    m.counter_add("staged.evaluations", pending.size());
+    m.counter_add("staged.preprocess_hits",
+                  pending.size() - pre_cache.misses());
+    m.counter_add("staged.preprocess_misses", pre_cache.misses());
+    m.counter_add("staged.forward_hits", pending.size() - groups.size());
+    m.counter_add("staged.forward_misses", groups.size());
+    m.counter_add("staged.preprocess_disk_hits", disk_hits.load());
+    m.counter_add("staged.preprocess_computed", computed.load());
+    m.counter_add("staged.forward_disk_hits", fwd_disk_hits.load());
+    m.counter_add("staged.forward_computed", fwd_computed.load());
+    m.counter_add("staged.batched_forward_calls", batch_calls.load());
+    m.counter_add("staged.batched_forward_configs", batch_cfgs.load());
+    if (batch_calls.load() > 0)
+      m.gauge_add("staged.max_configs_per_batch",
+                  static_cast<double>(batch_max.load()));
   }
   return values;
 }

@@ -93,6 +93,25 @@ StageStats& StageStats::operator+=(const StageStats& o) {
   return *this;
 }
 
+util::Json StageStats::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("preprocess_hits", preprocess_hits);
+  j.set("preprocess_misses", preprocess_misses);
+  j.set("forward_hits", forward_hits);
+  j.set("forward_misses", forward_misses);
+  j.set("evaluations", evaluations);
+  j.set("preprocess_disk_hits", preprocess_disk_hits);
+  j.set("preprocess_computed", preprocess_computed);
+  j.set("preprocess_persisted", preprocess_persisted);
+  j.set("forward_disk_hits", forward_disk_hits);
+  j.set("forward_computed", forward_computed);
+  j.set("forward_persisted", forward_persisted);
+  j.set("batched_forward_calls", batched_forward_calls);
+  j.set("batched_forward_configs", batched_forward_configs);
+  j.set("max_configs_per_batch", max_configs_per_batch);
+  return j;
+}
+
 // Thin compositions of the explicit lifecycle, staged flavor: plan ->
 // StagedExecutor -> assemble. The stage-sharing machinery itself lives in
 // core/executor.cpp.

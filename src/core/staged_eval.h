@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/sweep.h"
+#include "util/json.h"
 
 namespace sysnoise::core {
 
@@ -180,6 +181,10 @@ struct StageStats {
   std::size_t max_configs_per_batch = 0;
 
   StageStats& operator+=(const StageStats& o);
+
+  // Field-per-field object (insertion order == declaration order), used by
+  // the bench perf dumps and the trace summary's "stage_stats" section.
+  util::Json to_json() const;
 };
 
 // Drop-in staged replacements for sweep()/stepwise(): identical reports,

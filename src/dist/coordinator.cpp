@@ -5,6 +5,7 @@
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -19,6 +20,8 @@
 #include "dist/result_merge.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sysnoise::dist {
 
@@ -58,6 +61,13 @@ struct Coordinator::Impl {
   std::set<int> conns;
   std::atomic<int> active_handlers{0};
 
+  // Latest cumulative obs::metrics snapshot per worker (shipped with result
+  // frames while tracing), surfaced through worker_metrics() so the
+  // caller's flight-recorder summary can cover the whole fleet without
+  // contaminating this process's own registry.
+  std::mutex obs_mu;
+  std::map<int, util::Json> worker_obs;
+
   void log(const char* fmt, ...) const;
   void record_error(const std::string& message);
   bool has_error() const {
@@ -96,6 +106,10 @@ bool Coordinator::Impl::merge_result(const util::Json& m, int worker_id) {
   if (!error.empty()) {
     record_error(error + " from worker " + std::to_string(worker_id));
     return false;
+  }
+  if (const util::Json* snap = m.get("obs")) {
+    std::lock_guard<std::mutex> lock(obs_mu);
+    worker_obs[worker_id] = *snap;  // cumulative: latest wins
   }
   {
     // NOTE: record_error locks results_mu too — collect the failure and
@@ -162,6 +176,7 @@ void Coordinator::Impl::serve(net::TcpSocket sock) {
     worker_id = next_worker_id.fetch_add(1);
     workers_joined.fetch_add(1);
     log("worker %d joined", worker_id);
+    if (obs::trace_enabled()) obs::metrics().counter_add("coord.workers_joined");
     if (!net::send_json(sock, welcome)) {
       scheduler->release_worker(worker_id);
       return;
@@ -169,6 +184,7 @@ void Coordinator::Impl::serve(net::TcpSocket sock) {
 
     const auto wait_ms =
         static_cast<int>(opts.heartbeat_interval.count());
+    std::optional<Clock::time_point> last_heartbeat;
     while (true) {
       if (!net::recv_json(sock, &m)) break;  // death, timeout or clean close
       const std::string type = message_type(m);
@@ -180,6 +196,15 @@ void Coordinator::Impl::serve(net::TcpSocket sock) {
         } else if (const std::optional<std::size_t> unit =
                        scheduler->acquire(worker_id, Clock::now())) {
           const WorkUnit& wu = scheduler->units()[*unit];
+          // Correlates with the worker's "worker.lease" span via the shared
+          // "j<job>u<unit>" lease id derived from the same frame fields.
+          obs::TraceSpan grant_span("coord.lease_grant");
+          if (grant_span.active()) {
+            grant_span.attr("lease", "j" + std::to_string(wu.job) + "u" +
+                                         std::to_string(*unit));
+            grant_span.attr("worker", worker_id);
+            grant_span.attr("configs", wu.configs.size());
+          }
           reply = make_message(msg::kLease);
           reply.set("job", wu.job);
           reply.set("unit", static_cast<int>(*unit));
@@ -200,13 +225,38 @@ void Coordinator::Impl::serve(net::TcpSocket sock) {
         }
         if (!net::send_json(sock, reply)) break;
       } else if (type == msg::kHeartbeat) {
-        scheduler->heartbeat(worker_id, Clock::now());
+        const auto now = Clock::now();
+        scheduler->heartbeat(worker_id, now);
+        if (obs::trace_enabled()) {
+          // Gap between consecutive heartbeats from this worker: the gauge
+          // a post-mortem reads to see how close a worker ran to its lease
+          // deadline before it expired.
+          if (last_heartbeat.has_value())
+            obs::metrics().gauge_add(
+                "coord.heartbeat_gap_ms",
+                std::chrono::duration<double, std::milli>(now -
+                                                          *last_heartbeat)
+                    .count());
+          last_heartbeat = now;
+        }
         if (!net::send_json(sock, make_message(msg::kOk))) break;
       } else if (type == msg::kResult) {
+        obs::TraceSpan merge_span("coord.result_merge");
+        if (merge_span.active()) {
+          const util::Json* rj = m.get("job");
+          const util::Json* ru = m.get("unit");
+          if (rj != nullptr && rj->is_number() && ru != nullptr &&
+              ru->is_number())
+            merge_span.attr("lease", "j" + std::to_string(rj->as_int()) +
+                                         "u" + std::to_string(ru->as_int()));
+          merge_span.attr("worker", worker_id);
+        }
         if (!merge_result(m, worker_id)) {
           worker_errors.fetch_add(1);
           break;
         }
+        if (obs::trace_enabled())
+          obs::metrics().counter_add("coord.results_merged");
         if (!net::send_json(sock, make_message(msg::kOk))) break;
       } else if (type == msg::kError) {
         const util::Json* message = m.get("message");
@@ -248,6 +298,10 @@ std::vector<core::MetricMap> Coordinator::run(const std::vector<DistJob>& jobs) 
   im.workers_joined.store(0);
   im.results_received.store(0);
   im.worker_errors.store(0);
+  {
+    std::lock_guard<std::mutex> lock(im.obs_mu);
+    im.worker_obs.clear();
+  }
 
   std::vector<WorkUnit> units;
   // Lease forward-batch-compatible groups together: the whole set lands on
@@ -349,6 +403,17 @@ CoordinatorStats Coordinator::stats() const {
   s.results_received = impl_->results_received.load();
   s.worker_errors = impl_->worker_errors.load();
   return s;
+}
+
+util::Json Coordinator::worker_metrics() const {
+  std::lock_guard<std::mutex> lock(impl_->obs_mu);
+  util::Json merged = util::Json::object();
+  bool first = true;
+  for (const auto& [id, snap] : impl_->worker_obs) {
+    merged = first ? snap : obs::merge_snapshots(merged, snap);
+    first = false;
+  }
+  return merged;
 }
 
 }  // namespace sysnoise::dist

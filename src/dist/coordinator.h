@@ -82,6 +82,15 @@ class Coordinator {
   // Accounting of the most recent run().
   CoordinatorStats stats() const;
 
+  // Merged cumulative obs::metrics snapshots the most recent run()'s
+  // workers shipped with their result frames (only populated while tracing;
+  // {} otherwise). Deliberately NOT folded into this process's registry:
+  // per-process metrics files stay process-local and sum without double
+  // counting, and callers wanting one fleet view attach
+  // obs::merge_snapshots(obs::metrics().snapshot(), worker_metrics()) to
+  // their trace summary.
+  util::Json worker_metrics() const;
+
  private:
   struct Impl;
   Impl* impl_;

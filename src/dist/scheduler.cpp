@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sysnoise::dist {
 
 LeaseScheduler::LeaseScheduler(std::vector<WorkUnit> units,
@@ -31,12 +34,17 @@ std::optional<std::size_t> LeaseScheduler::acquire(int worker,
   // Expire silent leases first so their units are offerable below. Expiry
   // happens lazily here (not on a reaper thread): nothing observes a lease
   // between acquires, so this is exactly as prompt as it needs to be.
-  for (Slot& s : slots_)
-    if (s.state == State::kLeased && s.deadline <= now) {
-      s.state = State::kPending;
-      s.worker = -1;
-      ++stats_.expired;
-    }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (s.state != State::kLeased || s.deadline > now) continue;
+    const int lapsed_worker = s.worker;
+    s.state = State::kPending;
+    s.worker = -1;
+    ++stats_.expired;
+    if (obs::trace_enabled())
+      obs::metrics().counter_add("dist.lease.expired");
+    if (on_expire_) on_expire_(i, units_[i].job, lapsed_worker);
+  }
   std::optional<std::size_t> best;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].state != State::kPending) continue;
@@ -50,6 +58,10 @@ std::optional<std::size_t> LeaseScheduler::acquire(int worker,
   s.deadline = now + lease_timeout_;
   ++stats_.leases_granted;
   if (s.ever_leased) ++stats_.re_leases;
+  if (obs::trace_enabled()) {
+    obs::metrics().counter_add("dist.lease.granted");
+    if (s.ever_leased) obs::metrics().counter_add("dist.lease.re_leased");
+  }
   s.ever_leased = true;
   return best;
 }

@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -88,6 +89,15 @@ class LeaseScheduler {
   std::size_t remaining() const;
   SchedulerStats stats() const;
 
+  // Observability hook fired for each deadline expiry, with the unit index,
+  // its job, and the worker whose lease lapsed. Invoked under the scheduler
+  // lock (from acquire's expiry sweep) — the callback must not call back
+  // into this scheduler. Set once before serving; not thread-safe against
+  // concurrent acquires.
+  void set_on_expire(std::function<void(std::size_t, int, int)> fn) {
+    on_expire_ = std::move(fn);
+  }
+
  private:
   enum class State { kPending, kLeased, kDone, kCanceled };
   struct Slot {
@@ -102,6 +112,7 @@ class LeaseScheduler {
   std::vector<Slot> slots_;
   std::chrono::milliseconds lease_timeout_;
   SchedulerStats stats_;
+  std::function<void(std::size_t, int, int)> on_expire_;
 };
 
 }  // namespace sysnoise::dist

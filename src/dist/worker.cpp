@@ -17,6 +17,8 @@
 #include "dist/protocol.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sysnoise::dist {
 
@@ -181,6 +183,16 @@ WorkerRunStats run_worker(const std::string& host, int port,
                      std::to_string(unit) + " (" +
                      std::to_string(indices.size()) + " configs)");
 
+      // Lease lifecycle span, correlated with the coordinator's grant span
+      // by the shared "j<job>u<unit>" lease id (both sides derive it from
+      // the lease frame — no extra protocol field needed).
+      obs::TraceSpan lease_span("worker.lease");
+      if (lease_span.active()) {
+        lease_span.attr("lease", "j" + std::to_string(job) + "u" +
+                                     std::to_string(unit));
+        lease_span.attr("configs", indices.size());
+      }
+
       // Resolve + evaluate on a helper thread while this one keeps the
       // lease alive: the coordinator treats silence longer than the lease
       // timeout as death, and both can take arbitrarily long — first-lease
@@ -208,6 +220,7 @@ WorkerRunStats run_worker(const std::string& host, int port,
       bool connection_lost = false;
       while (fut.wait_for(std::chrono::milliseconds(heartbeat_ms)) !=
              std::future_status::ready) {
+        const auto hb_start = std::chrono::steady_clock::now();
         util::Json ok;
         if (!net::send_json(sock, make_message(msg::kHeartbeat)) ||
             !net::recv_json(sock, &ok) || message_type(ok) != msg::kOk) {
@@ -215,6 +228,13 @@ WorkerRunStats run_worker(const std::string& host, int port,
           break;
         }
         ++stats.heartbeats_sent;
+        if (obs::trace_enabled()) {
+          obs::metrics().observe_ms(
+              "worker.heartbeat_rtt_ms",
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - hb_start)
+                  .count());
+        }
       }
       core::MetricMap metrics;
       try {
@@ -236,11 +256,30 @@ WorkerRunStats run_worker(const std::string& host, int port,
       util::Json jmetrics = util::Json::object();
       for (const auto& [key, value] : metrics) jmetrics.set(key, value);
       result.set("metrics", std::move(jmetrics));
+      if (obs::trace_enabled()) {
+        // Ship this worker's cumulative metric snapshot with the result so
+        // the coordinator's per-sweep summary covers the whole fleet. The
+        // field is absent when tracing is off — the frame bytes are
+        // unchanged — and cumulative, so the coordinator keeps only the
+        // latest snapshot per worker rather than summing.
+        obs::metrics().counter_add("worker.leases_completed");
+        obs::metrics().counter_add("worker.configs_evaluated",
+                                   indices.size());
+        result.set("obs", obs::metrics().snapshot());
+      }
+      const auto send_start = std::chrono::steady_clock::now();
       util::Json ok;
       if (!net::send_json(sock, result) || !net::recv_json(sock, &ok) ||
           message_type(ok) != msg::kOk) {
         stats.disconnected = true;
         return stats;
+      }
+      if (obs::trace_enabled()) {
+        obs::metrics().observe_ms(
+            "worker.result_rtt_ms",
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - send_start)
+                .count());
       }
       ++stats.leases_completed;
       stats.configs_evaluated += indices.size();

@@ -1,0 +1,23 @@
+#include "obs/event_log.h"
+
+namespace sysnoise::obs {
+
+void EventLog::emit(const std::string& type, util::Json fields) {
+  if (sink_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  seq_ += 1;
+  util::Json line = util::Json::object();
+  line.set("seq", seq_);
+  line.set("ev", type);
+  for (const auto& [key, value] : fields.items()) line.set(key, value);
+  const std::string text = line.dump() + "\n";
+  std::fwrite(text.data(), 1, text.size(), sink_);
+  std::fflush(sink_);
+}
+
+std::uint64_t EventLog::events_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+}  // namespace sysnoise::obs

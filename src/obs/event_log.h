@@ -1,0 +1,44 @@
+// Structured one-line JSON event logging for long-running daemons.
+//
+// Each emit() renders exactly one line of compact JSON to the sink with a
+// monotonic per-log sequence number, so consumers (humans with grep, CI
+// assertions, log shippers) can parse, order, and detect gaps without
+// guessing at printf formats:
+//
+//   {"seq":12,"ev":"lease_expired","job":3,"unit":7,"worker":2}
+//
+// The sequence number is the ordering authority — lines are written under
+// one mutex, so seq order IS emission order even with concurrent emitters.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "util/json.h"
+
+namespace sysnoise::obs {
+
+class EventLog {
+ public:
+  // Events go to `sink` (not owned; stderr for daemons, a tmpfile in
+  // tests). A null sink makes every emit a no-op, so call sites need no
+  // branching.
+  explicit EventLog(std::FILE* sink = nullptr) : sink_(sink) {}
+
+  bool enabled() const { return sink_ != nullptr; }
+
+  // Renders {"seq":n,"ev":type,...fields} — `fields` must be an object;
+  // its entries keep their insertion order after the two header keys.
+  void emit(const std::string& type, util::Json fields = util::Json::object());
+
+  std::uint64_t events_emitted() const;
+
+ private:
+  std::FILE* sink_;
+  mutable std::mutex mu_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace sysnoise::obs

@@ -1,0 +1,228 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sysnoise::obs {
+
+namespace {
+
+// Quarter-octave geometric grid from 1 microsecond to ~2 minutes: bound[i] =
+// 0.001 * 2^(i/4) ms. 108 bounds puts the last finite one at
+// 0.001 * 2^26.75 ≈ 1.1e5 ms; anything slower lands in the overflow bucket.
+constexpr int kNumBounds = 108;
+
+std::vector<double> make_bounds() {
+  std::vector<double> bounds;
+  bounds.reserve(kNumBounds);
+  for (int i = 0; i < kNumBounds; ++i)
+    bounds.push_back(0.001 * std::pow(2.0, static_cast<double>(i) / 4.0));
+  return bounds;
+}
+
+}  // namespace
+
+const std::vector<double>& LatencyHistogram::bucket_bounds() {
+  static const std::vector<double> bounds = make_bounds();
+  return bounds;
+}
+
+LatencyHistogram::LatencyHistogram()
+    : counts_(bucket_bounds().size() + 1, 0) {}
+
+void LatencyHistogram::record(double ms) {
+  const auto& bounds = bucket_bounds();
+  // First bucket whose upper bound is >= ms; values above every finite
+  // bound land in the overflow bucket at index bounds.size().
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), ms);
+  counts_[static_cast<std::size_t>(it - bounds.begin())] += 1;
+  total_ += 1;
+  sum_ms_ += ms;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ms_ += other.sum_ms_;
+}
+
+double LatencyHistogram::quantile_bound(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based: ceil(q * total), at least 1.
+  const auto rank = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(total_))));
+  const auto& bounds = bucket_bounds();
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank)
+      return i < bounds.size() ? bounds[i] : bounds.back();
+  }
+  return bounds.back();
+}
+
+util::Json LatencyHistogram::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("total", total_);
+  j.set("sum_ms", sum_ms_);
+  j.set("mean_ms", mean_ms());
+  j.set("p50_ms", quantile_bound(0.50));
+  j.set("p95_ms", quantile_bound(0.95));
+  j.set("p99_ms", quantile_bound(0.99));
+  const auto& bounds = bucket_bounds();
+  util::Json buckets = util::Json::array();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    util::Json b = util::Json::object();
+    b.set("le_ms", i < bounds.size() ? bounds[i] : -1.0);  // -1 = overflow
+    b.set("count", counts_[i]);
+    buckets.push_back(std::move(b));
+  }
+  j.set("buckets", std::move(buckets));
+  return j;
+}
+
+LatencyHistogram LatencyHistogram::from_json(const util::Json& j) {
+  LatencyHistogram h;
+  const auto& bounds = bucket_bounds();
+  const util::Json& buckets = j.at("buckets");
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const util::Json& b = buckets.at(i);
+    const double le = b.at("le_ms").as_number();
+    const auto count = static_cast<std::size_t>(b.at("count").as_number());
+    std::size_t idx;
+    if (le < 0) {
+      idx = bounds.size();  // overflow bucket
+    } else {
+      // The grid is fixed, so the serialized bound is bit-identical to a
+      // grid entry after a JSON round trip; lower_bound re-finds its slot.
+      const auto it = std::lower_bound(bounds.begin(), bounds.end(), le);
+      idx = static_cast<std::size_t>(it - bounds.begin());
+    }
+    h.counts_[idx] += count;
+    h.total_ += count;
+  }
+  h.sum_ms_ = j.at("sum_ms").as_number();
+  return h;
+}
+
+void GaugeStats::add(double v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  count += 1;
+  sum += v;
+}
+
+void GaugeStats::merge(const GaugeStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+util::Json GaugeStats::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("count", count);
+  j.set("sum", sum);
+  j.set("min", min);
+  j.set("mean", mean());
+  j.set("max", max);
+  return j;
+}
+
+GaugeStats GaugeStats::from_json(const util::Json& j) {
+  GaugeStats g;
+  g.count = static_cast<std::size_t>(j.at("count").as_number());
+  // Older dumps (pre-obs serve/metrics) lacked "sum"; reconstruct from the
+  // mean so merges stay exact for them too.
+  g.sum = j.get("sum") != nullptr ? j.at("sum").as_number()
+                       : j.at("mean").as_number() * static_cast<double>(g.count);
+  g.min = j.at("min").as_number();
+  g.max = j.at("max").as_number();
+  return g;
+}
+
+void MetricsRegistry::counter_add(const std::string& name,
+                                  std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::gauge_add(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name].add(value);
+}
+
+void MetricsRegistry::observe_ms(const std::string& name, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].record(ms);
+}
+
+util::Json MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Json j = util::Json::object();
+  util::Json counters = util::Json::object();
+  for (const auto& [name, value] : counters_) counters.set(name, value);
+  j.set("counters", std::move(counters));
+  util::Json gauges = util::Json::object();
+  for (const auto& [name, g] : gauges_) gauges.set(name, g.to_json());
+  j.set("gauges", std::move(gauges));
+  util::Json histograms = util::Json::object();
+  for (const auto& [name, h] : histograms_) histograms.set(name, h.to_json());
+  j.set("histograms", std::move(histograms));
+  return j;
+}
+
+void MetricsRegistry::merge_snapshot(const util::Json& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snap.get("counters") != nullptr) {
+    for (const auto& [name, value] : snap.at("counters").items())
+      counters_[name] += static_cast<std::uint64_t>(value.as_number());
+  }
+  if (snap.get("gauges") != nullptr) {
+    for (const auto& [name, g] : snap.at("gauges").items())
+      gauges_[name].merge(GaugeStats::from_json(g));
+  }
+  if (snap.get("histograms") != nullptr) {
+    for (const auto& [name, h] : snap.at("histograms").items())
+      histograms_[name].merge(LatencyHistogram::from_json(h));
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+util::Json merge_snapshots(const util::Json& a, const util::Json& b) {
+  MetricsRegistry r;
+  r.merge_snapshot(a);
+  r.merge_snapshot(b);
+  return r.snapshot();
+}
+
+}  // namespace sysnoise::obs

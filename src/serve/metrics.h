@@ -1,73 +1,19 @@
-// Serving-side measurement primitives: mergeable fixed-bucket latency
-// histograms and min/mean/max gauges.
+// Serving-side measurement primitives — now shared process-wide.
 //
-// The histogram's bucket bounds are a fixed, process-wide geometric grid
-// (quarter-octave steps from 1 microsecond up, plus an overflow bucket), so
-// histograms recorded by different workers, replay cells or processes merge
-// by adding counts — no rebinning, no information loss relative to either
-// input. Quantiles are reported as exact bucket upper bounds (the bound of
-// the bucket holding the ceil(q * total)-th smallest sample), which makes
-// p50/p95/p99 deterministic, merge-stable, and bit-exact across runs: the
-// same recorded multiset always yields the same quantile, and
-// merge(a, b).quantile == concat(a, b).quantile by construction.
+// LatencyHistogram and GaugeStats originated here but graduated into the
+// unified observability layer (obs/metrics.h) so every subsystem — staged
+// executors, the dist runtime, the sweep service, serving — records into
+// one mergeable vocabulary. This header re-exports them under the old
+// names so serving code and tests keep compiling unchanged; see
+// obs/metrics.h for the contracts (fixed quarter-octave bucket grid,
+// merge-by-adding-counts, exact bucket-bound quantiles).
 #pragma once
 
-#include <cstddef>
-#include <vector>
-
-#include "util/json.h"
+#include "obs/metrics.h"
 
 namespace sysnoise::serve {
 
-class LatencyHistogram {
- public:
-  LatencyHistogram();
-
-  // The shared bucket grid: bucket i covers (bounds[i-1], bounds[i]] with
-  // bounds[0] the smallest, plus one overflow bucket above the last bound.
-  static const std::vector<double>& bucket_bounds();
-
-  void record(double ms);
-  // Adds `other`'s counts bucket-for-bucket (same fixed grid by
-  // construction).
-  void merge(const LatencyHistogram& other);
-
-  std::size_t total() const { return total_; }
-  double sum_ms() const { return sum_ms_; }
-  double mean_ms() const { return total_ == 0 ? 0.0 : sum_ms_ / total_; }
-
-  // Exact quantile bucket bound: the upper bound of the bucket containing
-  // the ceil(q * total)-th smallest recorded value (q clamped to (0, 1]).
-  // Returns 0 on an empty histogram. The overflow bucket reports the last
-  // finite bound.
-  double quantile_bound(double q) const;
-
-  const std::vector<std::size_t>& counts() const { return counts_; }
-
-  // {"total": n, "sum_ms": s, "p50_ms": ..., "p95_ms": ..., "p99_ms": ...,
-  //  "buckets": [{"le_ms": bound, "count": c}, ...]} — only non-empty
-  // buckets are listed, so the dump stays compact and merge-order-free.
-  util::Json to_json() const;
-
- private:
-  std::vector<std::size_t> counts_;  // bucket_bounds().size() + 1 (overflow)
-  std::size_t total_ = 0;
-  double sum_ms_ = 0.0;
-};
-
-// Min/mean/max over a sampled series (queue depths at admission, batch
-// occupancy per dispatch). Mergeable like the histogram.
-struct GaugeStats {
-  std::size_t count = 0;
-  double sum = 0.0;
-  double min = 0.0;
-  double max = 0.0;
-
-  void add(double v);
-  void merge(const GaugeStats& other);
-  double mean() const { return count == 0 ? 0.0 : sum / count; }
-
-  util::Json to_json() const;
-};
+using obs::GaugeStats;
+using obs::LatencyHistogram;
 
 }  // namespace sysnoise::serve

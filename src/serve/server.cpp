@@ -10,6 +10,7 @@
 #include <queue>
 #include <thread>
 
+#include "obs/trace.h"
 #include "tensor/backend.h"
 
 namespace sysnoise::serve {
@@ -80,12 +81,18 @@ struct InferenceServer::Impl {
   }
 
   bool submit(int id, int sample) {
+    obs::TraceSpan span("serve.admit");
     std::lock_guard<std::mutex> lock(mu);
     stats.submitted++;
     stats.queue_depth.add(static_cast<double>(queue.size()));
     if (draining ||
         (opts.queue_capacity > 0 && queue.size() >= opts.queue_capacity)) {
       stats.shed++;
+      if (span.active()) {
+        span.attr("request", id);
+        span.attr("shed", 1);
+        obs::metrics().counter_add("serve.shed");
+      }
       return false;
     }
     queue.push_back(Pending{id, sample, Clock::now()});
@@ -113,35 +120,52 @@ struct InferenceServer::Impl {
         if (draining) return;
         continue;
       }
-      // Batching window: hold for more requests until the batch fills or
-      // the oldest request's deadline passes; a drain flushes immediately.
-      while (!draining && static_cast<int>(queue.size()) < opts.max_batch) {
-        const Clock::time_point deadline = queue.front().arrival + delay;
-        const bool woke = cv.wait_until(lock, deadline, [this] {
-          return draining || queue.empty() ||
-                 static_cast<int>(queue.size()) >= opts.max_batch;
-        });
-        if (!woke) break;          // deadline: launch what we have
-        if (queue.empty()) break;  // a peer took everything; start over
-      }
-      if (queue.empty()) continue;
+      std::size_t k = 0;
+      std::vector<Pending> batch;
+      {
+        // Batching window: hold for more requests until the batch fills or
+        // the oldest request's deadline passes; a drain flushes immediately.
+        obs::TraceSpan form_span("serve.batch_form");
+        while (!draining && static_cast<int>(queue.size()) < opts.max_batch) {
+          const Clock::time_point deadline = queue.front().arrival + delay;
+          const bool woke = cv.wait_until(lock, deadline, [this] {
+            return draining || queue.empty() ||
+                   static_cast<int>(queue.size()) >= opts.max_batch;
+          });
+          if (!woke) break;          // deadline: launch what we have
+          if (queue.empty()) break;  // a peer took everything; start over
+        }
+        if (queue.empty()) continue;
 
-      const std::size_t k = std::min<std::size_t>(
-          queue.size(), static_cast<std::size_t>(opts.max_batch));
-      std::vector<Pending> batch(queue.begin(),
-                                 queue.begin() + static_cast<long>(k));
-      queue.erase(queue.begin(), queue.begin() + static_cast<long>(k));
-      stats.batches++;
-      stats.batch_occupancy.add(static_cast<double>(k));
+        k = std::min<std::size_t>(queue.size(),
+                                  static_cast<std::size_t>(opts.max_batch));
+        batch.assign(queue.begin(), queue.begin() + static_cast<long>(k));
+        queue.erase(queue.begin(), queue.begin() + static_cast<long>(k));
+        stats.batches++;
+        stats.batch_occupancy.add(static_cast<double>(k));
+        if (form_span.active()) {
+          form_span.attr("batch", k);
+          obs::metrics().counter_add("serve.batches");
+          obs::metrics().counter_add("serve.batched_requests",
+                                     static_cast<std::int64_t>(k));
+        }
+      }
       if (!queue.empty()) cv.notify_one();
 
       lock.unlock();
       std::vector<int> samples;
       samples.reserve(k);
       for (const Pending& p : batch) samples.push_back(p.sample);
-      const std::vector<int> preds = model.predict(samples);
+      std::vector<int> preds;
+      {
+        obs::TraceSpan fwd_span("serve.forward");
+        if (fwd_span.active()) fwd_span.attr("batch", k);
+        preds = model.predict(samples);
+      }
       const Clock::time_point done = Clock::now();
       lock.lock();
+      obs::TraceSpan done_span("serve.complete");
+      if (done_span.active()) done_span.attr("batch", k);
       for (std::size_t i = 0; i < batch.size(); ++i) {
         stats.served++;
         if (model.correct(batch[i].sample, preds[i])) stats.correct++;

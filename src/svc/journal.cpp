@@ -1,6 +1,7 @@
 #include "svc/journal.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -9,6 +10,9 @@
 
 #include <fcntl.h>
 #include <unistd.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sysnoise::svc {
 
@@ -39,9 +43,21 @@ void Journal::append(const util::Json& record, bool sync) {
     }
     off += static_cast<std::size_t>(n);
   }
-  if (sync && ::fsync(fd_) != 0)
-    throw std::runtime_error("Journal: fsync of " + path_ + " failed: " +
-                             std::strerror(errno));
+  if (sync) {
+    const auto fsync_start = std::chrono::steady_clock::now();
+    if (::fsync(fd_) != 0)
+      throw std::runtime_error("Journal: fsync of " + path_ + " failed: " +
+                               std::strerror(errno));
+    if (obs::trace_enabled()) {
+      // The durability tax per journaled record — the first suspect when a
+      // service's result intake stalls on slow storage.
+      obs::metrics().observe_ms(
+          "svc.journal.fsync_ms",
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - fsync_start)
+              .count());
+    }
+  }
   ++appended_;
 }
 

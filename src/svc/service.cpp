@@ -23,6 +23,9 @@
 #include "dist/scheduler.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "svc/journal.h"
 #include "tensor/backend.h"
 
@@ -65,6 +68,8 @@ struct JobState {
   core::MetricMap merged;
   bool canceled = false;
   std::string error;  // non-empty = failed (e.g. workers disagreed)
+  bool started = false;  // first lease granted (the job_started event)
+  std::chrono::steady_clock::time_point registered_at{};
 
   std::size_t unit_count() const { return unit_done.size(); }
   bool terminal() const {
@@ -83,6 +88,7 @@ struct SweepService::Impl {
   net::TcpListener listener;
   std::unique_ptr<Journal> journal;  // null = volatile service
   std::unique_ptr<LeaseScheduler> scheduler;
+  std::unique_ptr<obs::EventLog> events;  // no-op when opts.event_sink null
 
   mutable std::mutex mu;  // jobs, next_job_id, roster, idem_to_job
   std::map<int, JobState> jobs;
@@ -208,6 +214,17 @@ int SweepService::Impl::register_job(std::string name, int priority,
 
   log("job %d \"%s\" registered: %zu units, %zu configs, priority %d", id,
       job.name.c_str(), job.unit_count(), job.configs_total, priority);
+  {
+    util::Json fields = util::Json::object();
+    fields.set("job", id);
+    fields.set("name", job.name);
+    fields.set("units", job.unit_count());
+    fields.set("configs", job.configs_total);
+    fields.set("priority", priority);
+    if (!journal_it) fields.set("replayed", true);
+    events->emit("job_submitted", std::move(fields));
+  }
+  job.registered_at = std::chrono::steady_clock::now();
   jobs.emplace(id, std::move(job));
   return id;
 }
@@ -322,6 +339,15 @@ util::Json SweepService::Impl::status_json() const {
               static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
   runtime.set("default_backend", backend_name(default_backend()));
   j.set("runtime", std::move(runtime));
+  // Observability state, so `sysnoise_ctl status` answers "is this service
+  // tracing, and what has it measured" without a shell on the box. The
+  // metrics snapshot is only attached while tracing to keep the common
+  // status reply small.
+  util::Json obs_section = util::Json::object();
+  obs_section.set("tracing", obs::trace_enabled());
+  obs_section.set("events_emitted", events->events_emitted());
+  if (obs::trace_enabled()) obs_section.set("metrics", obs::metrics().snapshot());
+  j.set("obs", std::move(obs_section));
   std::lock_guard<std::mutex> lock(mu);
   util::Json workers = util::Json::object();
   workers.set("joined", workers_joined.load());
@@ -383,6 +409,10 @@ bool SweepService::Impl::handle_result(const util::Json& m, int worker_id) {
         job->error = merge_error;
         scheduler->drop_job(job->id);
         error = merge_error;
+        util::Json fields = util::Json::object();
+        fields.set("job", job->id);
+        fields.set("error", merge_error);
+        events->emit("job_failed", std::move(fields));
       }
     }
     if (!error.empty()) {
@@ -404,6 +434,20 @@ bool SweepService::Impl::handle_result(const util::Json& m, int worker_id) {
       results_received.fetch_add(1);
       log("result job=%d unit=%zu from worker %d (%zu/%zu units)", job->id,
           parsed.unit, worker_id, job->units_done, job->unit_count());
+      if (job->units_done == job->unit_count()) {
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - job->registered_at)
+                .count();
+        if (obs::trace_enabled())
+          obs::metrics().gauge_add("svc.job_wall_ms", wall_ms);
+        util::Json fields = util::Json::object();
+        fields.set("job", job->id);
+        fields.set("units", job->unit_count());
+        fields.set("configs", job->configs_total);
+        fields.set("wall_ms", wall_ms);
+        events->emit("job_done", std::move(fields));
+      }
     } else {
       log("duplicate result job=%d unit=%zu from worker %d", parsed.job,
           parsed.unit, worker_id);
@@ -442,6 +486,13 @@ void SweepService::Impl::serve_worker(net::TcpSocket& sock,
     roster[worker_id] = sock.peer();
   }
   log("worker %d joined from %s", worker_id, sock.peer().c_str());
+  {
+    util::Json fields = util::Json::object();
+    fields.set("worker", worker_id);
+    fields.set("peer", sock.peer());
+    events->emit("worker_join", std::move(fields));
+  }
+  if (obs::trace_enabled()) obs::metrics().counter_add("svc.workers_joined");
 
   // Unlike the coordinator, the welcome carries no jobs: they arrive while
   // workers are already attached, fetched on demand via job_request.
@@ -463,6 +514,9 @@ void SweepService::Impl::serve_worker(net::TcpSocket& sock,
           net::send_json(sock, make_message(msg::kDone));
           break;
         }
+        if (obs::trace_enabled())
+          obs::metrics().gauge_add(
+              "svc.queue_depth", static_cast<double>(scheduler->remaining()));
         if (const std::optional<std::size_t> unit =
                 scheduler->acquire(worker_id, Clock::now())) {
           // Copy, not a reference: a concurrent submit's add_units may
@@ -475,8 +529,22 @@ void SweepService::Impl::serve_worker(net::TcpSocket& sock,
           for (const std::size_t c : wu.configs)
             configs.push_back(static_cast<int>(c));
           reply.set("configs", std::move(configs));
+          // Correlates with the worker's "worker.lease" span by lease id.
+          obs::TraceSpan grant_span("svc.lease_grant");
+          if (grant_span.active()) {
+            grant_span.attr("lease", "j" + std::to_string(wu.job) + "u" +
+                                         std::to_string(*unit));
+            grant_span.attr("worker", worker_id);
+          }
           std::lock_guard<std::mutex> lock(mu);
           const auto it = jobs.find(wu.job);
+          if (it != jobs.end() && !it->second.started) {
+            it->second.started = true;
+            util::Json fields = util::Json::object();
+            fields.set("job", wu.job);
+            fields.set("worker", worker_id);
+            events->emit("job_started", std::move(fields));
+          }
           log("lease unit %zu (job %d, %zu configs) -> worker %d", *unit,
               wu.job, wu.configs.size(), worker_id);
           if (journal != nullptr && it != jobs.end()) {
@@ -544,6 +612,11 @@ void SweepService::Impl::serve_worker(net::TcpSocket& sock,
     roster.erase(worker_id);
   }
   log("worker %d left", worker_id);
+  {
+    util::Json fields = util::Json::object();
+    fields.set("worker", worker_id);
+    events->emit("worker_leave", std::move(fields));
+  }
 }
 
 void SweepService::Impl::serve_control(net::TcpSocket& sock,
@@ -612,6 +685,11 @@ void SweepService::Impl::serve_control(net::TcpSocket& sock,
     it->second.canceled = true;
     scheduler->drop_job(id);
     log("job %d canceled", id);
+    {
+      util::Json fields = util::Json::object();
+      fields.set("job", id);
+      events->emit("job_canceled", std::move(fields));
+    }
     net::send_json(sock, make_message(msg::kOk));
   } else if (type == msg::kStatus) {
     net::send_json(sock, status_json());
@@ -740,8 +818,16 @@ void SweepService::Impl::accept_loop() {
 SweepService::SweepService(ServiceOptions opts) : impl_(new Impl) {
   Impl& im = *impl_;
   im.opts = std::move(opts);
+  im.events = std::make_unique<obs::EventLog>(im.opts.event_sink);
   im.scheduler = std::make_unique<LeaseScheduler>(std::vector<WorkUnit>{},
                                                   im.opts.lease_timeout);
+  im.scheduler->set_on_expire([&im](std::size_t unit, int job, int worker) {
+    util::Json fields = util::Json::object();
+    fields.set("job", job);
+    fields.set("unit", static_cast<int>(unit));
+    fields.set("worker", worker);
+    im.events->emit("lease_expired", std::move(fields));
+  });
   if (!im.opts.journal_path.empty()) {
     try {
       im.replay();  // resume everything the previous incarnation recorded

@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdio>
 #include <string>
 
 #include "core/plan.h"
@@ -39,6 +40,11 @@ struct ServiceOptions {
   // drain — the in-process stand-in for kill -9 at a chosen journal
   // position. -1 = never.
   int crash_after_results = -1;
+  // Structured one-line JSON event stream (obs/event_log.h): job
+  // submitted/started/done, worker join/leave, lease expiry — each line
+  // carries a monotonic "seq". null = no events (the library default;
+  // sysnoise_svc points it at stderr). Not owned.
+  std::FILE* event_sink = nullptr;
 };
 
 struct ServiceStats {

@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace sysnoise {
 
 namespace {
@@ -243,6 +245,11 @@ void parallel_ranges(int total, int align,
   const int per = ((total + workers - 1) / workers + align - 1) / align * align;
   for (int begin = 0; begin < total; begin += per)
     ranges.emplace_back(begin, std::min(total, begin + per));
+  obs::TraceSpan span("gemm.fanout");
+  if (span.active()) {
+    span.attr("total", static_cast<std::int64_t>(total));
+    span.attr("ranges", ranges.size());
+  }
   WorkerPool::instance().run(ranges, fn);
 }
 

@@ -5,7 +5,7 @@
 //
 //   sysnoise_svc --port P --journal PATH [--token T] [--port-file PATH]
 //                [--lease-timeout-ms N] [--heartbeat-ms N]
-//                [--crash-after-results N] [--quiet]
+//                [--crash-after-results N] [--verbose] [--quiet]
 //
 // Start it, point workers at it (sysnoise_worker --connect ... --reconnect),
 // and submit sweeps with sysnoise_ctl or any bench's --submit. Restarting
@@ -13,6 +13,12 @@
 // re-running completed work units — kill -9 included, which is exactly what
 // --crash-after-results simulates deterministically for the CI resume test
 // (the process exits with status 3 once the hook fires).
+//
+// Observability: the daemon emits structured one-line JSON events to stderr
+// (job submitted/started/done, worker join/leave, lease expiry — each with
+// a monotonic "seq"); --quiet silences them, --verbose adds the legacy
+// human-readable prints back. SYSNOISE_TRACE=<dir> records a span trace +
+// metrics snapshot flushed on shutdown (obs/trace.h).
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -23,6 +29,7 @@
 
 #include <unistd.h>
 
+#include "obs/trace.h"
 #include "svc/service.h"
 
 using namespace sysnoise;
@@ -37,7 +44,8 @@ void handle_signal(int) { g_stop.store(true); }
   std::fprintf(stderr,
                "usage: %s --port P --journal PATH [--token T] "
                "[--port-file PATH] [--lease-timeout-ms N] "
-               "[--heartbeat-ms N] [--crash-after-results N] [--quiet]\n",
+               "[--heartbeat-ms N] [--crash-after-results N] [--verbose] "
+               "[--quiet]\n",
                argv0);
   std::exit(2);
 }
@@ -63,7 +71,9 @@ void write_port_file(const std::string& path, int port) {
 
 int main(int argc, char** argv) {
   svc::ServiceOptions opts;
-  opts.verbose = true;
+  // Structured JSON events on stderr are the daemon's default log; the
+  // legacy printf narration is opt-in via --verbose.
+  opts.event_sink = stderr;
   std::string port_file;
 
   for (int i = 1; i < argc; ++i) {
@@ -90,8 +100,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--crash-after-results") {
       if (++i >= argc) usage(argv[0]);
       opts.crash_after_results = std::atoi(argv[i]);
+    } else if (arg == "--verbose") {
+      opts.verbose = true;
     } else if (arg == "--quiet") {
       opts.verbose = false;
+      opts.event_sink = nullptr;
     } else {
       std::fprintf(stderr, "unknown argument \"%s\"\n", arg.c_str());
       usage(argv[0]);
@@ -106,6 +119,9 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
 
   try {
+    // Flushes <dir>/svc_<pid>_{trace,metrics,summary}.json on shutdown when
+    // SYSNOISE_TRACE is set; inert otherwise.
+    obs::TraceSession trace = obs::TraceSession::from_env("svc");
     svc::SweepService service(std::move(opts));
     if (!port_file.empty()) write_port_file(port_file, service.port());
     std::printf("[svc] sysnoise_svc serving on port %d (pid %d)\n",

@@ -28,6 +28,7 @@
 #include "dist/task_factory.h"
 #include "dist/worker.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 
 using namespace sysnoise;
 
@@ -77,6 +78,11 @@ int main(int argc, char** argv) {
   }
   if (host.empty()) usage(argv[0]);
 
+  // SYSNOISE_TRACE=<dir>: flush <dir>/worker_<pid>_{trace,metrics,summary}
+  // .json on exit (obs/trace.h). The worker also ships its cumulative
+  // metrics snapshot to the coordinator with every result frame while
+  // tracing, so the coordinator's summary covers the fleet.
+  obs::TraceSession trace = obs::TraceSession::from_env("worker");
   core::StageStats stages;
   core::DiskStageCache disk;
   opts.stats = &stages;
