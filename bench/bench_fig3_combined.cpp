@@ -4,15 +4,15 @@
 // monotonically-ish as noises stack, detection degrades far more than
 // classification, and the ceil+upsample combination is super-additive.
 //
-// Supports the plan/execute/merge lifecycle (bench_util.h) over stepwise
-// SweepPlans: --emit-plan, --shard i/N and --merge, bit-identical to the
-// unsharded run — and the distributed --coordinate / --connect modes on
-// the same plan seam.
+// Runs on the plan/execute/merge lifecycle via run_standard_modes
+// (bench_util.h) over stepwise SweepPlans: --emit-plan, --shard i/N and
+// --merge, bit-identical to the unsharded run — and the distributed
+// --coordinate / --connect modes on the same plan seam.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "core/disk_stage_cache.h"
 #include "core/report.h"
 #include "models/eval_tasks.h"
 
@@ -20,7 +20,15 @@ using namespace sysnoise;
 
 namespace {
 
-void render_and_write(const core::StepReport& cls, const core::StepReport& det) {
+void render_and_write(const std::vector<bench::PlanRun>& runs) {
+  if (runs.size() != 2) {
+    std::fprintf(stderr, "fig3 expects 2 runs, got %zu\n", runs.size());
+    std::exit(2);
+  }
+  const core::StepReport cls = {
+      runs[0].plan.task, core::assemble_steps(runs[0].plan, runs[0].metrics)};
+  const core::StepReport det = {
+      runs[1].plan.task, core::assemble_steps(runs[1].plan, runs[1].metrics)};
   std::printf("(a) %s classification\n", cls.model.c_str());
   const std::string cls_table = core::render_step_table(cls.points, "ACC");
   std::fputs(cls_table.c_str(), stdout);
@@ -42,81 +50,50 @@ int main(int argc, char** argv) {
   bench::banner("Fig. 3 — stepwise combined SysNoise", "Sec. 4.2, Fig. 3");
   bench::BenchTrace trace(cli);
 
-  if (cli.connecting()) return bench::run_bench_worker(cli);
+  struct ClsUnit {
+    models::TrainedClassifier trained;
+    models::ClassifierTask task;
+    explicit ClsUnit(models::TrainedClassifier t)
+        : trained(std::move(t)), task(trained) {}
+  };
+  struct DetUnit {
+    models::TrainedDetector trained;
+    models::DetectorTask task;
+    explicit DetUnit(models::TrainedDetector t)
+        : trained(std::move(t)), task(trained) {}
+  };
 
-  if (cli.merging()) {
-    const auto merged = bench::merge_shard_files(cli, cli.merge_files);
-    if (merged.size() != 2) {
-      std::fprintf(stderr, "fig3 shard files must hold 2 runs, got %zu\n",
-                   merged.size());
-      return 2;
+  bench::PlanBenchDef def;
+  def.units = 2;
+  def.make = [&](std::size_t i) {
+    bench::PlanUnit unit;
+    if (i == 0) {
+      std::printf("[fig3] classifier (ResNet-M)...\n");
+      std::fflush(stdout);
+      auto holder =
+          std::make_shared<ClsUnit>(models::get_classifier("ResNet-M"));
+      unit.task_spec = dist::classifier_spec("ResNet-M").to_json();
+      unit.plan =
+          core::plan_stepwise(holder->task, core::AxisRegistry::global());
+      unit.task = &holder->task;
+      unit.seed_metric = holder->trained.trained_acc;
+      unit.has_seed = true;
+      unit.owner = std::move(holder);
+    } else {
+      std::printf("[fig3] detector (FasterRCNN-ResNet)...\n");
+      std::fflush(stdout);
+      auto holder =
+          std::make_shared<DetUnit>(models::get_detector("FasterRCNN-ResNet"));
+      unit.task_spec = dist::detector_spec("FasterRCNN-ResNet").to_json();
+      unit.plan =
+          core::plan_stepwise(holder->task, core::AxisRegistry::global());
+      unit.task = &holder->task;
+      unit.seed_metric = holder->trained.trained_map;
+      unit.has_seed = true;
+      unit.owner = std::move(holder);
     }
-    render_and_write(
-        {merged[0].plan.task, core::assemble_steps(merged[0].plan,
-                                                   merged[0].metrics)},
-        {merged[1].plan.task, core::assemble_steps(merged[1].plan,
-                                                   merged[1].metrics)});
-    return 0;
-  }
-
-  core::SweepCache cache;
-  core::StageStats stages;
-  core::DiskStageCache disk;
-  core::DiskStageCache* disk_ptr =
-      bench::disk_stage_cache_enabled() ? &disk : nullptr;
-  const core::StagedExecutor staged(&stages, disk_ptr);
-
-  std::printf("[fig3] classifier (ResNet-M)...\n");
-  std::fflush(stdout);
-  auto tc = models::get_classifier("ResNet-M");
-  models::ClassifierTask cls_task(tc);
-  const core::SweepPlan cls_plan =
-      core::plan_stepwise(cls_task, core::AxisRegistry::global());
-
-  std::printf("[fig3] detector (FasterRCNN-ResNet)...\n");
-  std::fflush(stdout);
-  auto td = models::get_detector("FasterRCNN-ResNet");
-  models::DetectorTask det_task(td);
-  const core::SweepPlan det_plan =
-      core::plan_stepwise(det_task, core::AxisRegistry::global());
-
-  if (cli.emit_plan) {
-    bench::write_plan_file(cli, {cls_plan, det_plan});
-    return 0;
-  }
-
-  if (cli.dist_jobs()) {
-    const std::vector<dist::DistJob> jobs = {
-        {dist::classifier_spec("ResNet-M").to_json(), cls_plan},
-        {dist::detector_spec("FasterRCNN-ResNet").to_json(), det_plan}};
-    std::vector<core::MetricMap> results;
-    if (!bench::dist_results(cli, jobs, &results, &trace)) return 0;  // --emit-jobs
-    render_and_write(
-        {cls_plan.task, core::assemble_steps(cls_plan, results[0])},
-        {det_plan.task, core::assemble_steps(det_plan, results[1])});
-    return 0;
-  }
-
-  cache.seed(cls_task, SysNoiseConfig::training_default(), tc.trained_acc);
-  cache.seed(det_task, SysNoiseConfig::training_default(), td.trained_map);
-  core::SweepOptions opts;
-  opts.cache = &cache;
-
-  if (cli.sharded()) {
-    const core::ShardExecutor shard(staged, cli.shard_index, cli.shard_count);
-    bench::write_shard_file(
-        cli, {{cls_plan, shard.execute(cls_task, cls_plan, opts)},
-              {det_plan, shard.execute(det_task, det_plan, opts)}});
-    return 0;
-  }
-
-  const auto cls_metrics = staged.execute(cls_task, cls_plan, opts);
-  std::printf("[fig3] ResNet-M trained ACC %.2f%%\n", tc.trained_acc);
-  const auto det_metrics = staged.execute(det_task, det_plan, opts);
-  std::printf("[fig3] FasterRCNN-ResNet trained mAP %.2f\n", td.trained_map);
-  bench::print_stage_cache_stats(cli, stages, cache.hits());
-  trace.finish(&stages);
-  render_and_write({cls_plan.task, core::assemble_steps(cls_plan, cls_metrics)},
-                   {det_plan.task, core::assemble_steps(det_plan, det_metrics)});
-  return 0;
+    return unit;
+  };
+  def.render = render_and_write;
+  return bench::run_standard_modes(cli, trace, def);
 }

@@ -3,6 +3,7 @@
 // helps across all five axes; adversarial training often *increases* the
 // deltas (and costs clean accuracy).
 #include <cstdio>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "core/mitigation.h"
@@ -43,9 +44,7 @@ void add_row(core::TextTable& table, std::string& csv, const std::string& label,
 }  // namespace
 
 int main(int argc, char** argv) {
-  int exit_code = 0;
-  if (bench::handle_dist_only_cli(argc, argv, "fig4_mitigations", &exit_code))
-    return exit_code;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv, "fig4_mitigations");
   bench::banner("Fig. 4 — augmentations & adversarial training vs SysNoise",
                 "Sec. 4.3, Fig. 4");
 
@@ -60,36 +59,51 @@ int main(int argc, char** argv) {
   // but ClassifierTask folds the training tag into the cache identity.
   core::SweepCache cache;
 
-  // (a) augmentation strategies.
+  // Row labels: (a) the augmentation strategies, (b) clean + adversarially
+  // trained members of two families (paper: ResNet-50, RegNetX).
   int n_strategies = core::kNumAugStrategies;
   if (bench::fast_mode()) n_strategies = 2;
+  std::vector<std::string> aug_labels;
+  std::vector<std::string> labels;
   for (int s = 0; s < n_strategies; ++s) {
-    const auto strategy = static_cast<core::AugStrategy>(s);
-    const char* label = core::aug_strategy_name(strategy);
-    std::printf("[fig4] training %s with %s augmentation...\n", model.c_str(),
-                label);
-    std::fflush(stdout);
-    const auto prep = core::augmented_preprocessor(spec, strategy);
-    auto tc = models::get_classifier(model, std::string("f4_") + label, &prep);
-    add_row(table, csv, label, tc, cache);
+    aug_labels.push_back(
+        core::aug_strategy_name(static_cast<core::AugStrategy>(s)));
+    labels.push_back(aug_labels.back());
   }
-
-  // (b) adversarial training on two families (paper: ResNet-50, RegNetX).
   for (const std::string base : {"ResNet-S", "RegNetX-S"}) {
-    std::printf("[fig4] baseline %s...\n", base.c_str());
-    std::fflush(stdout);
-    auto clean = models::get_classifier(base);
-    add_row(table, csv, base, clean, cache);
-    std::printf("[fig4] adversarially training %s...\n", base.c_str());
-    std::fflush(stdout);
-    auto adv = core::adversarial_train_classifier(base);
-    add_row(table, csv, base + "-Adv", adv, cache);
+    labels.push_back(base);
+    labels.push_back(base + "-Adv");
     if (bench::fast_mode()) break;
   }
 
-  const std::string out = table.str();
-  std::fputs(out.c_str(), stdout);
-  bench::write_file("fig4_mitigations.txt", out);
-  bench::write_file("fig4_mitigations.csv", csv);
-  return 0;
+  return bench::run_standard_modes(
+      cli, labels,
+      [&](const std::string& label) {
+        for (int s = 0; s < n_strategies; ++s) {
+          if (label != aug_labels[static_cast<std::size_t>(s)]) continue;
+          std::printf("[fig4] training %s with %s augmentation...\n",
+                      model.c_str(), label.c_str());
+          std::fflush(stdout);
+          const auto prep = core::augmented_preprocessor(
+              spec, static_cast<core::AugStrategy>(s));
+          auto tc = models::get_classifier(model, "f4_" + label, &prep);
+          add_row(table, csv, label, tc, cache);
+          return;
+        }
+        const bool adv = label.size() > 4 &&
+                         label.compare(label.size() - 4, 4, "-Adv") == 0;
+        if (adv) {
+          const std::string base = label.substr(0, label.size() - 4);
+          std::printf("[fig4] adversarially training %s...\n", base.c_str());
+          std::fflush(stdout);
+          auto tc = core::adversarial_train_classifier(base);
+          add_row(table, csv, label, tc, cache);
+        } else {
+          std::printf("[fig4] baseline %s...\n", label.c_str());
+          std::fflush(stdout);
+          auto tc = models::get_classifier(label);
+          add_row(table, csv, label, tc, cache);
+        }
+      },
+      [&] { return std::make_pair(table.str(), csv); });
 }

@@ -3,55 +3,107 @@
 // a feed-forward ("FastSpeech-mini") and a convolutional ("Tacotron-mini")
 // model. Expected shape vs the paper: STFT noise > precision noise,
 // combined worst.
+//
+// Runs on the plan -> execute -> merge stack (bench_util.h): two SweepPlans
+// per model — a restricted {Precision, Stft} registry reproducing the
+// classic five-column table byte-identically (its Combined IS the classic
+// INT8+fast-fixed-fft cell), and the full global registry adding the
+// Backend/Resample/window/hop axes — so the bench supports
+// --emit-plan/--shard/--merge and the distributed --coordinate/--connect/
+// --submit modes. The per-axis report lands in table10_tts_axes.{txt,csv}.
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "audio/tts.h"
+#include "audio/eval_task.h"
 #include "bench/bench_util.h"
 #include "core/report.h"
 
 using namespace sysnoise;
 using namespace sysnoise::audio;
 
-int main(int argc, char** argv) {
-  const bench::BenchCli cli = bench::parse_cli(argc, argv, "table10_tts");
-  bench::banner("Table 10 — text-to-speech SysNoise", "Appendix C, Table 10");
+namespace {
 
-  const std::vector<std::string> model_names = {"FastSpeech-mini", "Tacotron-mini"};
-  if (bench::handle_row_cli(cli, model_names, "table10_tts.csv")) return 0;
+using Role = core::PlannedConfig::Role;
 
-  const TtsDataset ds = make_tts_dataset();
+// `runs` holds, per model, [restricted legacy plan, full-registry plan].
+void render_and_write(const std::vector<bench::PlanRun>& runs) {
   core::TextTable table({"Method", "Clean", "FP16", "INT8", "STFT", "Combined"});
   std::string csv = "model,clean,fp16,int8,stft,combined\n";
+  std::vector<core::AxisReport> reports;
 
-  for (const std::string& name : bench::shard_slice(model_names, cli)) {
-    std::printf("[table10] training %s...\n", name.c_str());
-    std::fflush(stdout);
-    Rng rng(name == "FastSpeech-mini" ? 21u : 22u);
-    auto model = make_tts_model(name, ds, rng);
-    train_tts(*model, ds, /*epochs=*/30, 2e-3f);
-    nn::ActRanges ranges;
-    calibrate_tts(*model, ds, ranges);
-
-    const double clean = tts_system_discrepancy(*model, ds, nn::Precision::kFP32,
-                                                StftImpl::kReference, &ranges);
-    const double fp16 = tts_system_discrepancy(*model, ds, nn::Precision::kFP16,
-                                               StftImpl::kReference, &ranges);
-    const double int8 = tts_system_discrepancy(*model, ds, nn::Precision::kINT8,
-                                               StftImpl::kReference, &ranges);
-    const double stft = tts_system_discrepancy(*model, ds, nn::Precision::kFP32,
-                                               StftImpl::kFastFixed, &ranges);
-    const double comb = tts_system_discrepancy(*model, ds, nn::Precision::kINT8,
-                                               StftImpl::kFastFixed, &ranges);
-    table.add_row({name, core::fmt(clean, 6), core::fmt(fp16, 6), core::fmt(int8, 6),
-                   core::fmt(stft, 6), core::fmt(comb, 6)});
+  for (std::size_t m = 0; m * 2 < runs.size(); ++m) {
+    const bench::PlanRun& legacy = runs[2 * m];
+    const bench::PlanRun& full = runs[2 * m + 1];
+    const std::string& name = legacy.plan.task;
+    const double clean = bench::planned_metric(legacy, Role::kBaseline);
+    const double fp16 =
+        bench::planned_metric(legacy, Role::kOption, "Precision", "FP16");
+    const double int8 =
+        bench::planned_metric(legacy, Role::kOption, "Precision", "INT8");
+    const double stft =
+        bench::planned_metric(legacy, Role::kOption, "Stft", "fast-fixed-fft");
+    const double comb = bench::planned_metric(legacy, Role::kCombined);
+    table.add_row({name, core::fmt(clean, 6), core::fmt(fp16, 6),
+                   core::fmt(int8, 6), core::fmt(stft, 6), core::fmt(comb, 6)});
     csv += name + "," + core::fmt(clean, 6) + "," + core::fmt(fp16, 6) + "," +
-           core::fmt(int8, 6) + "," + core::fmt(stft, 6) + "," + core::fmt(comb, 6) +
-           "\n";
+           core::fmt(int8, 6) + "," + core::fmt(stft, 6) + "," +
+           core::fmt(comb, 6) + "\n";
+    reports.push_back(core::assemble_report(full.plan, full.metrics));
   }
 
   const std::string out = table.str();
   std::fputs(out.c_str(), stdout);
-  bench::write_file("table10_tts.txt" + cli.shard_suffix(), out);
-  bench::write_file("table10_tts.csv" + cli.shard_suffix(), csv);
-  return 0;
+  bench::write_file("table10_tts.txt", out);
+  bench::write_file("table10_tts.csv", csv);
+  const std::string axes_table = core::render_axis_table(reports, "MSE");
+  bench::write_file("table10_tts_axes.txt", axes_table);
+  bench::write_file("table10_tts_axes.csv", core::axis_report_csv(reports));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::parse_cli(argc, argv, "table10_tts");
+  bench::banner("Table 10 — text-to-speech SysNoise", "Appendix C, Table 10");
+  bench::BenchTrace trace(cli);
+
+  const std::vector<std::string> model_names = tts_model_names();
+
+  // The classic table's noise grid: precision x STFT implementation. Its
+  // Combined config (INT8 + fast-fixed-fft) is exactly the legacy
+  // "Combined" cell.
+  core::AxisRegistry legacy_axes;
+  legacy_axes.add(*core::AxisRegistry::global().find("Precision"));
+  legacy_axes.add(*core::AxisRegistry::global().find("Stft"));
+
+  struct Unit {
+    std::shared_ptr<TrainedTts> tts;
+    std::shared_ptr<TtsTask> task;
+  };
+  std::shared_ptr<Unit> current;  // shared by one model's two plans
+
+  bench::PlanBenchDef def;
+  def.units = model_names.size() * 2;
+  def.make = [&](std::size_t i) {
+    const std::string& name = model_names[i / 2];
+    if (i % 2 == 0) {
+      std::printf("[table10] training %s...\n", name.c_str());
+      std::fflush(stdout);
+      current = std::make_shared<Unit>();
+      current->tts = std::make_shared<TrainedTts>(get_tts(name));
+      current->task = std::make_shared<TtsTask>(*current->tts);
+    }
+    bench::PlanUnit unit;
+    unit.task_spec = dist::tts_spec(name).to_json();
+    unit.plan = core::plan_sweep(
+        *current->task,
+        i % 2 == 0 ? legacy_axes : core::AxisRegistry::global());
+    unit.task = current->task.get();
+    unit.owner = current;
+    return unit;
+  };
+  def.render = render_and_write;
+  return bench::run_standard_modes(cli, trace, def);
 }

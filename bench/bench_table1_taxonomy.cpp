@@ -2,8 +2,10 @@
 // dependence, effect level and option counts, rendered straight from the
 // NoiseAxis registry so the table cannot drift from the code (registering
 // a new axis adds a row here automatically). Shares the --shard/--merge/
-// --emit-plan row lifecycle with the other table benches.
+// --emit-plan row lifecycle with the other table benches via
+// run_standard_modes.
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -19,24 +21,20 @@ int main(int argc, char** argv) {
   std::vector<std::string> labels;
   for (const core::NoiseAxis& axis : core::AxisRegistry::global().axes())
     labels.push_back(axis.name);
-  if (bench::handle_row_cli(cli, labels, "table1_taxonomy.csv")) return 0;
 
   core::TextTable table({"Stage", "Type", "Task", "Input Dep.", "Effect Level",
                          "#Categories"});
   std::string csv = "stage,type,task,input_dependent,effect_level,categories\n";
-  for (const std::string& name : bench::shard_slice(labels, cli)) {
-    const core::NoiseAxis& axis = *core::AxisRegistry::global().find(name);
-    table.add_row({axis.stage, axis.name, axis.tasks_label,
-                   axis.input_dependent ? "yes" : "no", axis.effect_level,
-                   std::to_string(axis.taxonomy_categories())});
-    csv += axis.stage + "," + axis.name + "," + axis.tasks_label + "," +
-           (axis.input_dependent ? "yes" : "no") + "," + axis.effect_level +
-           "," + std::to_string(axis.taxonomy_categories()) + "\n";
-  }
-
-  const std::string out = table.str();
-  std::fputs(out.c_str(), stdout);
-  bench::write_file("table1_taxonomy.txt" + cli.shard_suffix(), out);
-  bench::write_file("table1_taxonomy.csv" + cli.shard_suffix(), csv);
-  return 0;
+  return bench::run_standard_modes(
+      cli, labels,
+      [&](const std::string& name) {
+        const core::NoiseAxis& axis = *core::AxisRegistry::global().find(name);
+        table.add_row({axis.stage, axis.name, axis.tasks_label,
+                       axis.input_dependent ? "yes" : "no", axis.effect_level,
+                       std::to_string(axis.taxonomy_categories())});
+        csv += axis.stage + "," + axis.name + "," + axis.tasks_label + "," +
+               (axis.input_dependent ? "yes" : "no") + "," + axis.effect_level +
+               "," + std::to_string(axis.taxonomy_categories()) + "\n";
+      },
+      [&] { return std::make_pair(table.str(), csv); });
 }

@@ -4,16 +4,16 @@
 // FP16 ≈ 0, INT8 small alone, ceil-mode substantial on max-pool models,
 // larger family members degrade less, Combined >> any single axis.
 //
-// Supports the plan/execute/merge lifecycle (bench_util.h): --emit-plan,
-// --shard i/N (partial run through a ShardExecutor) and --merge of the
-// shard-result files, bit-identical to the unsharded run — and the
-// distributed runtime on the same seam: --coordinate serves the plans to
-// TCP workers (--connect / sysnoise_worker) and renders the merged report.
+// Runs on the plan/execute/merge lifecycle via run_standard_modes
+// (bench_util.h): --emit-plan, --shard i/N and --merge of the shard-result
+// files, bit-identical to the unsharded run — and the distributed runtime
+// on the same seam: --coordinate serves the plans to TCP workers
+// (--connect / sysnoise_worker) and renders the merged report.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "core/disk_stage_cache.h"
 #include "core/report.h"
 #include "models/eval_tasks.h"
 
@@ -21,7 +21,10 @@ using namespace sysnoise;
 
 namespace {
 
-void render_and_write(const std::vector<core::AxisReport>& reports) {
+void render_and_write(const std::vector<bench::PlanRun>& runs) {
+  std::vector<core::AxisReport> reports;
+  for (const bench::PlanRun& run : runs)
+    reports.push_back(core::assemble_report(run.plan, run.metrics));
   const std::string table = core::render_axis_table(reports, "ACC");
   std::fputs(table.c_str(), stdout);
   bench::write_file("table2_classification.txt", table);
@@ -37,78 +40,35 @@ int main(int argc, char** argv) {
                 "Sec. 4.2, Table 2");
   bench::BenchTrace trace(cli);
 
-  if (cli.connecting()) return bench::run_bench_worker(cli);
-
-  if (cli.merging()) {
-    std::vector<core::AxisReport> reports;
-    for (const bench::PlanRun& run :
-         bench::merge_shard_files(cli, cli.merge_files))
-      reports.push_back(core::assemble_report(run.plan, run.metrics));
-    render_and_write(reports);
-    return 0;
-  }
-
-  core::SweepCache cache;
-  core::StageStats stages;
-  core::DiskStageCache disk;
-  core::DiskStageCache* disk_ptr =
-      bench::disk_stage_cache_enabled() ? &disk : nullptr;
-  const core::StagedExecutor staged(&stages, disk_ptr);
-
-  std::vector<core::SweepPlan> plans;
-  std::vector<bench::PlanRun> shard_runs;
-  std::vector<core::AxisReport> reports;
-  std::vector<dist::DistJob> jobs;
   auto specs = models::classifier_zoo();
   if (bench::fast_mode()) specs.resize(3);
-  for (const auto& spec : specs) {
+
+  struct Unit {
+    models::TrainedClassifier trained;
+    models::ClassifierTask task;
+    explicit Unit(models::TrainedClassifier t)
+        : trained(std::move(t)), task(trained) {}
+  };
+
+  bench::PlanBenchDef def;
+  def.units = specs.size();
+  def.make = [&](std::size_t i) {
+    const auto& spec = specs[i];
     std::printf("[table2] %s: training/loading...\n", spec.name.c_str());
     std::fflush(stdout);
-    auto tc = models::get_classifier(spec.name);
-    models::ClassifierTask task(tc);
-    const core::SweepPlan plan =
-        core::plan_sweep(task, core::AxisRegistry::global());
-    if (cli.emit_plan) {
-      plans.push_back(plan);
-      continue;
-    }
-    if (cli.dist_jobs()) {
-      jobs.push_back({dist::classifier_spec(spec.name).to_json(), plan});
-      continue;
-    }
+    auto holder = std::make_shared<Unit>(models::get_classifier(spec.name));
     std::printf("[table2] %s: trained ACC %.2f%%, sweeping noise axes...\n",
-                spec.name.c_str(), tc.trained_acc);
+                spec.name.c_str(), holder->trained.trained_acc);
     std::fflush(stdout);
-    cache.seed(task, SysNoiseConfig::training_default(), tc.trained_acc);
-    core::SweepOptions opts;
-    opts.cache = &cache;
-    if (cli.sharded()) {
-      const core::ShardExecutor shard(staged, cli.shard_index, cli.shard_count);
-      shard_runs.push_back({plan, shard.execute(task, plan, opts)});
-    } else {
-      reports.push_back(
-          core::assemble_report(plan, staged.execute(task, plan, opts)));
-    }
-  }
-
-  if (cli.emit_plan) {
-    bench::write_plan_file(cli, plans);
-    return 0;
-  }
-  if (cli.dist_jobs()) {
-    std::vector<core::MetricMap> results;
-    if (!bench::dist_results(cli, jobs, &results, &trace)) return 0;  // --emit-jobs
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-      reports.push_back(core::assemble_report(jobs[i].plan, results[i]));
-    render_and_write(reports);
-    return 0;
-  }
-  bench::print_stage_cache_stats(cli, stages, cache.hits());
-  trace.finish(&stages);
-  if (cli.sharded()) {
-    bench::write_shard_file(cli, shard_runs);
-    return 0;
-  }
-  render_and_write(reports);
-  return 0;
+    bench::PlanUnit unit;
+    unit.task_spec = dist::classifier_spec(spec.name).to_json();
+    unit.plan = core::plan_sweep(holder->task, core::AxisRegistry::global());
+    unit.task = &holder->task;
+    unit.seed_metric = holder->trained.trained_acc;
+    unit.has_seed = true;
+    unit.owner = std::move(holder);
+    return unit;
+  };
+  def.render = render_and_write;
+  return bench::run_standard_modes(cli, trace, def);
 }

@@ -4,15 +4,16 @@
 // decode ≈ 0 for detection, resize/ceil/upsample/post-processing are the
 // big hits, Combined approaches an order-of-magnitude mAP drop.
 //
-// Supports the plan/execute/merge lifecycle (bench_util.h): --emit-plan,
-// --shard i/N and --merge, bit-identical to the unsharded run — and the
-// distributed --coordinate / --connect modes on the same plan seam.
+// Runs on the plan/execute/merge lifecycle via run_standard_modes
+// (bench_util.h): --emit-plan, --shard i/N and --merge, bit-identical to
+// the unsharded run — and the distributed --coordinate / --connect modes
+// on the same plan seam.
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "core/disk_stage_cache.h"
 #include "core/report.h"
 #include "models/eval_tasks.h"
 
@@ -20,7 +21,10 @@ using namespace sysnoise;
 
 namespace {
 
-void render_and_write(const std::vector<core::AxisReport>& reports) {
+void render_and_write(const std::vector<bench::PlanRun>& runs) {
+  std::vector<core::AxisReport> reports;
+  for (const bench::PlanRun& run : runs)
+    reports.push_back(core::assemble_report(run.plan, run.metrics));
   const std::string table = core::render_axis_table(reports, "mAP");
   std::fputs(table.c_str(), stdout);
   bench::write_file("table3_detection.txt", table);
@@ -34,80 +38,36 @@ int main(int argc, char** argv) {
   bench::banner("Table 3 — COCO-substitute detection", "Sec. 4.2, Table 3");
   bench::BenchTrace trace(cli);
 
-  if (cli.connecting()) return bench::run_bench_worker(cli);
-
-  if (cli.merging()) {
-    std::vector<core::AxisReport> reports;
-    for (const bench::PlanRun& run :
-         bench::merge_shard_files(cli, cli.merge_files))
-      reports.push_back(core::assemble_report(run.plan, run.metrics));
-    render_and_write(reports);
-    return 0;
-  }
-
   std::vector<std::string> names = {"FasterRCNN-ResNet", "FasterRCNN-MobileNet",
                                     "RetinaNet-ResNet", "RetinaNet-MobileNet"};
   if (bench::fast_mode()) names.resize(1);
 
-  core::SweepCache cache;
-  core::StageStats stages;
-  core::DiskStageCache disk;
-  core::DiskStageCache* disk_ptr =
-      bench::disk_stage_cache_enabled() ? &disk : nullptr;
-  const core::StagedExecutor staged(&stages, disk_ptr);
+  struct Unit {
+    models::TrainedDetector trained;
+    models::DetectorTask task;
+    explicit Unit(models::TrainedDetector t)
+        : trained(std::move(t)), task(trained) {}
+  };
 
-  std::vector<core::SweepPlan> plans;
-  std::vector<bench::PlanRun> shard_runs;
-  std::vector<core::AxisReport> reports;
-  std::vector<dist::DistJob> jobs;
-  for (const auto& name : names) {
+  bench::PlanBenchDef def;
+  def.units = names.size();
+  def.make = [&](std::size_t i) {
+    const std::string& name = names[i];
     std::printf("[table3] %s: training/loading...\n", name.c_str());
     std::fflush(stdout);
-    auto td = models::get_detector(name);
-    models::DetectorTask task(td);
-    const core::SweepPlan plan =
-        core::plan_sweep(task, core::AxisRegistry::global());
-    if (cli.emit_plan) {
-      plans.push_back(plan);
-      continue;
-    }
-    if (cli.dist_jobs()) {
-      jobs.push_back({dist::detector_spec(name).to_json(), plan});
-      continue;
-    }
+    auto holder = std::make_shared<Unit>(models::get_detector(name));
     std::printf("[table3] %s: trained mAP %.2f, sweeping noise axes...\n",
-                name.c_str(), td.trained_map);
+                name.c_str(), holder->trained.trained_map);
     std::fflush(stdout);
-    cache.seed(task, SysNoiseConfig::training_default(), td.trained_map);
-    core::SweepOptions opts;
-    opts.cache = &cache;
-    if (cli.sharded()) {
-      const core::ShardExecutor shard(staged, cli.shard_index, cli.shard_count);
-      shard_runs.push_back({plan, shard.execute(task, plan, opts)});
-    } else {
-      reports.push_back(
-          core::assemble_report(plan, staged.execute(task, plan, opts)));
-    }
-  }
-
-  if (cli.emit_plan) {
-    bench::write_plan_file(cli, plans);
-    return 0;
-  }
-  if (cli.dist_jobs()) {
-    std::vector<core::MetricMap> results;
-    if (!bench::dist_results(cli, jobs, &results, &trace)) return 0;  // --emit-jobs
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-      reports.push_back(core::assemble_report(jobs[i].plan, results[i]));
-    render_and_write(reports);
-    return 0;
-  }
-  bench::print_stage_cache_stats(cli, stages, cache.hits());
-  trace.finish(&stages);
-  if (cli.sharded()) {
-    bench::write_shard_file(cli, shard_runs);
-    return 0;
-  }
-  render_and_write(reports);
-  return 0;
+    bench::PlanUnit unit;
+    unit.task_spec = dist::detector_spec(name).to_json();
+    unit.plan = core::plan_sweep(holder->task, core::AxisRegistry::global());
+    unit.task = &holder->task;
+    unit.seed_metric = holder->trained.trained_map;
+    unit.has_seed = true;
+    unit.owner = std::move(holder);
+    return unit;
+  };
+  def.render = render_and_write;
+  return bench::run_standard_modes(cli, trace, def);
 }

@@ -2,15 +2,16 @@
 // ΔmIoU per axis. Expected shape vs the paper: decode/resize/color ≈ 0,
 // upsample and ceil-mode dominate, U-Net (no max-pool) has no ceil entry.
 //
-// Supports the plan/execute/merge lifecycle (bench_util.h): --emit-plan,
-// --shard i/N and --merge, bit-identical to the unsharded run — and the
-// distributed --coordinate / --connect modes on the same plan seam.
+// Runs on the plan/execute/merge lifecycle via run_standard_modes
+// (bench_util.h): --emit-plan, --shard i/N and --merge, bit-identical to
+// the unsharded run — and the distributed --coordinate / --connect modes
+// on the same plan seam.
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "core/disk_stage_cache.h"
 #include "core/report.h"
 #include "models/eval_tasks.h"
 
@@ -18,7 +19,10 @@ using namespace sysnoise;
 
 namespace {
 
-void render_and_write(const std::vector<core::AxisReport>& reports) {
+void render_and_write(const std::vector<bench::PlanRun>& runs) {
+  std::vector<core::AxisReport> reports;
+  for (const bench::PlanRun& run : runs)
+    reports.push_back(core::assemble_report(run.plan, run.metrics));
   const std::string table = core::render_axis_table(reports, "mIoU");
   std::fputs(table.c_str(), stdout);
   bench::write_file("table4_segmentation.txt", table);
@@ -34,79 +38,35 @@ int main(int argc, char** argv) {
                 "Sec. 4.2, Table 4");
   bench::BenchTrace trace(cli);
 
-  if (cli.connecting()) return bench::run_bench_worker(cli);
-
-  if (cli.merging()) {
-    std::vector<core::AxisReport> reports;
-    for (const bench::PlanRun& run :
-         bench::merge_shard_files(cli, cli.merge_files))
-      reports.push_back(core::assemble_report(run.plan, run.metrics));
-    render_and_write(reports);
-    return 0;
-  }
-
   std::vector<std::string> names = {"DeepLab-S", "DeepLab-M", "UNet"};
   if (bench::fast_mode()) names.resize(1);
 
-  core::SweepCache cache;
-  core::StageStats stages;
-  core::DiskStageCache disk;
-  core::DiskStageCache* disk_ptr =
-      bench::disk_stage_cache_enabled() ? &disk : nullptr;
-  const core::StagedExecutor staged(&stages, disk_ptr);
+  struct Unit {
+    models::TrainedSegmenter trained;
+    models::SegmenterTask task;
+    explicit Unit(models::TrainedSegmenter t)
+        : trained(std::move(t)), task(trained) {}
+  };
 
-  std::vector<core::SweepPlan> plans;
-  std::vector<bench::PlanRun> shard_runs;
-  std::vector<core::AxisReport> reports;
-  std::vector<dist::DistJob> jobs;
-  for (const auto& name : names) {
+  bench::PlanBenchDef def;
+  def.units = names.size();
+  def.make = [&](std::size_t i) {
+    const std::string& name = names[i];
     std::printf("[table4] %s: training/loading...\n", name.c_str());
     std::fflush(stdout);
-    auto ts = models::get_segmenter(name);
-    models::SegmenterTask task(ts);
-    const core::SweepPlan plan =
-        core::plan_sweep(task, core::AxisRegistry::global());
-    if (cli.emit_plan) {
-      plans.push_back(plan);
-      continue;
-    }
-    if (cli.dist_jobs()) {
-      jobs.push_back({dist::segmenter_spec(name).to_json(), plan});
-      continue;
-    }
+    auto holder = std::make_shared<Unit>(models::get_segmenter(name));
     std::printf("[table4] %s: trained mIoU %.2f, sweeping noise axes...\n",
-                name.c_str(), ts.trained_miou);
+                name.c_str(), holder->trained.trained_miou);
     std::fflush(stdout);
-    cache.seed(task, SysNoiseConfig::training_default(), ts.trained_miou);
-    core::SweepOptions opts;
-    opts.cache = &cache;
-    if (cli.sharded()) {
-      const core::ShardExecutor shard(staged, cli.shard_index, cli.shard_count);
-      shard_runs.push_back({plan, shard.execute(task, plan, opts)});
-    } else {
-      reports.push_back(
-          core::assemble_report(plan, staged.execute(task, plan, opts)));
-    }
-  }
-
-  if (cli.emit_plan) {
-    bench::write_plan_file(cli, plans);
-    return 0;
-  }
-  if (cli.dist_jobs()) {
-    std::vector<core::MetricMap> results;
-    if (!bench::dist_results(cli, jobs, &results, &trace)) return 0;  // --emit-jobs
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-      reports.push_back(core::assemble_report(jobs[i].plan, results[i]));
-    render_and_write(reports);
-    return 0;
-  }
-  bench::print_stage_cache_stats(cli, stages, cache.hits());
-  trace.finish(&stages);
-  if (cli.sharded()) {
-    bench::write_shard_file(cli, shard_runs);
-    return 0;
-  }
-  render_and_write(reports);
-  return 0;
+    bench::PlanUnit unit;
+    unit.task_spec = dist::segmenter_spec(name).to_json();
+    unit.plan = core::plan_sweep(holder->task, core::AxisRegistry::global());
+    unit.task = &holder->task;
+    unit.seed_metric = holder->trained.trained_miou;
+    unit.has_seed = true;
+    unit.owner = std::move(holder);
+    return unit;
+  };
+  def.render = render_and_write;
+  return bench::run_standard_modes(cli, trace, def);
 }

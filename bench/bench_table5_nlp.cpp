@@ -2,29 +2,73 @@
 // multiple-choice tasks; FP32 accuracy and FP16/INT8 deltas. Expected
 // shape vs the paper: both precision deltas are small and task-dependent
 // (sometimes negative), larger models score higher.
+//
+// Runs on the plan -> execute -> merge stack (bench_util.h): one SweepPlan
+// per (model, subtask) over the NLP-applicable axes (Tokenizer, Precision,
+// Backend), so the bench supports --emit-plan/--shard/--merge and the
+// distributed --coordinate/--connect/--submit modes. The classic Table 5
+// cells are rendered from the plans' raw metrics, byte-identical to the
+// pre-plan monolithic bench; the full per-axis report additionally lands in
+// table5_nlp_axes.{txt,csv}.
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/report.h"
-#include "nlp/lm.h"
-#include "nlp/tasks.h"
+#include "nlp/eval_task.h"
 
 using namespace sysnoise;
 using namespace sysnoise::nlp;
 
 namespace {
 
-double task_accuracy(CausalLm& lm, const std::vector<ChoiceItem>& items,
-                     nn::Precision precision, nn::ActRanges* ranges) {
-  int correct = 0;
-  for (const auto& item : items) {
-    const double sc =
-        lm.score_continuation(item.context, item.correct, precision, ranges);
-    const double sw =
-        lm.score_continuation(item.context, item.wrong, precision, ranges);
-    if (sc > sw) ++correct;
+using Role = core::PlannedConfig::Role;
+
+// `runs` is model-major, subtask-minor: zoo order x kNumTasks.
+void render_and_write(const std::vector<bench::PlanRun>& runs) {
+  std::vector<std::string> headers = {"Architecture"};
+  for (int k = 0; k < kNumTasks; ++k)
+    headers.push_back(std::string(task_name(static_cast<TaskKind>(k))) +
+                      " FP32/dFP16/dINT8");
+  core::TextTable table(headers);
+  std::string csv = "model,task,fp32,d_fp16,d_int8\n";
+  std::vector<core::AxisReport> reports;
+
+  const std::size_t models = runs.size() / static_cast<std::size_t>(kNumTasks);
+  for (std::size_t m = 0; m < models; ++m) {
+    // The task names are "<model>/<subtask>".
+    const std::string& first =
+        runs[m * static_cast<std::size_t>(kNumTasks)].plan.task;
+    const std::string model = first.substr(0, first.find('/'));
+    std::vector<std::string> cells = {model};
+    for (int k = 0; k < kNumTasks; ++k) {
+      const bench::PlanRun& run =
+          runs[m * static_cast<std::size_t>(kNumTasks) +
+               static_cast<std::size_t>(k)];
+      const double fp32 = bench::planned_metric(run, Role::kBaseline);
+      const double fp16 =
+          bench::planned_metric(run, Role::kOption, "Precision", "FP16");
+      const double int8 =
+          bench::planned_metric(run, Role::kOption, "Precision", "INT8");
+      cells.push_back(core::fmt(fp32) + "/" + core::fmt(fp32 - fp16) + "/" +
+                      core::fmt(fp32 - int8));
+      csv += model + "," + task_name(static_cast<TaskKind>(k)) + "," +
+             core::fmt(fp32) + "," + core::fmt(fp32 - fp16) + "," +
+             core::fmt(fp32 - int8) + "\n";
+      reports.push_back(core::assemble_report(run.plan, run.metrics));
+    }
+    table.add_row(std::move(cells));
   }
-  return 100.0 * correct / static_cast<double>(items.size());
+
+  const std::string out = table.str();
+  std::fputs(out.c_str(), stdout);
+  bench::write_file("table5_nlp.txt", out);
+  bench::write_file("table5_nlp.csv", csv);
+  const std::string axes_table = core::render_axis_table(reports, "ACC");
+  bench::write_file("table5_nlp_axes.txt", axes_table);
+  bench::write_file("table5_nlp_axes.csv", core::axis_report_csv(reports));
 }
 
 }  // namespace
@@ -33,53 +77,38 @@ int main(int argc, char** argv) {
   const bench::BenchCli cli = bench::parse_cli(argc, argv, "table5_nlp");
   bench::banner("Table 5 — NLP data-precision noise (OPT-mini zoo)",
                 "Sec. 4.2, Table 5");
-
-  const auto corpus = make_lm_corpus(480, 31337);
-  std::vector<std::vector<ChoiceItem>> task_items;
-  for (int k = 0; k < kNumTasks; ++k)
-    task_items.push_back(make_task_items(static_cast<TaskKind>(k), 120,
-                                         9000 + static_cast<std::uint64_t>(k)));
-
-  std::vector<std::string> headers = {"Architecture"};
-  for (int k = 0; k < kNumTasks; ++k)
-    headers.push_back(std::string(task_name(static_cast<TaskKind>(k))) +
-                      " FP32/dFP16/dINT8");
-  core::TextTable table(headers);
+  bench::BenchTrace trace(cli);
 
   auto zoo = opt_mini_zoo();
   if (bench::fast_mode()) zoo.resize(1);
-  std::vector<std::string> labels;
-  for (const auto& spec : zoo) labels.push_back(spec.name);
-  if (bench::handle_row_cli(cli, labels, "table5_nlp.csv")) return 0;
-  zoo = bench::shard_slice(zoo, cli);
-  std::string csv = "model,task,fp32,d_fp16,d_int8\n";
-  for (const auto& spec : zoo) {
-    std::printf("[table5] training %s...\n", spec.name.c_str());
-    std::fflush(stdout);
-    Rng rng(77);
-    CausalLm lm(spec, kVocab, rng);
-    train_lm(lm, corpus, /*epochs=*/8, 2e-3f);
-    nn::ActRanges ranges;
-    calibrate_lm(lm, corpus, ranges);
 
-    std::vector<std::string> cells = {spec.name};
-    for (int k = 0; k < kNumTasks; ++k) {
-      const auto& items = task_items[static_cast<std::size_t>(k)];
-      const double fp32 = task_accuracy(lm, items, nn::Precision::kFP32, &ranges);
-      const double fp16 = task_accuracy(lm, items, nn::Precision::kFP16, &ranges);
-      const double int8 = task_accuracy(lm, items, nn::Precision::kINT8, &ranges);
-      cells.push_back(core::fmt(fp32) + "/" + core::fmt(fp32 - fp16) + "/" +
-                      core::fmt(fp32 - int8));
-      csv += spec.name + "," + task_name(static_cast<TaskKind>(k)) + "," +
-             core::fmt(fp32) + "," + core::fmt(fp32 - fp16) + "," +
-             core::fmt(fp32 - int8) + "\n";
+  struct Unit {
+    std::shared_ptr<TrainedLm> lm;
+    std::unique_ptr<NlpChoiceTask> task;
+  };
+  std::shared_ptr<TrainedLm> lm;  // current model, shared by its 4 subtasks
+
+  bench::PlanBenchDef def;
+  def.units = zoo.size() * static_cast<std::size_t>(kNumTasks);
+  def.make = [&](std::size_t i) {
+    const auto& spec = zoo[i / static_cast<std::size_t>(kNumTasks)];
+    const auto kind =
+        static_cast<TaskKind>(i % static_cast<std::size_t>(kNumTasks));
+    if (kind == static_cast<TaskKind>(0)) {
+      std::printf("[table5] training %s...\n", spec.name.c_str());
+      std::fflush(stdout);
+      lm = std::make_shared<TrainedLm>(get_lm(spec.name));
     }
-    table.add_row(std::move(cells));
-  }
-
-  const std::string out = table.str();
-  std::fputs(out.c_str(), stdout);
-  bench::write_file("table5_nlp.txt" + cli.shard_suffix(), out);
-  bench::write_file("table5_nlp.csv" + cli.shard_suffix(), csv);
-  return 0;
+    auto holder = std::make_shared<Unit>();
+    holder->lm = lm;
+    holder->task = std::make_unique<NlpChoiceTask>(*holder->lm, kind);
+    bench::PlanUnit unit;
+    unit.task_spec = dist::nlp_spec(spec.name, task_name(kind)).to_json();
+    unit.plan = core::plan_sweep(*holder->task, core::AxisRegistry::global());
+    unit.task = holder->task.get();
+    unit.owner = std::move(holder);
+    return unit;
+  };
+  def.render = render_and_write;
+  return bench::run_standard_modes(cli, trace, def);
 }

@@ -2,7 +2,16 @@
 // Expected shape vs the paper: TENT *hurts* on almost every model/noise
 // pair — deployment noise is a far smaller shift than the corruptions
 // TENT was designed for, so entropy minimization mostly destroys accuracy.
+//
+// The noise grid comes from core::sweep() over a restricted registry
+// (Decode / Resize / Color Mode), so the option vectors are the same ones
+// every other bench sweeps — no hand-rolled per-axis loops to drift out of
+// sync with the registry.
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/mitigation.h"
@@ -12,35 +21,32 @@ using namespace sysnoise;
 
 namespace {
 
-struct TentRow {
-  std::string model;
-  double trained;
-  double decode_mean, decode_max;
-  double resize_mean, resize_max;
-  double color;
+// Adapts a plain metric closure (e.g. the stateful fresh-model-per-config
+// TENT evaluation) to the sweep engine.
+class FnTask : public core::EvalTask {
+ public:
+  FnTask(std::string name, std::function<double(const SysNoiseConfig&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+  const std::string& name() const override { return name_; }
+  core::TaskTraits traits() const override {
+    return {core::TaskKind::kClassification, true};
+  }
+  double evaluate(const SysNoiseConfig& cfg) const override {
+    return fn_(cfg);
+  }
+
+ private:
+  std::string name_;
+  std::function<double(const SysNoiseConfig&)> fn_;
 };
 
-template <typename EvalFn>
-TentRow sweep(const std::string& name, double base, const EvalFn& eval) {
-  TentRow row{name, base, 0, -1e30, 0, -1e30, 0};
-  for (auto v : decoder_noise_options()) {
-    SysNoiseConfig c;
-    c.decoder = v;
-    const double d = base - eval(c);
-    row.decode_mean += d / static_cast<double>(decoder_noise_options().size());
-    row.decode_max = std::max(row.decode_max, d);
-  }
-  for (auto m : resize_noise_options()) {
-    SysNoiseConfig c;
-    c.resize = m;
-    const double d = base - eval(c);
-    row.resize_mean += d / static_cast<double>(resize_noise_options().size());
-    row.resize_max = std::max(row.resize_max, d);
-  }
-  SysNoiseConfig c;
-  c.color = ColorMode::kNv12RoundTrip;
-  row.color = base - eval(c);
-  return row;
+double color_delta(const core::AxisReport& r) {
+  const core::AxisResult* color = r.find("Color Mode");
+  const core::OptionDelta* nv12 =
+      color != nullptr
+          ? color->option(color_mode_name(ColorMode::kNv12RoundTrip))
+          : nullptr;
+  return nv12 != nullptr ? nv12->delta : 0.0;
 }
 
 }  // namespace
@@ -55,51 +61,68 @@ int main(int argc, char** argv) {
   // noise configuration, so heavyweight rows are disproportionately slow).
   std::vector<std::string> names = {"MCUNet", "ResNet-XS", "ViT-T", "Swin-T"};
   if (bench::fast_mode()) names.resize(2);
-  if (bench::handle_row_cli(cli, names, "table6_tent.csv")) return 0;
-  names = bench::shard_slice(names, cli);
 
   const auto& ds = models::benchmark_cls_dataset();
   const PipelineSpec spec = models::cls_pipeline_spec();
 
+  // Table 6's grid: the pre-processing axes the paper pairs TENT against.
+  core::AxisRegistry grid;
+  grid.add(*core::AxisRegistry::global().find("Decode"));
+  grid.add(*core::AxisRegistry::global().find("Resize"));
+  grid.add(*core::AxisRegistry::global().find("Color Mode"));
+
   core::TextTable table({"Architecture", "Trained ACC", "Decode", "Resize",
                          "Color Mode"});
-  std::string csv = "model,tent,decode_mean,decode_max,resize_mean,resize_max,color\n";
-  for (const auto& name : names) {
-    std::printf("[table6] %s (w/o TENT sweep)...\n", name.c_str());
-    std::fflush(stdout);
-    // Without TENT: plain evaluation.
-    auto tc = models::get_classifier(name);
-    const auto plain = sweep(name, tc.trained_acc, [&](const SysNoiseConfig& c) {
-      return models::eval_classifier(*tc.model, ds.eval, c, spec, &tc.ranges);
-    });
-    table.add_row({name + " (w/o TENT)", core::fmt(plain.trained),
-                   core::fmt_mm(plain.decode_mean, plain.decode_max),
-                   core::fmt_mm(plain.resize_mean, plain.resize_max),
-                   core::fmt(plain.color)});
-    csv += name + ",0," + core::fmt(plain.decode_mean) + "," +
-           core::fmt(plain.decode_max) + "," + core::fmt(plain.resize_mean) + "," +
-           core::fmt(plain.resize_max) + "," + core::fmt(plain.color) + "\n";
+  std::string csv =
+      "model,tent,decode_mean,decode_max,resize_mean,resize_max,color\n";
 
-    std::printf("[table6] %s (w/ TENT sweep)...\n", name.c_str());
-    std::fflush(stdout);
-    // With TENT: fresh model per noise axis (adaptation is stateful).
-    const auto tent = sweep(name, tc.trained_acc, [&](const SysNoiseConfig& c) {
-      auto fresh = models::get_classifier(name);
-      return core::eval_classifier_tent(*fresh.model, ds.eval, c, spec,
-                                        &fresh.ranges);
-    });
-    table.add_row({name + " (w/ TENT)", core::fmt(tent.trained),
-                   core::fmt_mm(tent.decode_mean, tent.decode_max),
-                   core::fmt_mm(tent.resize_mean, tent.resize_max),
-                   core::fmt(tent.color)});
-    csv += name + ",1," + core::fmt(tent.decode_mean) + "," +
-           core::fmt(tent.decode_max) + "," + core::fmt(tent.resize_mean) + "," +
-           core::fmt(tent.resize_max) + "," + core::fmt(tent.color) + "\n";
-  }
+  auto run_variant = [&](const FnTask& task, double base) {
+    core::SweepCache cache;
+    cache.seed(task, SysNoiseConfig::training_default(), base);
+    core::SweepOptions opts;
+    opts.cache = &cache;
+    opts.registry = &grid;
+    opts.threads = 1;  // the TENT closure retrains per config — keep serial
+    return core::sweep(task, opts);
+  };
+  auto add_row = [&](const std::string& label, int tent,
+                     const core::AxisReport& r) {
+    const core::AxisResult* decode = r.find("Decode");
+    const core::AxisResult* resize = r.find("Resize");
+    const double color = color_delta(r);
+    table.add_row({label, core::fmt(r.trained),
+                   core::fmt_mm(decode->mean, decode->max),
+                   core::fmt_mm(resize->mean, resize->max), core::fmt(color)});
+    csv += label.substr(0, label.find(' ')) + "," + std::to_string(tent) +
+           "," + core::fmt(decode->mean) + "," + core::fmt(decode->max) + "," +
+           core::fmt(resize->mean) + "," + core::fmt(resize->max) + "," +
+           core::fmt(color) + "\n";
+  };
 
-  const std::string out = table.str();
-  std::fputs(out.c_str(), stdout);
-  bench::write_file("table6_tent.txt" + cli.shard_suffix(), out);
-  bench::write_file("table6_tent.csv" + cli.shard_suffix(), csv);
-  return 0;
+  return bench::run_standard_modes(
+      cli, names,
+      [&](const std::string& name) {
+        std::printf("[table6] %s (w/o TENT sweep)...\n", name.c_str());
+        std::fflush(stdout);
+        // Without TENT: plain evaluation of one trained model.
+        auto tc = models::get_classifier(name);
+        const FnTask plain(name + " (w/o TENT)",
+                           [&](const SysNoiseConfig& c) {
+                             return models::eval_classifier(*tc.model, ds.eval,
+                                                            c, spec,
+                                                            &tc.ranges);
+                           });
+        add_row(plain.name(), 0, run_variant(plain, tc.trained_acc));
+
+        std::printf("[table6] %s (w/ TENT sweep)...\n", name.c_str());
+        std::fflush(stdout);
+        // With TENT: fresh model per noise config (adaptation is stateful).
+        const FnTask tent(name + " (w/ TENT)", [&](const SysNoiseConfig& c) {
+          auto fresh = models::get_classifier(name);
+          return core::eval_classifier_tent(*fresh.model, ds.eval, c, spec,
+                                            &fresh.ranges);
+        });
+        add_row(tent.name(), 1, run_variant(tent, tc.trained_acc));
+      },
+      [&] { return std::make_pair(table.str(), csv); });
 }

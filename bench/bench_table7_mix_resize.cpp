@@ -5,6 +5,7 @@
 // losing clean accuracy.
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "core/mitigation.h"
@@ -63,24 +64,20 @@ int main(int argc, char** argv) {
   std::vector<std::string> labels;
   for (auto train_m : rows) labels.push_back(resize_method_name(train_m));
   labels.push_back("mix");
-  if (bench::handle_row_cli(cli, labels, "table7_mix_resize.csv")) return 0;
 
-  for (const std::string& label : bench::shard_slice(labels, cli)) {
-    if (label == "mix") {
-      const auto mix = core::mix_training_preprocessor(
-          spec, /*mix_decoder=*/false, /*mix_resize=*/true);
-      add_row("mix", mix, "t7_mix");
-      continue;
-    }
-    SysNoiseConfig cfg = SysNoiseConfig::training_default();
-    cfg.resize = resize_method_from_name(label);
-    const auto prep = core::fixed_config_preprocessor(spec, cfg);
-    add_row(label, prep, "t7_" + label);
-  }
-
-  const std::string out = table.str();
-  std::fputs(out.c_str(), stdout);
-  bench::write_file("table7_mix_resize.txt" + cli.shard_suffix(), out);
-  bench::write_file("table7_mix_resize.csv" + cli.shard_suffix(), csv);
-  return 0;
+  return bench::run_standard_modes(
+      cli, labels,
+      [&](const std::string& label) {
+        if (label == "mix") {
+          const auto mix = core::mix_training_preprocessor(
+              spec, /*mix_decoder=*/false, /*mix_resize=*/true);
+          add_row("mix", mix, "t7_mix");
+          return;
+        }
+        SysNoiseConfig cfg = SysNoiseConfig::training_default();
+        cfg.resize = resize_method_from_name(label);
+        const auto prep = core::fixed_config_preprocessor(spec, cfg);
+        add_row(label, prep, "t7_" + label);
+      },
+      [&] { return std::make_pair(table.str(), csv); });
 }

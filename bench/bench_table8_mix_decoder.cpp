@@ -3,6 +3,7 @@
 // 0.065) while clean accuracy is preserved.
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "core/mitigation.h"
@@ -61,24 +62,20 @@ int main(int argc, char** argv) {
   std::vector<std::string> labels;
   for (auto train_v : rows) labels.push_back(jpeg::vendor_name(train_v));
   labels.push_back("mix");
-  if (bench::handle_row_cli(cli, labels, "table8_mix_decoder.csv")) return 0;
 
-  for (const std::string& label : bench::shard_slice(labels, cli)) {
-    if (label == "mix") {
-      const auto mix = core::mix_training_preprocessor(
-          spec, /*mix_decoder=*/true, /*mix_resize=*/false);
-      add_row("mix", mix, "t8_mix");
-      continue;
-    }
-    SysNoiseConfig cfg = SysNoiseConfig::training_default();
-    cfg.decoder = decoder_vendor_from_name(label);
-    const auto prep = core::fixed_config_preprocessor(spec, cfg);
-    add_row(label, prep, "t8_" + label);
-  }
-
-  const std::string out = table.str();
-  std::fputs(out.c_str(), stdout);
-  bench::write_file("table8_mix_decoder.txt" + cli.shard_suffix(), out);
-  bench::write_file("table8_mix_decoder.csv" + cli.shard_suffix(), csv);
-  return 0;
+  return bench::run_standard_modes(
+      cli, labels,
+      [&](const std::string& label) {
+        if (label == "mix") {
+          const auto mix = core::mix_training_preprocessor(
+              spec, /*mix_decoder=*/true, /*mix_resize=*/false);
+          add_row("mix", mix, "t8_mix");
+          return;
+        }
+        SysNoiseConfig cfg = SysNoiseConfig::training_default();
+        cfg.decoder = decoder_vendor_from_name(label);
+        const auto prep = core::fixed_config_preprocessor(spec, cfg);
+        add_row(label, prep, "t8_" + label);
+      },
+      [&] { return std::make_pair(table.str(), csv); });
 }

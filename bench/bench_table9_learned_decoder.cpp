@@ -4,6 +4,7 @@
 // row looks like just another decoder.
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "core/learned_codec.h"
@@ -62,43 +63,37 @@ int main(int argc, char** argv) {
   core::TextTable table(headers);
   std::string csv = "train,test,acc\n";
 
-  if (bench::handle_row_cli(cli, decoders, "table9_learned_decoder.csv"))
-    return 0;
+  return bench::run_standard_modes(
+      cli, decoders,
+      [&](const std::string& train_dec) {
+        std::printf("[table9] training %s with %s decode...\n", model.c_str(),
+                    train_dec.c_str());
+        std::fflush(stdout);
+        models::ClsPreprocessor prep;
+        if (train_dec == "Learned") {
+          prep = core::learned_decoder_preprocessor(spec);
+        } else {
+          SysNoiseConfig cfg = SysNoiseConfig::training_default();
+          cfg.decoder = train_dec == "Pillow" ? jpeg::DecoderVendor::kPillow
+                                              : jpeg::DecoderVendor::kOpenCV;
+          prep = core::fixed_config_preprocessor(spec, cfg);
+        }
+        auto tc = models::get_classifier(model, "t9_" + train_dec, &prep);
 
-  for (const auto& train_dec : bench::shard_slice(decoders, cli)) {
-    std::printf("[table9] training %s with %s decode...\n", model.c_str(),
-                train_dec.c_str());
-    std::fflush(stdout);
-    models::ClsPreprocessor prep;
-    if (train_dec == "Learned") {
-      prep = core::learned_decoder_preprocessor(spec);
-    } else {
-      SysNoiseConfig cfg = SysNoiseConfig::training_default();
-      cfg.decoder = train_dec == "Pillow" ? jpeg::DecoderVendor::kPillow
-                                          : jpeg::DecoderVendor::kOpenCV;
-      prep = core::fixed_config_preprocessor(spec, cfg);
-    }
-    auto tc = models::get_classifier(model, "t9_" + train_dec, &prep);
-
-    std::vector<std::string> cells = {train_dec};
-    double sum = 0.0, sq = 0.0;
-    for (const auto& test_dec : decoders) {
-      const double acc = eval_with_decoder(tc, test_dec);
-      cells.push_back(core::fmt(acc));
-      csv += train_dec + "," + test_dec + "," + core::fmt(acc) + "\n";
-      sum += acc;
-      sq += acc * acc;
-    }
-    const double mean = sum / 3.0;
-    const double var = sq / 3.0 - mean * mean;
-    cells.push_back(core::fmt(mean));
-    cells.push_back(core::fmt(std::sqrt(std::max(var, 0.0)), 3));
-    table.add_row(std::move(cells));
-  }
-
-  const std::string out = table.str();
-  std::fputs(out.c_str(), stdout);
-  bench::write_file("table9_learned_decoder.txt" + cli.shard_suffix(), out);
-  bench::write_file("table9_learned_decoder.csv" + cli.shard_suffix(), csv);
-  return 0;
+        std::vector<std::string> cells = {train_dec};
+        double sum = 0.0, sq = 0.0;
+        for (const auto& test_dec : decoders) {
+          const double acc = eval_with_decoder(tc, test_dec);
+          cells.push_back(core::fmt(acc));
+          csv += train_dec + "," + test_dec + "," + core::fmt(acc) + "\n";
+          sum += acc;
+          sq += acc * acc;
+        }
+        const double mean = sum / 3.0;
+        const double var = sq / 3.0 - mean * mean;
+        cells.push_back(core::fmt(mean));
+        cells.push_back(core::fmt(std::sqrt(std::max(var, 0.0)), 3));
+        table.add_row(std::move(cells));
+      },
+      [&] { return std::make_pair(table.str(), csv); });
 }

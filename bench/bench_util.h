@@ -42,10 +42,13 @@
 //                          default and provably inert — report bytes are
 //                          identical either way
 //
-// Benches whose unit of work is a row/model list rather than a SweepPlan
-// (tables 1, 5-10) use the shard flags with row-level semantics (--shard
-// runs every Nth row, --merge concatenates the per-shard CSVs) and support
-// --connect (the worker side is bench-agnostic) but not --coordinate.
+// Plan-level benches (tables 2-5, 10, fig 3) run through the PlanBenchDef
+// overload of run_standard_modes and support every mode above. Benches
+// whose unit of work is a row/model list rather than a SweepPlan (tables 1,
+// 6-9, figs 4-5) use the row overload: the shard flags get row-level
+// semantics (--shard runs every Nth row, --merge concatenates the per-shard
+// CSVs) and --connect works (the worker side is bench-agnostic) but
+// --coordinate/--submit need a plan and are rejected.
 #pragma once
 
 #include <chrono>
@@ -53,11 +56,14 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <system_error>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <unistd.h>
@@ -546,66 +552,6 @@ inline std::string merge_csv_files(const std::vector<std::string>& paths) {
   return out;
 }
 
-// Handle --merge and --emit-plan for a row-sharded bench (unit of work =
-// one row of the final table; no SweepPlan). --merge concatenates the
-// per-shard CSVs into the final one; --emit-plan writes the row labels as
-// a JSON work list. Returns true when the invocation is complete and the
-// caller should exit.
-inline bool handle_row_cli(const BenchCli& cli,
-                           const std::vector<std::string>& row_labels,
-                           const std::string& csv_name) {
-  reject_coordinate(cli);
-  if (cli.connecting()) std::exit(run_bench_worker(cli));
-  if (cli.merging()) {
-    write_file(csv_name, merge_csv_files(cli.merge_files));
-    std::printf("merged %zu shard CSVs into %s/%s\n", cli.merge_files.size(),
-                results_dir().c_str(), csv_name.c_str());
-    return true;
-  }
-  if (cli.emit_plan) {
-    util::Json j = util::Json::object();
-    j.set("bench", cli.bench);
-    j.set("kind", "rows");
-    util::Json rows = util::Json::array();
-    for (const std::string& label : row_labels) rows.push_back(label);
-    j.set("rows", std::move(rows));
-    std::ofstream f(cli.plan_file());
-    f << j.dump(2) << "\n";
-    std::printf("wrote %s (%zu rows)\n", cli.plan_file().c_str(),
-                row_labels.size());
-    return true;
-  }
-  return false;
-}
-
-// Command line for benches with no shard lifecycle (figs 4-5): the only
-// supported mode besides a plain run is --connect (the worker side is
-// bench-agnostic). Returns true when the invocation was handled and the
-// caller should exit with `*exit_code`.
-inline bool handle_dist_only_cli(int argc, char** argv, const char* bench_name,
-                                 int* exit_code) {
-  BenchCli cli;
-  cli.bench = bench_name;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--connect" && i + 1 < argc &&
-        net::parse_host_port(argv[i + 1], &cli.connect_host,
-                             &cli.connect_port)) {
-      ++i;
-      continue;
-    }
-    // Unknown flag or malformed host:port: a usage error, not a local run.
-    std::fprintf(stderr, "usage: %s [--connect host:port]\n", argv[0]);
-    *exit_code = 2;
-    return true;
-  }
-  if (cli.connecting()) {
-    *exit_code = run_bench_worker(cli);
-    return true;
-  }
-  return false;
-}
-
 // ---------------------------------------------------------------------------
 // Shard-result files for plan-level sharded benches (tables 2-4, fig 3)
 // ---------------------------------------------------------------------------
@@ -708,6 +654,161 @@ inline std::vector<PlanRun> merge_shard_files(
     merged.push_back(std::move(run));
   }
   return merged;
+}
+
+// Raw metric of the planned config with `role` (and, for kOption, the given
+// axis name + option label) — how a bench renders legacy table cells from a
+// plan run without re-evaluating anything.
+inline double planned_metric(const PlanRun& run,
+                             core::PlannedConfig::Role role,
+                             const std::string& axis = "",
+                             const std::string& label = "") {
+  for (const core::PlannedConfig& p : run.plan.configs) {
+    if (p.role != role) continue;
+    if (role == core::PlannedConfig::Role::kOption &&
+        (run.plan.axes[static_cast<std::size_t>(p.axis)].name != axis ||
+         p.label != label))
+      continue;
+    return run.metrics.at(p.metric_key);
+  }
+  throw std::out_of_range("plan for \"" + run.plan.task +
+                          "\" holds no config for axis \"" + axis +
+                          "\" option \"" + label + "\"");
+}
+
+// ---------------------------------------------------------------------------
+// run_standard_modes: the one mode dispatcher every table/fig bench uses
+// ---------------------------------------------------------------------------
+
+// One unit of a plan-level bench: a live task plus its SweepPlan and the
+// dist-factory spec that lets a remote worker rebuild the task.
+struct PlanUnit {
+  util::Json task_spec;                  // dist::*_spec(...).to_json()
+  core::SweepPlan plan;
+  const core::EvalTask* task = nullptr;  // borrowed from `owner`
+  double seed_metric = 0.0;              // training-default metric...
+  bool has_seed = false;                 // ...seeded into the cache when set
+  std::shared_ptr<void> owner;           // keeps the trained model alive
+};
+
+// A plan-level bench (tables 2-5, 10, fig 3): `make(i)` trains/loads unit i
+// and returns it; `render(runs)` assembles and writes the final report from
+// one complete (plan, metrics) pair per unit. The driver owns every mode:
+// --connect, --merge, --emit-plan, --coordinate/--submit/--emit-jobs,
+// --shard, and the plain local run — all byte-identical on the same plans.
+struct PlanBenchDef {
+  std::size_t units = 0;
+  std::function<PlanUnit(std::size_t)> make;
+  std::function<void(const std::vector<PlanRun>&)> render;
+};
+
+inline int run_standard_modes(const BenchCli& cli, BenchTrace& trace,
+                              const PlanBenchDef& def) {
+  if (cli.connecting()) return run_bench_worker(cli);
+  if (cli.merging()) {
+    def.render(merge_shard_files(cli, cli.merge_files));
+    return 0;
+  }
+
+  core::SweepCache cache;
+  core::StageStats stages;
+  core::DiskStageCache disk;
+  core::DiskStageCache* disk_ptr =
+      disk_stage_cache_enabled() ? &disk : nullptr;
+  const core::StagedExecutor staged(&stages, disk_ptr);
+
+  std::vector<core::SweepPlan> plans;
+  std::vector<PlanRun> runs;
+  std::vector<dist::DistJob> jobs;
+  std::vector<std::shared_ptr<void>> owners;
+  for (std::size_t i = 0; i < def.units; ++i) {
+    PlanUnit unit = def.make(i);
+    if (cli.emit_plan) {
+      plans.push_back(std::move(unit.plan));
+      continue;
+    }
+    if (cli.dist_jobs()) {
+      jobs.push_back({std::move(unit.task_spec), std::move(unit.plan)});
+      continue;
+    }
+    if (unit.has_seed)
+      cache.seed(*unit.task, SysNoiseConfig::training_default(),
+                 unit.seed_metric);
+    core::SweepOptions opts;
+    opts.cache = &cache;
+    if (cli.sharded()) {
+      const core::ShardExecutor shard(staged, cli.shard_index,
+                                      cli.shard_count);
+      runs.push_back({unit.plan, shard.execute(*unit.task, unit.plan, opts)});
+    } else {
+      runs.push_back({unit.plan, staged.execute(*unit.task, unit.plan, opts)});
+    }
+    // The model must outlive the executor calls above; benches sharing one
+    // model across units return the same owner repeatedly, which is fine.
+    owners.push_back(std::move(unit.owner));
+  }
+
+  if (cli.emit_plan) {
+    write_plan_file(cli, plans);
+    return 0;
+  }
+  if (cli.dist_jobs()) {
+    std::vector<core::MetricMap> results;
+    if (!dist_results(cli, jobs, &results, &trace)) return 0;  // --emit-jobs
+    std::vector<PlanRun> out;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      out.push_back({std::move(jobs[i].plan), std::move(results[i])});
+    def.render(out);
+    return 0;
+  }
+  print_stage_cache_stats(cli, stages, cache.hits());
+  trace.finish(&stages);
+  if (cli.sharded()) {
+    write_shard_file(cli, runs);
+    return 0;
+  }
+  def.render(runs);
+  return 0;
+}
+
+// A row-level bench (tables 1, 6-9, figs 4-5): the unit of work is one row
+// of the final table, not a SweepPlan. The driver dispatches --connect
+// (bench-agnostic worker), --merge (CSV concatenation), --emit-plan (row
+// work list), then slices the rows for --shard, calls `row(label)` for each
+// survivor (the bench accumulates its table/CSV in the closure), and writes
+// <bench>.txt/.csv (+ shard suffix) from `render()`'s {txt, csv} pair.
+template <typename RowFn, typename RenderFn>
+inline int run_standard_modes(const BenchCli& cli,
+                              const std::vector<std::string>& labels,
+                              RowFn&& row, RenderFn&& render) {
+  reject_coordinate(cli);
+  if (cli.connecting()) return run_bench_worker(cli);
+  if (cli.merging()) {
+    const std::string csv_name = cli.bench + ".csv";
+    write_file(csv_name, merge_csv_files(cli.merge_files));
+    std::printf("merged %zu shard CSVs into %s/%s\n", cli.merge_files.size(),
+                results_dir().c_str(), csv_name.c_str());
+    return 0;
+  }
+  if (cli.emit_plan) {
+    util::Json j = util::Json::object();
+    j.set("bench", cli.bench);
+    j.set("kind", "rows");
+    util::Json rows = util::Json::array();
+    for (const std::string& label : labels) rows.push_back(label);
+    j.set("rows", std::move(rows));
+    std::ofstream f(cli.plan_file());
+    f << j.dump(2) << "\n";
+    std::printf("wrote %s (%zu rows)\n", cli.plan_file().c_str(),
+                labels.size());
+    return 0;
+  }
+  for (const std::string& label : shard_slice(labels, cli)) row(label);
+  const std::pair<std::string, std::string> out = render();
+  std::fputs(out.first.c_str(), stdout);
+  write_file(cli.bench + ".txt" + cli.shard_suffix(), out.first);
+  write_file(cli.bench + ".csv" + cli.shard_suffix(), out.second);
+  return 0;
 }
 
 }  // namespace sysnoise::bench

@@ -1,0 +1,83 @@
+#include "audio/frontend.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sysnoise::audio {
+
+std::vector<float> resample_linear(const std::vector<float>& audio,
+                                   std::size_t out_len) {
+  if (audio.size() < 2 || out_len < 2)
+    throw std::invalid_argument("resample_linear: need >= 2 samples");
+  if (out_len == audio.size()) return audio;
+  std::vector<float> out(out_len);
+  const double scale = static_cast<double>(audio.size() - 1) /
+                       static_cast<double>(out_len - 1);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const double pos = static_cast<double>(i) * scale;
+    const std::size_t i0 =
+        std::min(static_cast<std::size_t>(pos), audio.size() - 2);
+    const double frac = pos - static_cast<double>(i0);
+    out[i] = static_cast<float>((1.0 - frac) * audio[i0] + frac * audio[i0 + 1]);
+  }
+  return out;
+}
+
+std::vector<float> resample_round_trip(const std::vector<float>& audio,
+                                       float ratio) {
+  if (ratio == 1.0f) return audio;
+  if (!(ratio > 0.0f) || ratio > 1.0f)
+    throw std::invalid_argument("resample_round_trip: ratio must be in (0, 1]");
+  const auto down_len = static_cast<std::size_t>(std::lround(
+      static_cast<double>(ratio) * static_cast<double>(audio.size())));
+  return resample_linear(resample_linear(audio, down_len), audio.size());
+}
+
+Tensor resample_frame_axis(const Tensor& spec, int out_frames) {
+  const int in_frames = spec.shape()[0];
+  const int bins = spec.shape()[1];
+  if (in_frames < 2 || out_frames < 2)
+    throw std::invalid_argument("resample_frame_axis: need >= 2 frames");
+  Tensor out({out_frames, bins});
+  const double scale = static_cast<double>(in_frames - 1) /
+                       static_cast<double>(out_frames - 1);
+  for (int f = 0; f < out_frames; ++f) {
+    const double pos = static_cast<double>(f) * scale;
+    const int f0 = std::min(static_cast<int>(pos), in_frames - 2);
+    const double frac = pos - static_cast<double>(f0);
+    for (int b = 0; b < bins; ++b)
+      out.at2(f, b) = static_cast<float>((1.0 - frac) * spec.at2(f0, b) +
+                                         frac * spec.at2(f0 + 1, b));
+  }
+  return out;
+}
+
+int stft_frames(std::size_t audio_len, const StftSpec& spec) {
+  return audio_len >= static_cast<std::size_t>(spec.n_fft)
+             ? 1 + static_cast<int>(
+                       (audio_len - static_cast<std::size_t>(spec.n_fft)) /
+                       static_cast<std::size_t>(spec.hop))
+             : 0;
+}
+
+Tensor deployment_features(const std::vector<float>& audio,
+                           const StftSpec& spec, const SysNoiseConfig& cfg) {
+  const std::vector<float>* wave = &audio;
+  std::vector<float> round_tripped;
+  if (cfg.resample_ratio != 1.0f) {
+    round_tripped = resample_round_trip(audio, cfg.resample_ratio);
+    wave = &round_tripped;
+  }
+  const int win = cfg.stft_window > 0 ? cfg.stft_window : spec.n_fft;
+  const int hop = cfg.stft_hop > 0 ? cfg.stft_hop : spec.hop;
+  // The training-default geometry takes the legacy entry point so the
+  // baseline features are bit-identical to what train_tts targeted.
+  if (win == spec.n_fft && hop == spec.hop)
+    return stft_magnitude(*wave, spec, cfg.stft_impl);
+  Tensor feat = stft_magnitude_ex(*wave, spec, cfg.stft_impl, win, hop);
+  if (hop != spec.hop)
+    feat = resample_frame_axis(feat, stft_frames(audio.size(), spec));
+  return feat;
+}
+
+}  // namespace sysnoise::audio

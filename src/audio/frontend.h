@@ -1,0 +1,41 @@
+// Deployment audio front-end: the SysNoiseConfig audio knobs applied to
+// feature extraction. Training extracts spectrograms with the reference
+// STFT straight from the native-rate waveform; a deployed TTS/vocoder stack
+// may resample the waveform (rate mismatch), taper with a different window
+// length, frame with a different hop, or swap the STFT operator
+// implementation. deployment_features() composes all four; with a
+// training-default config it reproduces the training features
+// bit-identically.
+#pragma once
+
+#include <vector>
+
+#include "audio/stft.h"
+#include "data/noise_config.h"
+
+namespace sysnoise::audio {
+
+// Linear-interpolation resample to an explicit output length (out_len >= 2).
+std::vector<float> resample_linear(const std::vector<float>& audio,
+                                   std::size_t out_len);
+
+// Rate-mismatch round trip: linearly resample to ratio * len samples and
+// back to len — the audio cousin of the NV12 color round trip. ratio 1.0
+// returns the input unchanged.
+std::vector<float> resample_round_trip(const std::vector<float>& audio,
+                                       float ratio);
+
+// Linearly resample a [frames, bins] spectrogram along the frame axis.
+Tensor resample_frame_axis(const Tensor& spec, int out_frames);
+
+// Frame count stft_magnitude produces for this audio length and spec.
+int stft_frames(std::size_t audio_len, const StftSpec& spec);
+
+// Feature extraction under the config's audio knobs (resample_ratio,
+// stft_impl, stft_window, stft_hop). A non-default hop is computed at the
+// deployment hop and resampled back to the training frame count, so the
+// output shape always matches the training-side features.
+Tensor deployment_features(const std::vector<float>& audio,
+                           const StftSpec& spec, const SysNoiseConfig& cfg);
+
+}  // namespace sysnoise::audio

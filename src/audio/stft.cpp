@@ -3,6 +3,7 @@
 #include <cmath>
 #include <complex>
 #include <numbers>
+#include <stdexcept>
 
 #include "audio/fft.h"
 
@@ -30,7 +31,15 @@ std::vector<float> hann_window(int n, bool fixed_point) {
 
 Tensor stft_magnitude(const std::vector<float>& audio, const StftSpec& spec,
                       StftImpl impl) {
-  const int n_fft = spec.n_fft, hop = spec.hop;
+  return stft_magnitude_ex(audio, spec, impl, spec.n_fft, spec.hop);
+}
+
+Tensor stft_magnitude_ex(const std::vector<float>& audio, const StftSpec& spec,
+                         StftImpl impl, int win_length, int hop) {
+  const int n_fft = spec.n_fft;
+  if (win_length <= 0 || win_length > n_fft)
+    throw std::invalid_argument("stft_magnitude_ex: bad window length");
+  if (hop <= 0) throw std::invalid_argument("stft_magnitude_ex: bad hop");
   const int frames =
       audio.size() >= static_cast<std::size_t>(n_fft)
           ? 1 + static_cast<int>((audio.size() - static_cast<std::size_t>(n_fft)) /
@@ -40,8 +49,12 @@ Tensor stft_magnitude(const std::vector<float>& audio, const StftSpec& spec,
   Tensor out({std::max(frames, 1), bins});
   if (frames == 0) return out;
 
-  const std::vector<float> window =
-      hann_window(n_fft, impl == StftImpl::kFastFixed);
+  // Hann taper over the first win_length samples, zero-padded to the FFT
+  // frame (identical to the legacy full-frame window when win_length ==
+  // n_fft).
+  std::vector<float> window =
+      hann_window(win_length, impl == StftImpl::kFastFixed);
+  window.resize(static_cast<std::size_t>(n_fft), 0.0f);
 
   for (int f = 0; f < frames; ++f) {
     const std::size_t off = static_cast<std::size_t>(f) * hop;

@@ -28,4 +28,13 @@ std::vector<float> hann_window(int n, bool fixed_point);
 Tensor stft_magnitude(const std::vector<float>& audio, const StftSpec& spec,
                       StftImpl impl);
 
+// Generalized form with explicit window length and hop: the frame is still
+// spec.n_fft samples (the radix-2 FFT size cannot change), but only the
+// first win_length samples are tapered by a Hann window of that length, the
+// rest zeroed — the window-geometry mismatch of a deployment front-end.
+// win_length == n_fft and hop == spec.hop reproduces stft_magnitude
+// bit-identically.
+Tensor stft_magnitude_ex(const std::vector<float>& audio, const StftSpec& spec,
+                         StftImpl impl, int win_length, int hop);
+
 }  // namespace sysnoise::audio

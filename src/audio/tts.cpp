@@ -4,6 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "audio/frontend.h"
 #include "nn/ops_extra.h"
 #include "nn/optim.h"
 
@@ -298,6 +299,34 @@ double tts_system_discrepancy(TtsModel& model, const TtsDataset& ds,
     total += mse(r_deploy, r_train);
   }
   return total / static_cast<double>(ds.eval.size());
+}
+
+double tts_system_discrepancy(TtsModel& model, const TtsDataset& ds,
+                              const SysNoiseConfig& cfg, ActRanges* ranges) {
+  double total = 0.0;
+  for (const auto& s : ds.eval) {
+    Tape t0;
+    t0.ctx.precision = Precision::kFP32;
+    t0.ctx.ranges = ranges;
+    Node* ref_pred = model.forward(t0, s.tokens, 1, ds.spec.seq_len, BnMode::kEval);
+    const Tensor ref_feat = ground_truth_spec(s, ds, StftImpl::kReference);
+
+    Tape t1;
+    t1.ctx = cfg.inference_ctx(ranges);
+    Node* dep_pred = model.forward(t1, s.tokens, 1, ds.spec.seq_len, BnMode::kEval);
+    const Tensor dep_feat = deployment_features(s.audio, ds.stft, cfg);
+
+    Tensor r_train = ref_pred->value;
+    r_train.sub_(ref_feat.reshaped({1, static_cast<int>(ref_feat.size())}));
+    Tensor r_deploy = dep_pred->value;
+    r_deploy.sub_(dep_feat.reshaped({1, static_cast<int>(dep_feat.size())}));
+    total += mse(r_deploy, r_train);
+  }
+  return total / static_cast<double>(ds.eval.size());
+}
+
+Tensor tts_reference_features(const TtsSample& s, const TtsDataset& ds) {
+  return ground_truth_spec(s, ds, StftImpl::kReference);
 }
 
 void calibrate_tts(TtsModel& model, const TtsDataset& ds, ActRanges& ranges) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "audio/stft.h"
+#include "data/noise_config.h"
 #include "nn/layers.h"
 
 namespace sysnoise::audio {
@@ -68,6 +69,19 @@ double eval_tts_mse(TtsModel& model, const TtsDataset& ds, nn::Precision precisi
 double tts_system_discrepancy(TtsModel& model, const TtsDataset& ds,
                               nn::Precision precision, StftImpl deploy_stft,
                               nn::ActRanges* ranges);
+
+// Config-driven generalization: the deployment side runs the model under
+// the config's full InferenceCtx (precision/backend) and extracts features
+// through the deployment front-end (audio/frontend.h: resample round trip,
+// STFT impl/window/hop). With only precision + stft_impl flipped this is
+// bit-identical to the overload above.
+double tts_system_discrepancy(TtsModel& model, const TtsDataset& ds,
+                              const SysNoiseConfig& cfg,
+                              nn::ActRanges* ranges);
+
+// Ground-truth/deployment feature accessor used by the staged adapter:
+// stft_magnitude of the sample's waveform under the dataset spec.
+Tensor tts_reference_features(const TtsSample& s, const TtsDataset& ds);
 
 // Record activation ranges for INT8.
 void calibrate_tts(TtsModel& model, const TtsDataset& ds, nn::ActRanges& ranges);

@@ -11,9 +11,30 @@ const char* task_kind_name(TaskKind k) {
     case TaskKind::kClassification: return "classification";
     case TaskKind::kDetection: return "detection";
     case TaskKind::kSegmentation: return "segmentation";
+    case TaskKind::kNlp: return "nlp";
+    case TaskKind::kTts: return "tts";
   }
   return "?";
 }
+
+const char* task_modality_name(TaskKind k) {
+  switch (k) {
+    case TaskKind::kClassification:
+    case TaskKind::kDetection:
+    case TaskKind::kSegmentation: return "image";
+    case TaskKind::kNlp: return "text";
+    case TaskKind::kTts: return "audio";
+  }
+  return "?";
+}
+
+namespace {
+
+// Gate for the image pre-processing axes (decode/resize/color/norm/layout):
+// NLP and TTS tasks have no image pipeline to perturb.
+bool applies_to_images(const TaskTraits& t) { return is_image_kind(t.kind); }
+
+}  // namespace
 
 void AxisRegistry::add(NoiseAxis axis) {
   if (axis.name.empty() || axis.option_labels.empty() || !axis.apply)
@@ -72,6 +93,7 @@ std::vector<NoiseAxis> builtin_axes() {
     a.combined_option = static_cast<int>(
         std::find(vendors.begin(), vendors.end(), jpeg::DecoderVendor::kDALI) -
         vendors.begin());
+    a.applies = applies_to_images;
     a.stage = "Pre-processing";
     a.tasks_label = "Cls/Det/Seg";
     a.effect_level = "High";
@@ -87,6 +109,7 @@ std::vector<NoiseAxis> builtin_axes() {
     a.combined_option = static_cast<int>(
         std::find(methods.begin(), methods.end(), ResizeMethod::kOpenCVNearest) -
         methods.begin());
+    a.applies = applies_to_images;
     a.stage = "Pre-processing";
     a.tasks_label = "Cls/Det/Seg";
     a.effect_level = "Very High";
@@ -125,6 +148,7 @@ std::vector<NoiseAxis> builtin_axes() {
     const auto modes = color_noise_options();
     for (auto m : modes) a.option_labels.push_back(color_mode_name(m));
     a.apply = [modes](SysNoiseConfig& cfg, int i) { cfg.color = modes[i]; };
+    a.applies = applies_to_images;
     a.stage = "Pre-processing";
     a.tasks_label = "Cls/Det/Seg";
     a.input_dependent = true;
@@ -143,6 +167,7 @@ std::vector<NoiseAxis> builtin_axes() {
     // the Fig. 3 accumulation. The 0.5/0.5 option models generic mobile
     // runtime defaults and is far more destructive.
     a.combined_option = 0;
+    a.applies = applies_to_images;
     a.stage = "Pre-processing";
     a.tasks_label = "Cls/Det/Seg";
     a.effect_level = "Middle";
@@ -157,6 +182,7 @@ std::vector<NoiseAxis> builtin_axes() {
     a.apply = [layouts](SysNoiseConfig& cfg, int i) {
       cfg.layout = layouts[static_cast<std::size_t>(i)];
     };
+    a.applies = applies_to_images;
     a.step_label = "NHWC";
     a.stage = "Pre-processing";
     a.tasks_label = "Cls/Det/Seg";
@@ -179,7 +205,7 @@ std::vector<NoiseAxis> builtin_axes() {
         precisions.begin());
     a.step_label = "INT8";
     a.stage = "Model inference";
-    a.tasks_label = "Cls/Det/Seg/NLP";
+    a.tasks_label = "Cls/Det/Seg/NLP/TTS";
     a.input_dependent = true;
     a.effect_level = "High";
     axes.push_back(std::move(a));
@@ -207,7 +233,7 @@ std::vector<NoiseAxis> builtin_axes() {
             : 0;
     a.step_label = "SIMD";
     a.stage = "Model inference";
-    a.tasks_label = "Cls/Det/Seg";
+    a.tasks_label = "Cls/Det/Seg/NLP/TTS";
     a.input_dependent = true;
     a.effect_level = "Low";
     axes.push_back(std::move(a));
@@ -230,7 +256,7 @@ std::vector<NoiseAxis> builtin_axes() {
     a.key = "upsample";
     a.option_labels = {"bilinear"};
     a.applies = [](const TaskTraits& t) {
-      return t.kind != TaskKind::kClassification;
+      return t.kind == TaskKind::kDetection || t.kind == TaskKind::kSegmentation;
     };
     a.apply = [](SysNoiseConfig& cfg, int) {
       cfg.upsample = nn::UpsampleMode::kBilinear;
@@ -251,6 +277,71 @@ std::vector<NoiseAxis> builtin_axes() {
     a.stage = "Post-processing";
     a.tasks_label = "Det";
     a.effect_level = "Middle";
+    axes.push_back(std::move(a));
+  }
+  {
+    NoiseAxis a;
+    a.name = "Tokenizer";
+    a.key = "tokenizer";
+    const auto profiles = tokenizer_noise_options();
+    for (auto p : profiles) a.option_labels.push_back(tokenizer_profile_name(p));
+    a.apply = [profiles](SysNoiseConfig& cfg, int i) {
+      cfg.tokenizer = profiles[static_cast<std::size_t>(i)];
+    };
+    a.applies = [](const TaskTraits& t) { return t.kind == TaskKind::kNlp; };
+    // The mild truncation (trunc-12) is what a pruned-embedding export
+    // actually ships; it drives Combined. trunc-8 is the stress option.
+    a.combined_option = 0;
+    a.stage = "Pre-processing";
+    a.tasks_label = "NLP";
+    a.input_dependent = true;
+    a.effect_level = "High";
+    axes.push_back(std::move(a));
+  }
+  {
+    NoiseAxis a;
+    a.name = "Resample";
+    a.key = "resample";
+    const auto ratios = resample_noise_options();
+    for (auto r : ratios) {
+      std::ostringstream label;
+      label << "round-" << r;
+      a.option_labels.push_back(label.str());
+    }
+    a.apply = [ratios](SysNoiseConfig& cfg, int i) {
+      cfg.resample_ratio = ratios[static_cast<std::size_t>(i)];
+    };
+    a.applies = [](const TaskTraits& t) { return t.kind == TaskKind::kTts; };
+    a.combined_option = 0;  // the gentler 0.75 round trip drives Combined
+    a.stage = "Pre-processing";
+    a.tasks_label = "TTS";
+    a.input_dependent = true;
+    a.effect_level = "Middle";
+    axes.push_back(std::move(a));
+  }
+  {
+    NoiseAxis a;
+    a.name = "Stft";
+    a.key = "stft";
+    // Option 0 swaps the STFT operator implementation (the Table 10
+    // "STFT operator" column); options 1/2 perturb the window/hop geometry
+    // while keeping the reference operator.
+    a.option_labels = {audio::stft_impl_name(audio::StftImpl::kFastFixed),
+                       "win-48", "hop-16"};
+    a.apply = [](SysNoiseConfig& cfg, int i) {
+      if (i == 0)
+        cfg.stft_impl = audio::StftImpl::kFastFixed;
+      else if (i == 1)
+        cfg.stft_window = 48;
+      else
+        cfg.stft_hop = 16;
+    };
+    a.applies = [](const TaskTraits& t) { return t.kind == TaskKind::kTts; };
+    a.combined_option = 0;  // implementation swap is the legacy combined row
+    a.stage = "Pre-processing";
+    a.tasks_label = "TTS";
+    a.input_dependent = true;
+    a.effect_level = "High";
     axes.push_back(std::move(a));
   }
 

@@ -12,9 +12,19 @@
 
 namespace sysnoise::core {
 
-enum class TaskKind { kClassification, kDetection, kSegmentation };
+enum class TaskKind { kClassification, kDetection, kSegmentation, kNlp, kTts };
 
 const char* task_kind_name(TaskKind k);
+
+// Modality buckets for axis gating: the three vision tasks share the image
+// pre-processing pipeline; NLP and TTS bring their own front-ends, so
+// image-only axes must never plan against them (and vice versa).
+constexpr bool is_image_kind(TaskKind k) {
+  return k == TaskKind::kClassification || k == TaskKind::kDetection ||
+         k == TaskKind::kSegmentation;
+}
+// "image" | "text" | "audio" — documentation/reporting label.
+const char* task_modality_name(TaskKind k);
 
 // What the sweep engine knows about a model/task pair when deciding which
 // axes apply (e.g. ceil-mode needs a stride-2 max-pool).

@@ -50,6 +50,19 @@ PlanAxis plan_axis_of(const NoiseAxis& axis) {
   return pa;
 }
 
+// A plan with zero applicable axes means the registry and the task belong
+// to different modalities (e.g. image-only axes planned against an NLP
+// task) — a silent baseline-plus-combined "sweep" would measure nothing, so
+// fail loudly instead.
+void require_applicable(const EvalTask& task,
+                        const std::vector<const NoiseAxis*>& axes) {
+  if (axes.empty())
+    throw std::invalid_argument(
+        std::string("plan: no registered axis applies to task \"") +
+        task.name() + "\" (kind " + task_kind_name(task.traits().kind) +
+        ") — registry/modality mismatch?");
+}
+
 }  // namespace
 
 const AxisRegistry& registry_or_global(const SweepOptions& opts) {
@@ -65,7 +78,9 @@ SweepPlan plan_sweep(const EvalTask& task, const AxisRegistry& registry) {
   plan.task = task.name();
   plan.task_identity = task.cache_identity();
   plan.configs.push_back(make_planned(task, PlannedConfig::Role::kBaseline, base));
-  for (const NoiseAxis* axis : registry.applicable(traits)) {
+  const std::vector<const NoiseAxis*> applicable = registry.applicable(traits);
+  require_applicable(task, applicable);
+  for (const NoiseAxis* axis : applicable) {
     const int axis_index = static_cast<int>(plan.axes.size());
     plan.axes.push_back(plan_axis_of(*axis));
     for (int i = 0; i < axis->num_options(); ++i) {
@@ -93,7 +108,10 @@ SweepPlan plan_stepwise(const EvalTask& task, const AxisRegistry& registry) {
   plan.task_identity = task.cache_identity();
   plan.configs.push_back(make_planned(task, PlannedConfig::Role::kBaseline, base));
   SysNoiseConfig cfg = base;
-  for (const NoiseAxis* axis : registry.applicable(task.traits())) {
+  const std::vector<const NoiseAxis*> applicable =
+      registry.applicable(task.traits());
+  require_applicable(task, applicable);
+  for (const NoiseAxis* axis : applicable) {
     plan.axes.push_back(plan_axis_of(*axis));
     axis->apply(cfg, axis->combined_option);
     PlannedConfig p = make_planned(task, PlannedConfig::Role::kStep, cfg);

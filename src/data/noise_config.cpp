@@ -1,6 +1,7 @@
 #include "data/noise_config.h"
 
 #include <limits>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -23,57 +24,193 @@ const char* channel_layout_name(ChannelLayout l) {
   return "?";
 }
 
+const char* tokenizer_profile_name(TokenizerProfile p) {
+  switch (p) {
+    case TokenizerProfile::kTraining: return "training";
+    case TokenizerProfile::kTrunc12: return "trunc-12";
+    case TokenizerProfile::kTrunc8: return "trunc-8";
+  }
+  return "?";
+}
+
+int tokenizer_profile_symbol_limit(TokenizerProfile p) {
+  switch (p) {
+    case TokenizerProfile::kTraining: return 16;  // nlp::kSymbols
+    case TokenizerProfile::kTrunc12: return 12;
+    case TokenizerProfile::kTrunc8: return 8;
+  }
+  return 16;
+}
+
+namespace {
+
+// Shorthand for the common enum-valued knob: name() to serialize,
+// from_name() to parse.
+template <typename Enum, typename Member>
+KnobInfo enum_knob(const char* json_key, const char* describe_key,
+                   const char* group, bool legacy_optional, Member member,
+                   const char* (*name)(Enum),
+                   Enum (*from_name)(const std::string&)) {
+  KnobInfo k;
+  k.json_key = json_key;
+  k.describe_key = describe_key;
+  k.group = group;
+  k.legacy_optional = legacy_optional;
+  k.describe_value = [member, name](const SysNoiseConfig& c, std::ostream& os) {
+    os << name(c.*member);
+  };
+  k.write_json = [json_key, member, name](const SysNoiseConfig& c,
+                                          util::Json& j) {
+    j.set(json_key, name(c.*member));
+  };
+  k.read_json = [json_key, member, from_name, legacy_optional](
+                    SysNoiseConfig& c, const util::Json& j) {
+    if (legacy_optional) {
+      if (const util::Json* v = j.get(json_key))
+        c.*member = from_name(v->as_string());
+    } else {
+      c.*member = from_name(j.at(json_key).as_string());
+    }
+  };
+  return k;
+}
+
+template <typename Num, typename Member>
+KnobInfo number_knob(const char* json_key, const char* describe_key,
+                     const char* group, bool legacy_optional, Member member) {
+  KnobInfo k;
+  k.json_key = json_key;
+  k.describe_key = describe_key;
+  k.group = group;
+  k.legacy_optional = legacy_optional;
+  k.describe_value = [member](const SysNoiseConfig& c, std::ostream& os) {
+    os << c.*member;
+  };
+  k.write_json = [json_key, member](const SysNoiseConfig& c, util::Json& j) {
+    j.set(json_key, static_cast<double>(c.*member));
+  };
+  k.read_json = [json_key, member, legacy_optional](SysNoiseConfig& c,
+                                                    const util::Json& j) {
+    if (legacy_optional) {
+      if (const util::Json* v = j.get(json_key))
+        c.*member = static_cast<Num>(v->as_number());
+    } else {
+      c.*member = static_cast<Num>(j.at(json_key).as_number());
+    }
+  };
+  return k;
+}
+
+// jpeg::vendor_name and friends take their enum by value already; wrap the
+// few that need an adapter signature.
+const char* vendor_name_fn(jpeg::DecoderVendor v) { return jpeg::vendor_name(v); }
+const char* resize_name_fn(ResizeMethod m) { return resize_method_name(m); }
+const char* color_name_fn(ColorMode m) { return color_mode_name(m); }
+const char* precision_name_fn(nn::Precision p) { return nn::precision_name(p); }
+const char* upsample_name_fn(nn::UpsampleMode m) {
+  return nn::upsample_mode_name(m);
+}
+const char* backend_name_fn(ComputeBackend b) { return backend_name(b); }
+const char* stft_name_fn(audio::StftImpl s) { return audio::stft_impl_name(s); }
+
+std::vector<KnobInfo> build_knob_registry() {
+  std::vector<KnobInfo> reg;
+  // --- pre (image) ----------------------------------------------------
+  reg.push_back(enum_knob("decoder", "decoder", "pre", false,
+                          &SysNoiseConfig::decoder, vendor_name_fn,
+                          decoder_vendor_from_name));
+  reg.push_back(enum_knob("resize", "resize", "pre", false,
+                          &SysNoiseConfig::resize, resize_name_fn,
+                          resize_method_from_name));
+  reg.push_back(number_knob<float>("crop_fraction", "crop", "pre", false,
+                                   &SysNoiseConfig::crop_fraction));
+  reg.push_back(enum_knob("color", "color", "pre", false,
+                          &SysNoiseConfig::color, color_name_fn,
+                          color_mode_from_name));
+  reg.push_back(enum_knob("norm", "norm", "pre", false, &SysNoiseConfig::norm,
+                          norm_stats_name, norm_stats_from_name));
+  // Absent in pre-layout-axis serializations: default to the training-side
+  // NCHW rather than rejecting older plan/shard files.
+  reg.push_back(enum_knob("layout", "layout", "pre", true,
+                          &SysNoiseConfig::layout, channel_layout_name,
+                          channel_layout_from_name));
+  // --- inference (all modalities) --------------------------------------
+  reg.push_back(enum_knob("precision", "prec", "inference", false,
+                          &SysNoiseConfig::precision, precision_name_fn,
+                          precision_from_name));
+  {
+    KnobInfo k;
+    k.json_key = "ceil_mode";
+    k.describe_key = "ceil";
+    k.group = "inference";
+    k.legacy_optional = false;
+    k.describe_value = [](const SysNoiseConfig& c, std::ostream& os) {
+      os << (c.ceil_mode ? "1" : "0");
+    };
+    k.write_json = [](const SysNoiseConfig& c, util::Json& j) {
+      j.set("ceil_mode", c.ceil_mode);
+    };
+    k.read_json = [](SysNoiseConfig& c, const util::Json& j) {
+      c.ceil_mode = j.at("ceil_mode").as_bool();
+    };
+    reg.push_back(k);
+  }
+  reg.push_back(enum_knob("upsample", "upsample", "inference", false,
+                          &SysNoiseConfig::upsample, upsample_name_fn,
+                          upsample_mode_from_name));
+  // Absent in pre-backend-axis serializations: keep the process default.
+  reg.push_back(enum_knob("backend", "backend", "inference", true,
+                          &SysNoiseConfig::backend, backend_name_fn,
+                          backend_from_name));
+  // --- post (detection) -------------------------------------------------
+  reg.push_back(number_knob<float>("proposal_offset", "offset", "post", false,
+                                   &SysNoiseConfig::proposal_offset));
+  // --- nlp --------------------------------------------------------------
+  reg.push_back(enum_knob("tokenizer", "tok", "nlp", true,
+                          &SysNoiseConfig::tokenizer, tokenizer_profile_name,
+                          tokenizer_profile_from_name));
+  // --- audio ------------------------------------------------------------
+  reg.push_back(number_knob<float>("resample_ratio", "resample", "audio", true,
+                                   &SysNoiseConfig::resample_ratio));
+  reg.push_back(enum_knob("stft_impl", "stft", "audio", true,
+                          &SysNoiseConfig::stft_impl, stft_name_fn,
+                          stft_impl_from_name));
+  reg.push_back(number_knob<int>("stft_window", "stft_win", "audio", true,
+                                 &SysNoiseConfig::stft_window));
+  reg.push_back(number_knob<int>("stft_hop", "stft_hop", "audio", true,
+                                 &SysNoiseConfig::stft_hop));
+  return reg;
+}
+
+}  // namespace
+
+const std::vector<KnobInfo>& knob_registry() {
+  static const std::vector<KnobInfo> reg = build_knob_registry();
+  return reg;
+}
+
 std::string SysNoiseConfig::describe() const {
   std::ostringstream os;
   os.precision(std::numeric_limits<float>::max_digits10);
-  os << "decoder=" << jpeg::vendor_name(decoder)
-     << " resize=" << resize_method_name(resize)
-     << " crop=" << crop_fraction
-     << " color=" << color_mode_name(color)
-     << " norm=" << norm_stats_name(norm)
-     << " layout=" << channel_layout_name(layout)
-     << " prec=" << nn::precision_name(precision)
-     << " ceil=" << (ceil_mode ? "1" : "0")
-     << " upsample=" << nn::upsample_mode_name(upsample)
-     << " backend=" << backend_name(backend)
-     << " offset=" << proposal_offset;
+  bool first = true;
+  for (const KnobInfo& k : knob_registry()) {
+    if (!first) os << ' ';
+    first = false;
+    os << k.describe_key << '=';
+    k.describe_value(*this, os);
+  }
   return os.str();
 }
 
 util::Json SysNoiseConfig::to_json() const {
   util::Json j = util::Json::object();
-  j.set("decoder", jpeg::vendor_name(decoder));
-  j.set("resize", resize_method_name(resize));
-  j.set("crop_fraction", static_cast<double>(crop_fraction));
-  j.set("color", color_mode_name(color));
-  j.set("norm", norm_stats_name(norm));
-  j.set("layout", channel_layout_name(layout));
-  j.set("precision", nn::precision_name(precision));
-  j.set("ceil_mode", ceil_mode);
-  j.set("upsample", nn::upsample_mode_name(upsample));
-  j.set("backend", backend_name(backend));
-  j.set("proposal_offset", static_cast<double>(proposal_offset));
+  for (const KnobInfo& k : knob_registry()) k.write_json(*this, j);
   return j;
 }
 
 SysNoiseConfig SysNoiseConfig::from_json(const util::Json& j) {
   SysNoiseConfig cfg;
-  cfg.decoder = decoder_vendor_from_name(j.at("decoder").as_string());
-  cfg.resize = resize_method_from_name(j.at("resize").as_string());
-  cfg.crop_fraction = static_cast<float>(j.at("crop_fraction").as_number());
-  cfg.color = color_mode_from_name(j.at("color").as_string());
-  cfg.norm = norm_stats_from_name(j.at("norm").as_string());
-  // Absent in pre-layout-axis serializations: default to the training-side
-  // NCHW rather than rejecting older plan/shard files.
-  if (const util::Json* l = j.get("layout"))
-    cfg.layout = channel_layout_from_name(l->as_string());
-  cfg.precision = precision_from_name(j.at("precision").as_string());
-  cfg.ceil_mode = j.at("ceil_mode").as_bool();
-  cfg.upsample = upsample_mode_from_name(j.at("upsample").as_string());
-  // Absent in pre-backend-axis serializations: keep the process default.
-  if (const util::Json* b = j.get("backend"))
-    cfg.backend = backend_from_name(b->as_string());
-  cfg.proposal_offset = static_cast<float>(j.at("proposal_offset").as_number());
+  for (const KnobInfo& k : knob_registry()) k.read_json(cfg, j);
   return cfg;
 }
 
@@ -140,6 +277,20 @@ nn::UpsampleMode upsample_mode_from_name(const std::string& name) {
   unknown_name("upsample mode", name);
 }
 
+TokenizerProfile tokenizer_profile_from_name(const std::string& name) {
+  for (int i = 0; i < kNumTokenizerProfiles; ++i) {
+    const auto p = static_cast<TokenizerProfile>(i);
+    if (name == tokenizer_profile_name(p)) return p;
+  }
+  unknown_name("tokenizer profile", name);
+}
+
+audio::StftImpl stft_impl_from_name(const std::string& name) {
+  for (const auto s : {audio::StftImpl::kReference, audio::StftImpl::kFastFixed})
+    if (name == audio::stft_impl_name(s)) return s;
+  unknown_name("stft impl", name);
+}
+
 std::vector<jpeg::DecoderVendor> decoder_noise_options() {
   return {jpeg::DecoderVendor::kOpenCV, jpeg::DecoderVendor::kFFmpeg,
           jpeg::DecoderVendor::kDALI};
@@ -181,5 +332,11 @@ std::vector<ComputeBackend> backend_noise_options() {
   }
   return out;
 }
+
+std::vector<TokenizerProfile> tokenizer_noise_options() {
+  return {TokenizerProfile::kTrunc12, TokenizerProfile::kTrunc8};
+}
+
+std::vector<float> resample_noise_options() { return {0.75f, 0.5f}; }
 
 }  // namespace sysnoise

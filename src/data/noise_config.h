@@ -1,13 +1,30 @@
-// The full SysNoise configuration — one knob per noise type of Table 1.
+// The full SysNoise configuration — one knob per noise type of Table 1,
+// grouped by pipeline stage and modality:
+//
+//   pre        : image pre-processing (decode, resize, crop, color, norm,
+//                layout) — classification/detection/segmentation only.
+//   inference  : model-inference knobs shared by every modality (precision,
+//                ceil mode, upsample interpolation, compute backend).
+//   post       : detection post-processing (proposal offset).
+//   nlp        : text tokenization (deployment tokenizer/vocab mismatch).
+//   audio      : TTS front-end (resample rate, STFT window/hop/impl).
 //
 // A trained model is associated with the *training* configuration (the
 // PyTorch-like defaults below); deployment flips one or more knobs. The
 // benchmark measures the metric difference between the two.
+//
+// Every knob is described by one entry in knob_registry() — the single
+// source of truth that drives describe(), to_json() and from_json(), so a
+// new knob cannot update one surface and silently miss another (a
+// completeness test walks the registry).
 #pragma once
 
+#include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "audio/stft.h"
 #include "color/yuv.h"
 #include "jpeg/codec.h"
 #include "nn/tape.h"
@@ -41,8 +58,23 @@ enum class ChannelLayout {
 constexpr int kNumChannelLayouts = 2;
 const char* channel_layout_name(ChannelLayout l);
 
+// Deployment-tokenizer profile (NLP). Training tokenizes with the full
+// symbol alphabet (nlp/tasks.h); exported deployment tokenizers frequently
+// ship a truncated symbol vocabulary (pruned embeddings, smaller sentence-
+// piece model), folding out-of-range symbols onto in-range ids while the
+// structural separator tokens survive intact.
+enum class TokenizerProfile {
+  kTraining = 0,  // full symbol vocabulary, byte-identical tokenization
+  kTrunc12 = 1,   // symbol ids folded modulo a 12-symbol vocabulary
+  kTrunc8 = 2,    // symbol ids folded modulo an 8-symbol vocabulary
+};
+constexpr int kNumTokenizerProfiles = 3;
+const char* tokenizer_profile_name(TokenizerProfile p);
+// Symbol-vocabulary limit the profile truncates to (kSymbols for training).
+int tokenizer_profile_symbol_limit(TokenizerProfile p);
+
 struct SysNoiseConfig {
-  // Pre-processing.
+  // --- pre: image pre-processing -------------------------------------
   jpeg::DecoderVendor decoder = jpeg::DecoderVendor::kPillow;
   ResizeMethod resize = ResizeMethod::kPillowBilinear;
   // Crop geometry: the fraction of the final side length the resize
@@ -53,7 +85,7 @@ struct SysNoiseConfig {
   ColorMode color = ColorMode::kDirectRGB;
   NormStats norm = NormStats::kTorchvision;
   ChannelLayout layout = ChannelLayout::kNCHW;
-  // Model inference.
+  // --- inference: model-inference knobs (all modalities) --------------
   nn::Precision precision = nn::Precision::kFP32;
   bool ceil_mode = false;
   nn::UpsampleMode upsample = nn::UpsampleMode::kNearest;
@@ -62,8 +94,25 @@ struct SysNoiseConfig {
   // swapping in a different kernel family is the hardware/implementation
   // noise of Table 1 measured on our own engine.
   ComputeBackend backend = default_backend();
-  // Post-processing (detection only).
+  // --- post: detection post-processing --------------------------------
   float proposal_offset = 0.0f;  // ALIGNED_FLAG.offset: 0 or 1
+  // --- nlp: text tokenization -----------------------------------------
+  TokenizerProfile tokenizer = TokenizerProfile::kTraining;
+  // --- audio: TTS front-end -------------------------------------------
+  // Resample-rate mismatch: deployment resamples the waveform to
+  // ratio * native rate and back (linear interpolation both ways), the
+  // audible cousin of the NV12 color round trip. 1.0 = no round trip.
+  float resample_ratio = 1.0f;
+  // STFT operator implementation (audio/stft.h): reference double DFT at
+  // training time vs the fast fixed-point FFT a DSP vocoder ships.
+  audio::StftImpl stft_impl = audio::StftImpl::kReference;
+  // STFT window length the deployment front-end tapers with, zero-padded
+  // into the spec's n_fft FFT frame. 0 = use the spec's n_fft (training).
+  int stft_window = 0;
+  // STFT hop the deployment front-end frames with; the resulting frame
+  // axis is linearly resampled back to the training frame count so shapes
+  // stay fixed. 0 = use the spec's hop (training).
+  int stft_hop = 0;
 
   // The fixed training-side configuration (Sec. 4.1: "train with one fixed
   // setting, commonly used in the PyTorch framework").
@@ -88,6 +137,26 @@ struct SysNoiseConfig {
   static SysNoiseConfig from_json(const util::Json& j);
 };
 
+// One registry entry per SysNoiseConfig knob: the json/describe keys, the
+// stage group it documents, and the three per-knob operations. describe(),
+// to_json() and from_json() iterate this table — nothing else enumerates
+// the knob list.
+struct KnobInfo {
+  const char* json_key;      // field name in to_json()/from_json()
+  const char* describe_key;  // "key=" prefix in describe()
+  const char* group;         // "pre" | "inference" | "post" | "nlp" | "audio"
+  // Knobs added after the first serialized plans must tolerate absence in
+  // from_json (legacy plan/shard files keep working).
+  bool legacy_optional;
+  // Stream the knob's describe() value (the stream carries max_digits10
+  // float precision).
+  std::function<void(const SysNoiseConfig&, std::ostream&)> describe_value;
+  std::function<void(const SysNoiseConfig&, util::Json&)> write_json;
+  // Receives the whole JSON object; reads this knob's field.
+  std::function<void(SysNoiseConfig&, const util::Json&)> read_json;
+};
+const std::vector<KnobInfo>& knob_registry();
+
 // Name -> enum parsers, inverses of the *_name() functions above and in the
 // jpeg/resize/color/nn modules. Throw std::invalid_argument on unknown
 // names so a corrupted plan fails loudly instead of evaluating the wrong
@@ -99,6 +168,8 @@ NormStats norm_stats_from_name(const std::string& name);
 ChannelLayout channel_layout_from_name(const std::string& name);
 nn::Precision precision_from_name(const std::string& name);
 nn::UpsampleMode upsample_mode_from_name(const std::string& name);
+TokenizerProfile tokenizer_profile_from_name(const std::string& name);
+audio::StftImpl stft_impl_from_name(const std::string& name);
 
 // Option sets for each noise axis, excluding the training default (these
 // are the "categories" counted in Table 1).
@@ -110,5 +181,7 @@ std::vector<nn::Precision> precision_noise_options();       // FP16, INT8
 std::vector<NormStats> norm_noise_options();                // rounded-u8, 0.5/0.5
 std::vector<ChannelLayout> layout_noise_options();          // NHWC round trip
 std::vector<ComputeBackend> backend_noise_options();        // the 2 non-default kernels
+std::vector<TokenizerProfile> tokenizer_noise_options();    // trunc-12, trunc-8
+std::vector<float> resample_noise_options();                // 0.75, 0.5 round trips
 
 }  // namespace sysnoise

@@ -4,9 +4,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "audio/eval_task.h"
 #include "core/axis.h"
 #include "models/eval_tasks.h"
 #include "models/zoo.h"
+#include "nlp/eval_task.h"
 
 namespace sysnoise::dist {
 
@@ -36,6 +38,15 @@ ResolvedWorkerTask resolved(Trained trained, double trained_metric,
   return out;
 }
 
+// NlpChoiceTask takes (trained, subtask), so the generic Holder's one-arg
+// construction doesn't fit.
+struct NlpHolder {
+  nlp::TrainedLm trained;
+  nlp::NlpChoiceTask task;
+  NlpHolder(nlp::TrainedLm t, nlp::TaskKind k)
+      : trained(std::move(t)), task(trained, k) {}
+};
+
 }  // namespace
 
 TaskSpec classifier_spec(const std::string& model, const std::string& tag) {
@@ -60,6 +71,23 @@ TaskSpec segmenter_spec(const std::string& model) {
   return spec;
 }
 
+TaskSpec nlp_spec(const std::string& model, const std::string& subtask) {
+  TaskSpec spec;
+  spec.kind = core::task_kind_name(core::TaskKind::kNlp);
+  spec.model = model;
+  spec.tag = subtask;
+  spec.seed_baseline = false;
+  return spec;
+}
+
+TaskSpec tts_spec(const std::string& model) {
+  TaskSpec spec;
+  spec.kind = core::task_kind_name(core::TaskKind::kTts);
+  spec.model = model;
+  spec.seed_baseline = false;
+  return spec;
+}
+
 ResolvedWorkerTask resolve_zoo_task(const util::Json& spec_json) {
   const TaskSpec spec = TaskSpec::from_json(spec_json);
   if (spec.kind == core::task_kind_name(core::TaskKind::kClassification)) {
@@ -79,6 +107,19 @@ ResolvedWorkerTask resolve_zoo_task(const util::Json& spec_json) {
     const double metric = ts.trained_miou;
     return resolved<models::TrainedSegmenter, models::SegmenterTask>(
         std::move(ts), metric, spec.seed_baseline);
+  }
+  if (spec.kind == core::task_kind_name(core::TaskKind::kNlp)) {
+    auto holder = std::make_shared<NlpHolder>(nlp::get_lm(spec.model),
+                                              nlp::task_from_name(spec.tag));
+    ResolvedWorkerTask out;
+    out.task = &holder->task;
+    out.owner = std::move(holder);
+    return out;
+  }
+  if (spec.kind == core::task_kind_name(core::TaskKind::kTts)) {
+    auto tt = audio::get_tts(spec.model);
+    return resolved<audio::TrainedTts, audio::TtsTask>(
+        std::move(tt), /*trained_metric=*/0.0, spec.seed_baseline);
   }
   throw std::invalid_argument("resolve_zoo_task: unknown task kind \"" +
                               spec.kind + "\"");

@@ -16,6 +16,11 @@ namespace sysnoise::dist {
 TaskSpec classifier_spec(const std::string& model, const std::string& tag = "");
 TaskSpec detector_spec(const std::string& model);
 TaskSpec segmenter_spec(const std::string& model);
+// NLP multiple-choice scoring (Table 5): `model` is an opt_mini_zoo name,
+// `subtask` an nlp::task_name ("PIQA-like", ...), carried in the tag.
+TaskSpec nlp_spec(const std::string& model, const std::string& subtask);
+// TTS system discrepancy (Table 10): `model` is a tts_model_names entry.
+TaskSpec tts_spec(const std::string& model);
 
 // Resolve a TaskSpec JSON to a live task + baseline seed. Throws
 // std::invalid_argument on an unknown kind/model.

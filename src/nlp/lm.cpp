@@ -96,12 +96,20 @@ void CausalLm::collect(ParamRefs& out) {
 double CausalLm::score_continuation(const std::vector<int>& context,
                                     const std::vector<int>& continuation,
                                     Precision precision, ActRanges* ranges) {
+  InferenceCtx ctx;
+  ctx.precision = precision;
+  ctx.ranges = ranges;
+  return score_continuation(context, continuation, ctx);
+}
+
+double CausalLm::score_continuation(const std::vector<int>& context,
+                                    const std::vector<int>& continuation,
+                                    const InferenceCtx& ctx) {
   std::vector<int> ids = context;
   ids.insert(ids.end(), continuation.begin(), continuation.end());
   const int seq = static_cast<int>(ids.size());
   Tape t;
-  t.ctx.precision = precision;
-  t.ctx.ranges = ranges;
+  t.ctx = ctx;
   Node* logits = forward(t, ids, 1, seq);
   const Tensor lp = log_softmax_rows(logits->value.reshaped({seq, vocab_}));
   double score = 0.0;

@@ -35,6 +35,11 @@ class CausalLm {
   double score_continuation(const std::vector<int>& context,
                             const std::vector<int>& continuation,
                             nn::Precision precision, nn::ActRanges* ranges);
+  // Full inference-knob form (precision, backend, ...). The two-knob
+  // overload above delegates here with a default ctx, bit-identically.
+  double score_continuation(const std::vector<int>& context,
+                            const std::vector<int>& continuation,
+                            const nn::InferenceCtx& ctx);
 
   int vocab() const { return vocab_; }
   const LmSpec& spec() const { return spec_; }

@@ -1,5 +1,7 @@
 #include "nlp/tasks.h"
 
+#include <stdexcept>
+
 namespace sysnoise::nlp {
 
 namespace {
@@ -55,6 +57,13 @@ const char* task_name(TaskKind k) {
     case TaskKind::kWinoGrande: return "WinoGrande-like";
   }
   return "?";
+}
+
+TaskKind task_from_name(const std::string& name) {
+  for (int k = 0; k < kNumTasks; ++k)
+    if (name == task_name(static_cast<TaskKind>(k)))
+      return static_cast<TaskKind>(k);
+  throw std::invalid_argument("unknown NLP task name \"" + name + "\"");
 }
 
 std::vector<std::vector<int>> make_lm_corpus(int items, std::uint64_t seed) {
@@ -122,6 +131,22 @@ std::vector<ChoiceItem> make_task_items(TaskKind kind, int items,
     }
     out.push_back(std::move(item));
   }
+  return out;
+}
+
+std::vector<int> retokenize(const std::vector<int>& ids, int symbol_limit) {
+  std::vector<int> out = ids;
+  if (symbol_limit >= kSymbols) return out;
+  for (int& id : out)
+    if (id < kSymbols && id >= symbol_limit) id %= symbol_limit;
+  return out;
+}
+
+ChoiceItem retokenize(const ChoiceItem& item, int symbol_limit) {
+  ChoiceItem out;
+  out.context = retokenize(item.context, symbol_limit);
+  out.correct = retokenize(item.correct, symbol_limit);
+  out.wrong = retokenize(item.wrong, symbol_limit);
   return out;
 }
 

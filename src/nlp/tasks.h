@@ -28,6 +28,9 @@ constexpr int kVocab = kSymbols + 3;
 enum class TaskKind { kPiqa = 0, kLambada = 1, kHellaSwag = 2, kWinoGrande = 3 };
 constexpr int kNumTasks = 4;
 const char* task_name(TaskKind k);
+// Inverse of task_name(); throws std::invalid_argument on unknown names (a
+// corrupted dist TaskSpec fails loudly).
+TaskKind task_from_name(const std::string& name);
 
 struct ChoiceItem {
   std::vector<int> context;
@@ -41,5 +44,12 @@ std::vector<std::vector<int>> make_lm_corpus(int items, std::uint64_t seed);
 // Evaluation items for one task.
 std::vector<ChoiceItem> make_task_items(TaskKind kind, int items,
                                         std::uint64_t seed);
+
+// Deployment-tokenizer mismatch: a tokenizer exported with a truncated
+// symbol vocabulary folds out-of-range symbol ids onto in-range ones
+// (id % symbol_limit), while the structural separator tokens (kTokSep and
+// above) survive intact. symbol_limit >= kSymbols is the identity.
+std::vector<int> retokenize(const std::vector<int>& ids, int symbol_limit);
+ChoiceItem retokenize(const ChoiceItem& item, int symbol_limit);
 
 }  // namespace sysnoise::nlp

@@ -35,13 +35,14 @@ void expect_reports_identical(const AxisReport& a, const AxisReport& b) {
 
 TEST(AxisRegistry, MatchesTable1Taxonomy) {
   const auto& axes = AxisRegistry::global().axes();
-  ASSERT_EQ(axes.size(), 11u);
+  ASSERT_EQ(axes.size(), 14u);
   const std::vector<std::string> names = {"Decode",    "Resize",
                                           "Crop",       "Color Mode",
                                           "Normalize",  "Layout",
                                           "Precision",  "Backend",
                                           "Ceil Mode",  "Upsample",
-                                          "Post-proc"};
+                                          "Post-proc",  "Tokenizer",
+                                          "Resample",   "Stft"};
   for (std::size_t i = 0; i < names.size(); ++i) EXPECT_EQ(axes[i].name, names[i]);
 
   // Option counts mirror the implemented option sets (Table 1 categories
